@@ -1,0 +1,76 @@
+"""Ablation A2 — the size-amortised deallocation criterion.
+
+Storage restoration evicts the object minimising ``ΔD / size`` (the
+paper: amortisation makes the criterion "more judicious over large and
+frequently accessed objects").  The ablation compares against raw-``ΔD``
+ranking at several storage fractions: amortisation frees the same bytes
+with fewer, larger, cheaper-per-byte evictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all
+from repro.core.restoration import restore_storage_capacity
+from repro.experiments.runner import iter_runs
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.util.tables import format_table
+
+FRACTIONS = (0.3, 0.5, 0.7)
+
+
+@pytest.fixture(scope="module")
+def ablation(bench_config, save_artifact):
+    deltas = {frac: [] for frac in FRACTIONS}
+    evictions = {frac: [] for frac in FRACTIONS}
+    for ctx in iter_runs(bench_config):
+        for frac in FRACTIONS:
+            caps = storage_capacities_for_fraction(ctx.model, ctx.reference, frac)
+            clone = clone_with_capacities(ctx.model, storage=caps)
+            cost = CostModel(clone)
+
+            a = partition_all(clone)
+            restore_storage_capacity(a, cost, amortise=True)
+            b = partition_all(clone)
+            stats_b = restore_storage_capacity(b, cost, amortise=False)
+            stats_a_evictions = len(
+                restore_storage_capacity(partition_all(clone), cost).evicted_objects
+            )
+            deltas[frac].append(cost.D(b) / cost.D(a) - 1.0)
+            evictions[frac].append(stats_b.evictions - stats_a_evictions)
+    table = format_table(
+        ["storage", "raw-ΔD vs amortised (D, mean)", "extra evictions (mean)"],
+        [
+            (
+                f"{frac:.0%}",
+                f"{np.mean(deltas[frac]):+.2%}",
+                f"{np.mean(evictions[frac]):+.1f}",
+            )
+            for frac in FRACTIONS
+        ],
+        title="Ablation A2: deallocation criterion (positive = amortised wins)",
+    )
+    save_artifact("ablation_amortisation", table)
+    return deltas
+
+
+def test_bench_amortisation_helps_on_average(ablation):
+    overall = np.mean([v for vals in ablation.values() for v in vals])
+    assert overall >= -0.01  # amortised criterion must not lose
+
+
+def test_bench_storage_restoration_timing(benchmark, bench_config, ablation):
+    ctx = next(iter(iter_runs(bench_config)))
+    caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 0.5)
+    clone = clone_with_capacities(ctx.model, storage=caps)
+    cost = CostModel(clone)
+
+    def run():
+        alloc = partition_all(clone)
+        return restore_storage_capacity(alloc, cost)
+
+    benchmark(run)

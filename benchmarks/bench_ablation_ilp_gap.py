@@ -1,0 +1,77 @@
+"""Ablation A3 — greedy vs the exact ILP optimum on small instances.
+
+The paper argues the allocation problem is NP-complete and solves it
+greedily.  This bench quantifies the optimality gap of PARTITION (and of
+the full constrained pipeline) against :mod:`repro.core.ilp` on tiny
+generated universes — the greedy is typically within a few percent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.ilp import solve_optimal_allocation
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.util.tables import format_table
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+N_INSTANCES = 8
+
+
+@pytest.fixture(scope="module")
+def gaps(save_artifact):
+    params = WorkloadParams.tiny()
+    unconstrained, constrained = [], []
+    for seed in range(N_INSTANCES):
+        model = generate_workload(params, seed=seed)
+        cost = CostModel(model)
+        greedy = cost.D(partition_all(model))
+        opt = solve_optimal_allocation(model).objective
+        unconstrained.append(greedy / opt - 1.0)
+
+        ref = partition_all(model)
+        caps = storage_capacities_for_fraction(model, ref, 0.6)
+        clone = clone_with_capacities(model, storage=caps)
+        result = RepositoryReplicationPolicy().run(clone)
+        opt_c = solve_optimal_allocation(clone).objective
+        constrained.append(result.objective / opt_c - 1.0)
+    table = format_table(
+        ["setting", "mean gap", "max gap"],
+        [
+            (
+                "unconstrained PARTITION",
+                f"{np.mean(unconstrained):+.2%}",
+                f"{np.max(unconstrained):+.2%}",
+            ),
+            (
+                "60% storage, full pipeline",
+                f"{np.mean(constrained):+.2%}",
+                f"{np.max(constrained):+.2%}",
+            ),
+        ],
+        title=f"Ablation A3: greedy vs ILP optimum ({N_INSTANCES} tiny instances)",
+    )
+    save_artifact("ablation_ilp_gap", table)
+    return unconstrained, constrained
+
+
+def test_bench_greedy_near_optimal_unconstrained(gaps):
+    unconstrained, _ = gaps
+    assert all(g >= -1e-6 for g in unconstrained)  # ILP is a lower bound
+    assert np.mean(unconstrained) < 0.05
+
+def test_bench_greedy_reasonable_constrained(gaps):
+    _, constrained = gaps
+    assert all(g >= -1e-6 for g in constrained)
+    assert np.mean(constrained) < 0.25
+
+
+def test_bench_ilp_solver_timing(benchmark, gaps):
+    model = generate_workload(WorkloadParams.tiny(), seed=0)
+    benchmark(solve_optimal_allocation, model)

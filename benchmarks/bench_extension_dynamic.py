@@ -1,0 +1,65 @@
+"""Extension E1 — dynamic re-replication under access drift.
+
+Not a paper artifact: this bench quantifies the Section 4.1 discussion
+("allocation decisions made off-line using the past access patterns may
+be inaccurate due to the dynamic nature of the Web, e.g., breaking
+news") by comparing allocate-once, nightly re-allocation from observed
+statistics, and a perfect-knowledge oracle across drift regimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.epochs import EpochConfig, run_dynamic_experiment
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def dynamic(bench_config, save_artifact):
+    results = {}
+    for label, drift_every in (("persistent news cycle", 2), ("per-epoch churn", 1)):
+        results[label] = run_dynamic_experiment(
+            params=bench_config.params,
+            config=EpochConfig(
+                n_epochs=6,
+                drift_every=drift_every,
+                requests_per_server=min(
+                    bench_config.params.requests_per_server, 1000
+                ),
+            ),
+            seed=bench_config.base_seed,
+        )
+    table = format_table(
+        ["drift regime", "static vs oracle", "periodic vs oracle"],
+        [
+            (
+                label,
+                f"{res.staleness_penalty():+.1%}",
+                f"{res.periodic_gap():+.1%}",
+            )
+            for label, res in results.items()
+        ],
+        title="Extension E1: re-allocation cadence vs drift regime",
+    )
+    details = "\n\n".join(res.render() for res in results.values())
+    save_artifact("extension_dynamic", f"{table}\n\n{details}")
+    return results
+
+
+def test_bench_staleness_costs_under_persistent_drift(dynamic):
+    res = dynamic["persistent news cycle"]
+    assert res.staleness_penalty() > 0.0
+
+
+def test_bench_periodic_tracks_oracle_under_persistent_drift(dynamic):
+    res = dynamic["persistent news cycle"]
+    assert res.periodic_gap() < res.staleness_penalty() + 0.05
+
+
+def test_bench_dynamic_timing(benchmark, bench_config, dynamic):
+    cfg = EpochConfig(n_epochs=2, requests_per_server=300)
+    benchmark(
+        lambda: run_dynamic_experiment(
+            bench_config.params, cfg, seed=bench_config.base_seed
+        )
+    )

@@ -1,0 +1,44 @@
+"""Experiment F1 — Figure 1: response time vs local storage capacity.
+
+Regenerates the figure (proposed policy vs ideal LRU over storage
+fractions, with Remote/Local reference lines), asserts the paper's
+qualitative shape, and times the constrained policy run (PARTITION +
+storage restoration) at 50% storage.
+"""
+
+import pytest
+
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.experiments.fig1_storage import run_fig1
+from repro.experiments.runner import iter_runs
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+
+FRACTIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def fig1(bench_config, save_artifact):
+    result = run_fig1(bench_config, fractions=FRACTIONS)
+    save_artifact("fig1_storage", result.render())
+    return result
+
+
+def test_bench_fig1_shape(fig1):
+    """Figure 1's qualitative claims hold at this scale."""
+    ours = fig1.series["proposed"]
+    lru = fig1.series["ideal-lru"]
+    assert all(o <= l + 0.02 for o, l in zip(ours, lru))
+    assert ours[-1] == pytest.approx(0.0, abs=0.02)
+    assert fig1.scalars["remote (all from repository)"] > 1.0
+
+
+def test_bench_fig1_policy_at_half_storage(benchmark, bench_config, fig1):
+    """Time one constrained policy run (the figure's inner loop body)."""
+    ctx = next(iter(iter_runs(bench_config)))
+    caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 0.5)
+    clone = clone_with_capacities(ctx.model, storage=caps)
+
+    benchmark(lambda: RepositoryReplicationPolicy().run(clone))

@@ -1,0 +1,52 @@
+"""Experiment F2 — Figure 2: response time vs local processing capacity.
+
+Regenerates the double-exponential curve at 100% storage, asserts its
+endpoints (Remote at 0%, optimal at 100%), and times the processing
+restoration at 40% capacity.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all
+from repro.core.restoration import restore_processing_capacity
+from repro.experiments.fig2_processing import run_fig2
+from repro.experiments.runner import iter_runs
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    processing_capacities_for_fraction,
+)
+
+FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@pytest.fixture(scope="module")
+def fig2(bench_config, save_artifact):
+    result = run_fig2(bench_config, fractions=FRACTIONS)
+    save_artifact("fig2_processing", result.render())
+    return result
+
+
+def test_bench_fig2_shape(fig2):
+    ys = fig2.series["proposed"]
+    remote = fig2.scalars["remote (all from repository)"]
+    # endpoint behaviours
+    assert ys[0] == pytest.approx(remote, rel=0.05)
+    assert ys[-1] == pytest.approx(0.0, abs=0.02)
+    # monotone decreasing and flat near full capacity
+    assert all(a >= b - 0.02 for a, b in zip(ys, ys[1:]))
+    assert ys[0] - ys[5] > ys[5] - ys[10]
+
+
+def test_bench_fig2_processing_restoration(benchmark, bench_config, fig2):
+    ctx = next(iter(iter_runs(bench_config)))
+    caps = processing_capacities_for_fraction(ctx.model, 0.4)
+    clone = clone_with_capacities(ctx.model, processing=caps)
+    cost = CostModel(clone)
+
+    def run():
+        alloc = partition_all(clone)
+        restore_processing_capacity(alloc, cost)
+        return alloc
+
+    benchmark(run)

@@ -1,0 +1,54 @@
+"""Experiment F3 — Figure 3: constrained repository capacity.
+
+Regenerates the three central-capacity curves over the local-capacity
+sweep, asserts the paper's dominance claims, and times one off-loading
+negotiation.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.offload import OffloadConfig, offload_repository
+from repro.core.partition import partition_all
+from repro.core.constraints import repository_load
+from repro.experiments.fig3_central import run_fig3
+from repro.experiments.runner import iter_runs
+
+LOCAL_FRACTIONS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+CENTRAL_FRACTIONS = (0.9, 0.7, 0.5)
+
+
+@pytest.fixture(scope="module")
+def fig3(bench_config, save_artifact):
+    result = run_fig3(
+        bench_config,
+        local_fractions=LOCAL_FRACTIONS,
+        central_fractions=CENTRAL_FRACTIONS,
+    )
+    save_artifact("fig3_central", result.render())
+    return result
+
+
+def test_bench_fig3_shape(fig3):
+    # tighter central capacity is never better
+    for i in range(len(fig3.x_values)):
+        assert fig3.series["central 90%"][i] <= fig3.series["central 70%"][i] + 0.02
+        assert fig3.series["central 70%"][i] <= fig3.series["central 50%"][i] + 0.02
+    # local capacity dominates central capacity
+    assert fig3.series["central 50%"][-1] < fig3.series["central 90%"][0]
+    # high local + 50% central stays acceptable (paper: ~ +40%)
+    assert fig3.series["central 50%"][-1] < 1.0
+
+
+def test_bench_fig3_offload_negotiation(benchmark, bench_config, fig3):
+    ctx = next(iter(iter_runs(bench_config)))
+    base = partition_all(ctx.model)
+    cost = CostModel(ctx.model)
+    capacity = 0.5 * repository_load(base)
+
+    def run():
+        alloc = base.copy()
+        return offload_repository(alloc, cost, OffloadConfig(), capacity=capacity)
+
+    outcome = benchmark(run)
+    assert outcome.rounds >= 1

@@ -1,0 +1,43 @@
+"""Experiment S1 — the scalar Section 5.2 claims.
+
+Regenerates the claims table (Remote +335%, Local +23.8%, LRU@100% ~
+Local, ours@65% ~ LRU@100%, ~1.8 GB/server) and times the request-level
+simulator — the measurement machinery all experiments share.
+"""
+
+import pytest
+
+from repro.experiments.claims import run_headline_claims
+from repro.experiments.runner import iter_runs
+from repro.simulation.engine import simulate_allocation
+from repro.simulation.lru_sim import simulate_lru
+
+
+@pytest.fixture(scope="module")
+def claims(bench_config, save_artifact):
+    result = run_headline_claims(bench_config)
+    save_artifact("headline_claims", result.render())
+    return result
+
+
+def test_bench_headline_orderings(claims):
+    assert claims.orderings_hold
+    assert claims.remote_increase > 1.0
+    assert 0.0 < claims.local_increase < 0.6
+
+
+def test_bench_simulate_allocation(benchmark, bench_config, claims):
+    ctx = next(iter(iter_runs(bench_config)))
+    benchmark(
+        simulate_allocation,
+        ctx.reference,
+        ctx.trace,
+        bench_config.perturbation,
+        ctx.sim_seed,
+    )
+
+
+def test_bench_simulate_lru(benchmark, bench_config):
+    ctx = next(iter(iter_runs(bench_config)))
+    cache = ctx.reference.stored_bytes_all()
+    benchmark(lambda: simulate_lru(ctx.trace, cache_bytes=cache, seed=3))

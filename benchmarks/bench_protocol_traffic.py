@@ -1,0 +1,119 @@
+"""Substrate check — off-loading protocol cost (Section 6's argument).
+
+The paper criticises prior dynamic-replication schemes for "a rather
+high amount of messages to be exchanged between hosts" and positions its
+own negotiation as cheap: one status message per server, a couple of
+rounds, an END broadcast.  This bench quantifies that across repository
+capacities, using the message bus's byte accounting and the virtual-time
+latency model (100 ms one-way, the Table 1 RTT estimate):
+
+* total messages and wire bytes per negotiation,
+* negotiation makespan — the slice of the off-peak window it consumes,
+* comparison line: naive per-object replication chatter would need one
+  message per replica created (thousands), not tens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import LatencyModel, run_distributed_policy
+from repro.util.tables import format_table
+from repro.workload.generator import generate_workload
+
+CAPACITY_FRACTIONS = (None, 0.7, 0.4, 0.1)  # None = unconstrained
+
+
+@pytest.fixture(scope="module")
+def traffic(bench_config, save_artifact):
+    rows = []
+    data = {}
+    params = bench_config.params
+    base = generate_workload(params, seed=bench_config.base_seed)
+    # reference: how many replicas the allocation creates (the message
+    # count a create-one-message-per-replica scheme would need)
+    probe = run_distributed_policy(base)
+    n_replicas = sum(len(r) for r in probe.allocation.replicas)
+
+    from repro.core.constraints import repository_load
+
+    base_load = repository_load(
+        run_distributed_policy(base).allocation
+    )
+    for frac in CAPACITY_FRACTIONS:
+        if frac is None:
+            model = base
+            label = "unconstrained"
+        else:
+            from repro.experiments.scaling import clone_with_capacities
+
+            model = clone_with_capacities(
+                base, repo_capacity=max(frac * base_load, 1e-6)
+            )
+            label = f"C(R) = {frac:.0%} of imposed load"
+        result = run_distributed_policy(
+            model, latency=LatencyModel(default_delay=0.1)
+        )
+        data[frac] = result
+        rows.append(
+            (
+                label,
+                result.offload_rounds,
+                result.bus_stats.messages,
+                f"{result.bus_stats.bytes} B",
+                f"{result.makespan:.1f} s",
+                "yes" if result.offload_restored else "no",
+            )
+        )
+    table = format_table(
+        ["repository capacity", "rounds", "messages", "wire bytes", "makespan", "restored"],
+        rows,
+        title=(
+            "Off-loading protocol cost (0.1 s one-way links); a "
+            f"per-replica scheme would send >= {n_replicas} messages"
+        ),
+    )
+    save_artifact("protocol_traffic", table)
+    return data, n_replicas
+
+
+def test_bench_messages_scale_with_servers_not_objects(traffic):
+    data, n_replicas = traffic
+    for result in data.values():
+        # exact protocol bound: n statuses + n ENDs + per round at most
+        # one NewReq and one answer per server — O(servers x rounds),
+        # independent of object/replica counts
+        n = len(result.allocation.replicas)
+        bound = 2 * n + 2 * n * result.offload_rounds
+        assert result.bus_stats.messages <= bound
+        if n_replicas > 1000:  # realistic scale: tens vs thousands
+            assert result.bus_stats.messages < n_replicas / 10
+
+
+def test_bench_unconstrained_is_minimal(traffic):
+    data, _ = traffic
+    base = data[None]
+    assert base.offload_rounds == 0
+    # one status per server + one END per server
+    n = len(base.allocation.replicas)
+    assert base.bus_stats.messages == 2 * n
+
+
+def test_bench_tighter_capacity_more_rounds(traffic):
+    data, _ = traffic
+    r_07 = data[0.7].offload_rounds
+    r_01 = data[0.1].offload_rounds
+    assert r_01 >= r_07
+
+
+def test_bench_makespan_fits_offpeak_window(traffic):
+    data, _ = traffic
+    for result in data.values():
+        # even the tightest negotiation finishes in seconds — a rounding
+        # error against an hours-long off-peak window
+        assert result.makespan < 60.0
+
+
+def test_bench_protocol_timing(benchmark, bench_config, traffic):
+    params = bench_config.params
+    model = generate_workload(params, seed=bench_config.base_seed)
+    benchmark(lambda: run_distributed_policy(model))

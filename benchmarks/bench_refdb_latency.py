@@ -1,0 +1,69 @@
+"""Substrate check — reference-database rewrite latency (Section 2).
+
+The paper's argument for server-side URL rewriting over client
+redirection: "Assuming a fast indexing scheme for the reference
+database, the computational latency occurred due to querying and
+changing URLs on the fly is minimal compared to the network latency due
+to request redirection."  This bench measures our implementation's
+serve() latency on Table 1-sized documents and reports the ratio to the
+smallest Table 1 connection overhead (1.275 s) — it comes out around
+five orders of magnitude.
+"""
+
+import time
+
+import pytest
+
+from repro.core.partition import partition_all
+from repro.refdb import ReferenceDatabase
+from repro.util.tables import format_table
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+MIN_TABLE1_OVERHEAD_S = 1.275
+
+
+@pytest.fixture(scope="module")
+def refdb_setup(bench_config):
+    model = generate_workload(bench_config.params, seed=0)
+    db = ReferenceDatabase.build(model)
+    alloc = partition_all(model)
+    return model, db, alloc
+
+
+@pytest.fixture(scope="module")
+def latency_report(refdb_setup, save_artifact):
+    model, db, alloc = refdb_setup
+    n = min(model.n_pages, 500)
+    t0 = time.perf_counter()
+    for j in range(n):
+        db.serve(j, alloc)
+    per_serve = (time.perf_counter() - t0) / n
+    ratio = MIN_TABLE1_OVERHEAD_S / per_serve
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ("documents rewritten", n),
+            ("mean rewrite latency", f"{per_serve * 1e6:.1f} us"),
+            ("smallest Table 1 connection overhead", f"{MIN_TABLE1_OVERHEAD_S} s"),
+            ("network / rewrite ratio", f"{ratio:,.0f}x"),
+        ],
+        title="Reference database: rewrite latency vs network latency",
+    )
+    save_artifact("refdb_latency", table)
+    return per_serve
+
+
+def test_bench_rewrite_negligible_vs_network(latency_report):
+    # "minimal compared to the network latency": at least 1000x smaller
+    assert latency_report < MIN_TABLE1_OVERHEAD_S / 1000
+
+
+def test_bench_serve_timing(benchmark, refdb_setup, latency_report):
+    model, db, alloc = refdb_setup
+    benchmark(db.serve, 0, alloc)
+
+
+def test_bench_index_timing(benchmark, refdb_setup, latency_report):
+    model, db, alloc = refdb_setup
+    benchmark(db.index_page, 0)

@@ -1,0 +1,34 @@
+"""Experiment T1 — Table 1: the synthetic workload.
+
+Regenerates the nominal-vs-realised parameter table (the workload
+generator's acceptance artifact) and times workload generation and
+trace sampling at the configured scale.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.workload.generator import generate_workload
+from repro.workload.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def table1(bench_config, save_artifact):
+    report = run_table1(bench_config.params, seed=0)
+    save_artifact("table1_workload", report.render())
+    return report
+
+
+def test_bench_table1_report(table1):
+    """The realised workload matches every nominal Table 1 row."""
+    labels = {r[0] for r in table1.rows}
+    assert len(labels) >= 20
+
+
+def test_bench_generate_workload(benchmark, bench_config, table1):
+    benchmark(generate_workload, bench_config.params, 0)
+
+
+def test_bench_generate_trace(benchmark, bench_config, table1):
+    model = table1.model
+    benchmark(generate_trace, model, bench_config.params, 1)

@@ -1,0 +1,62 @@
+"""Shared benchmark infrastructure.
+
+Every bench module regenerates one paper artifact (a table or figure) and
+additionally times a representative unit of work with pytest-benchmark.
+The regenerated artifact is
+
+* printed to stdout (visible with ``pytest -s``), and
+* written to ``benchmarks/out/<name>.txt`` so results persist without
+  capturing flags.
+
+Scale knobs (environment):
+
+* ``REPRO_BENCH_SCALE``    — ``paper`` | ``small`` (default) | ``tiny``
+* ``REPRO_BENCH_RUNS``     — runs per experiment (default 5)
+* ``REPRO_BENCH_REQUESTS`` — trace length per server
+
+The defaults finish the whole suite in a few minutes; EXPERIMENTS.md
+records a ``paper``-scale run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration honouring REPRO_BENCH_* overrides."""
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_artifact(bench_config):
+    """Persist + print a regenerated table/figure.
+
+    Artifacts are namespaced by workload scale (``out/<scale>/…``) so a
+    quick small-scale run never clobbers a paper-scale record, and each
+    file carries a provenance header.
+    """
+    import os
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        out = OUT_DIR / scale
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{name}.txt"
+        header = (
+            f"# scale={scale} runs={bench_config.n_runs} "
+            f"requests/server={bench_config.params.requests_per_server}\n"
+        )
+        path.write_text(header + text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Breaking news: what staleness costs, and when re-allocation pays.
+
+The paper's Section 4.1 caveat — "allocation decisions made off-line
+using the past access patterns may be inaccurate due to the dynamic
+nature of the Web, e.g., breaking news" — made concrete.  Six epochs of
+traffic; every second epoch half of each site's hot pages turn cold and
+cold pages become the new front-page stories.  Three operators compete:
+
+* one who allocated replicas on day 0 and never touched them again,
+* one who re-runs the paper's algorithm nightly from *observed* request
+  counts (the realistic deployment),
+* an oracle with perfect knowledge of each day's popularity.
+
+Run:  python examples/breaking_news.py
+"""
+
+from repro.dynamic import EpochConfig, run_dynamic_experiment
+from repro.workload.params import WorkloadParams
+
+
+def main() -> None:
+    config = EpochConfig(
+        n_epochs=6,
+        drift_every=2,          # a news cycle persists for two epochs
+        rotation_fraction=0.5,  # half the hot set turns over
+        jitter_sigma=0.1,
+        reallocate_every=1,     # "nightly" re-allocation
+        requests_per_server=800,
+        storage_fraction=0.6,   # disks hold 60% of the day-0 footprint
+    )
+    result = run_dynamic_experiment(
+        params=WorkloadParams.small(), config=config, seed=7
+    )
+    print(result.render())
+    print()
+    print(
+        "Reading the table: each rotation (epochs 2 and 4) costs the "
+        "stale allocation immediately; the nightly re-planner lags one "
+        "epoch (it plans from yesterday's counts) and then matches the "
+        "oracle until the next rotation.  When drift outpaces the "
+        "statistics window (set drift_every=1), history-based planning "
+        "chases noise and the static allocation is the safer choice — "
+        "the trade-off the paper's static-vs-dynamic discussion "
+        "anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Planning from measured statistics: how much history is enough?
+
+A real deployment never knows ``f(W_j)``; it counts requests (Section 2:
+"based on statistics collected, such as page access frequency").  This
+example plans the allocation from frequency estimates built out of
+increasingly long observation windows and measures the response-time
+penalty versus planning with the truth — at 50% storage, where the
+frequency-aware eviction decisions actually bite.
+
+Run:  python examples/estimation_error.py
+"""
+
+import numpy as np
+
+from repro import (
+    RepositoryReplicationPolicy,
+    WorkloadParams,
+    generate_trace,
+    generate_workload,
+    simulate_allocation,
+)
+from repro.core.allocation import transplant_allocation
+from repro.dynamic.estimator import estimate_frequencies, with_frequencies
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    params = WorkloadParams.small()
+    base = generate_workload(params, seed=31)
+
+    # fix disk budgets at 50% of the unconstrained footprint
+    policy = RepositoryReplicationPolicy()
+    ref = policy.run(base).allocation
+    caps = storage_capacities_for_fraction(base, ref, 0.5)
+    truth = clone_with_capacities(base, storage=caps)
+
+    eval_trace = generate_trace(truth, params, seed=32)
+    oracle = policy.run(truth).allocation
+    oracle_time = simulate_allocation(oracle, eval_trace, seed=33).mean_page_time
+
+    rows = []
+    for window in (50, 200, 1000, 5000):
+        observed = generate_trace(
+            truth, params, seed=40, requests_per_server=window
+        )
+        est = estimate_frequencies(observed)
+        planner_view = with_frequencies(truth, est)
+        planned = policy.run(planner_view).allocation
+        sim = simulate_allocation(
+            transplant_allocation(planned, truth), eval_trace, seed=33
+        )
+        err = np.abs(est - truth.frequencies).sum() / truth.frequencies.sum()
+        rows.append(
+            (
+                f"{window} req/server",
+                f"{err:.0%}",
+                f"{sim.mean_page_time:.0f}s",
+                f"{sim.mean_page_time / oracle_time - 1:+.1%}",
+            )
+        )
+    rows.append(("truth (oracle)", "0%", f"{oracle_time:.0f}s", "+0.0%"))
+    print(
+        format_table(
+            [
+                "observation window",
+                "L1 frequency error",
+                "mean page time",
+                "vs oracle",
+            ],
+            rows,
+            title="Planning from estimated page frequencies (50% storage)",
+        )
+    )
+    print()
+    print(
+        "A few hundred requests per server — minutes of peak traffic — "
+        "already plans within a couple percent of the oracle: the "
+        "policy's decisions depend on coarse popularity ranks, not "
+        "exact rates."
+    )
+
+
+if __name__ == "__main__":
+    main()

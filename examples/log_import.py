@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""From access logs to a replication plan (the operator's on-ramp).
+
+A real deployment starts from Apache-style access logs, not synthetic
+traces.  This example synthesises a day of Common Log Format lines from
+a ground-truth workload (standing in for your real logs), then walks the
+full operator loop:
+
+1. parse the logs into a request trace (``repro.workload.clf``),
+2. estimate page frequencies from the observed counts,
+3. run the replication policy against the estimates,
+4. diff the new plan against the currently deployed one — the replica
+   bytes that must be copied during the off-peak window.
+
+Run:  python examples/log_import.py
+"""
+
+import numpy as np
+
+from repro import (
+    RepositoryReplicationPolicy,
+    WorkloadParams,
+    generate_trace,
+    generate_workload,
+)
+from repro.analysis.compare import diff_allocations
+from repro.core.allocation import transplant_allocation
+from repro.dynamic.estimator import estimate_frequencies, with_frequencies
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.workload.clf import parse_clf
+
+
+def synthesize_logs(model, params, seed):
+    """Render a ground-truth trace as CLF lines (your web server does
+    this part in production)."""
+    truth_trace = generate_trace(model, params, seed=seed)
+    rng = np.random.default_rng(seed)
+    lines = []
+    for r, page in enumerate(truth_trace.page_of_request):
+        host = f"10.0.{rng.integers(0, 32)}.{rng.integers(1, 255)}"
+        lines.append(
+            f'{host} - - [05/Jul/2026:09:{r % 60:02d}:00 +0000] '
+            f'"GET /page/{int(page)} HTTP/1.0" 200 4096'
+        )
+    return lines
+
+
+def main() -> None:
+    params = WorkloadParams.small().with_(requests_per_server=1500)
+    base = generate_workload(params, seed=51)
+
+    # fix the disks at 60% of the unconstrained footprint
+    policy = RepositoryReplicationPolicy()
+    ref = policy.run(base).allocation
+    caps = storage_capacities_for_fraction(base, ref, 0.6)
+    model = clone_with_capacities(base, storage=caps)
+
+    deployed = policy.run(model).allocation  # what is live today
+
+    # --- 1. logs -> trace ---------------------------------------------------
+    lines = synthesize_logs(model, params, seed=52)
+    parsed = parse_clf(lines, model)
+    print(
+        f"parsed {len(lines)} log lines: {parsed.page_requests} page "
+        f"requests, {parsed.malformed_lines} malformed, "
+        f"{parsed.unresolved_paths} unresolved"
+    )
+
+    # --- 2. trace -> frequency estimates -------------------------------------
+    est = estimate_frequencies(parsed.trace)
+    err = np.abs(est - model.frequencies).sum() / model.frequencies.sum()
+    print(f"estimated page frequencies (L1 error vs truth: {err:.0%})")
+
+    # --- 3. estimates -> plan -------------------------------------------------
+    planner_view = with_frequencies(model, est)
+    planned = policy.run(planner_view).allocation
+    new_plan = transplant_allocation(planned, model)
+
+    # --- 4. plan -> churn ------------------------------------------------------
+    diff = diff_allocations(deployed, new_plan)
+    print(f"switchover cost: {diff.summary()}")
+    if diff.is_noop:
+        print("the observed traffic matches the deployed plan — no action.")
+    else:
+        print(
+            "copy the added replicas during the off-peak window, flip the "
+            "reference database, and the new plan is live."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""repro — reproduction of *Replicating the Contents of a WWW Multimedia
+Repository to Minimize Download Time* (Loukopoulos & Ahmad, IPPS 2000).
+
+The library models a company with geographically dispersed web servers
+and a central multimedia repository, and decides — per page, per object —
+whether each multimedia object should be downloaded from the local
+server or from the repository, exploiting the browser's two parallel
+HTTP connections to minimise the slower of the two pipelined streams.
+
+Quickstart
+----------
+>>> import repro
+>>> model = repro.generate_workload(repro.WorkloadParams.small(), seed=7)
+>>> result = repro.RepositoryReplicationPolicy().run(model)
+>>> trace = repro.generate_trace(model, repro.WorkloadParams.small(), seed=1)
+>>> sim = repro.simulate_allocation(result.allocation, trace)
+>>> sim.n_requests > 0
+True
+
+Package layout
+--------------
+* :mod:`repro.core` — cost model (Eq. 3-7), constraints (Eq. 8-10),
+  PARTITION, restoration, off-loading, the end-to-end policy, and an ILP
+  reference solver.
+* :mod:`repro.workload` — Table 1 synthetic workload and request traces.
+* :mod:`repro.baselines` — Remote / Local / ideal-LRU comparison policies.
+* :mod:`repro.simulation` — Section 5.1 perturbed request-level replay.
+* :mod:`repro.network` — message-passing substrate running the
+  off-loading negotiation as an actual protocol.
+* :mod:`repro.experiments` — harnesses regenerating Figures 1-3 and the
+  headline Section 5.2 claims.
+"""
+
+from repro.analysis import describe_allocation
+from repro.baselines import (
+    AllocationPolicy,
+    IdealLRUPolicy,
+    LocalPolicy,
+    PopularityPolicy,
+    RemotePolicy,
+)
+from repro.core import (
+    Allocation,
+    ConstraintReport,
+    CostModel,
+    MatrixSet,
+    ObjectSpec,
+    OffloadConfig,
+    OffloadOutcome,
+    PageSpec,
+    PageTimes,
+    PolicyResult,
+    RepositoryReplicationPolicy,
+    RepositorySpec,
+    ServerSpec,
+    SystemModel,
+    evaluate_constraints,
+    offload_repository,
+    partition_all,
+    partition_page,
+    restore_processing_capacity,
+    restore_storage_capacity,
+)
+from repro.simulation import (
+    IDENTITY_PERTURBATION,
+    PAPER_PERTURBATION,
+    PerturbationModel,
+    SimulationResult,
+    simulate_allocation,
+    simulate_lru,
+)
+from repro.network import FaultModel, run_distributed_policy
+from repro.workload import (
+    RequestTrace,
+    WorkloadParams,
+    generate_trace,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AllocationPolicy",
+    "ConstraintReport",
+    "CostModel",
+    "IDENTITY_PERTURBATION",
+    "IdealLRUPolicy",
+    "LocalPolicy",
+    "MatrixSet",
+    "ObjectSpec",
+    "OffloadConfig",
+    "OffloadOutcome",
+    "PAPER_PERTURBATION",
+    "PageSpec",
+    "PageTimes",
+    "PerturbationModel",
+    "PolicyResult",
+    "RemotePolicy",
+    "RepositoryReplicationPolicy",
+    "RepositorySpec",
+    "RequestTrace",
+    "ServerSpec",
+    "SimulationResult",
+    "SystemModel",
+    "WorkloadParams",
+    "FaultModel",
+    "PopularityPolicy",
+    "describe_allocation",
+    "evaluate_constraints",
+    "generate_trace",
+    "generate_workload",
+    "offload_repository",
+    "run_distributed_policy",
+    "partition_all",
+    "partition_page",
+    "restore_processing_capacity",
+    "restore_storage_capacity",
+    "simulate_allocation",
+    "simulate_lru",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Allocation introspection and reporting.
+
+Answers the operator's questions about an allocation: how full is each
+server, how balanced are the page streams, where does the repository
+workload come from — as dataclasses plus ASCII renderings used by the
+examples and the CLI.
+"""
+
+from repro.analysis.compare import (
+    AllocationDiff,
+    ServerDiff,
+    diff_allocations,
+)
+from repro.analysis.describe import (
+    AllocationReport,
+    ServerReport,
+    StreamBalance,
+    describe_allocation,
+)
+
+__all__ = [
+    "AllocationDiff",
+    "AllocationReport",
+    "ServerDiff",
+    "ServerReport",
+    "StreamBalance",
+    "describe_allocation",
+    "diff_allocations",
+]

@@ -1,0 +1,128 @@
+"""Allocation diffs: what a re-allocation actually changes.
+
+Re-running the policy (nightly, per :mod:`repro.dynamic`) produces a new
+allocation; the *operational* cost of adopting it is the replica churn —
+every newly stored object must be copied from the repository during the
+off-peak window.  :func:`diff_allocations` quantifies that: per-server
+replica additions/removals (count and bytes) and download-mark flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+
+__all__ = ["ServerDiff", "AllocationDiff", "diff_allocations"]
+
+
+@dataclass(frozen=True)
+class ServerDiff:
+    """Replica-set changes at one server."""
+
+    server_id: int
+    added: frozenset[int]
+    removed: frozenset[int]
+    bytes_added: float
+    bytes_removed: float
+
+    @property
+    def churn_bytes(self) -> float:
+        """Bytes that must move (copies in; deletions are free but
+        counted for reporting)."""
+        return self.bytes_added
+
+
+@dataclass(frozen=True)
+class AllocationDiff:
+    """Full comparison of two allocations over the same model."""
+
+    servers: tuple[ServerDiff, ...]
+    comp_flips_to_local: int
+    comp_flips_to_remote: int
+    opt_flips_to_local: int
+    opt_flips_to_remote: int
+
+    @property
+    def total_bytes_added(self) -> float:
+        """Repository → server copy volume a switchover requires."""
+        return sum(s.bytes_added for s in self.servers)
+
+    @property
+    def total_replicas_added(self) -> int:
+        """Count of new replicas across all servers."""
+        return sum(len(s.added) for s in self.servers)
+
+    @property
+    def total_replicas_removed(self) -> int:
+        """Count of dropped replicas across all servers."""
+        return sum(len(s.removed) for s in self.servers)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the allocations are identical."""
+        return (
+            self.total_replicas_added == 0
+            and self.total_replicas_removed == 0
+            and self.comp_flips_to_local == 0
+            and self.comp_flips_to_remote == 0
+            and self.opt_flips_to_local == 0
+            and self.opt_flips_to_remote == 0
+        )
+
+    def summary(self) -> str:
+        """One-line digest for logs and examples."""
+        return (
+            f"replicas: +{self.total_replicas_added}/-"
+            f"{self.total_replicas_removed} "
+            f"({self.total_bytes_added / 2**20:.1f} MiB to copy); "
+            f"marks: {self.comp_flips_to_local}+{self.opt_flips_to_local} "
+            f"to local, {self.comp_flips_to_remote}+"
+            f"{self.opt_flips_to_remote} to remote"
+        )
+
+
+def diff_allocations(old: Allocation, new: Allocation) -> AllocationDiff:
+    """Compare two allocations over the same (or structurally identical)
+    model.
+
+    Raises
+    ------
+    ValueError
+        If the allocations' models differ structurally.
+    """
+    mo, mn = old.model, new.model
+    if (
+        mo.n_servers != mn.n_servers
+        or not np.array_equal(mo.comp_objects, mn.comp_objects)
+        or not np.array_equal(mo.opt_objects, mn.opt_objects)
+        or not np.array_equal(mo.sizes, mn.sizes)
+    ):
+        raise ValueError("allocations belong to structurally different models")
+
+    servers = []
+    for i in range(mo.n_servers):
+        added = frozenset(new.replicas[i] - old.replicas[i])
+        removed = frozenset(old.replicas[i] - new.replicas[i])
+        servers.append(
+            ServerDiff(
+                server_id=i,
+                added=added,
+                removed=removed,
+                bytes_added=float(sum(mo.sizes[k] for k in added)),
+                bytes_removed=float(sum(mo.sizes[k] for k in removed)),
+            )
+        )
+    comp_to_local = int(np.sum(~old.comp_local & new.comp_local))
+    comp_to_remote = int(np.sum(old.comp_local & ~new.comp_local))
+    opt_to_local = int(np.sum(~old.opt_local & new.opt_local))
+    opt_to_remote = int(np.sum(old.opt_local & ~new.opt_local))
+    return AllocationDiff(
+        servers=tuple(servers),
+        comp_flips_to_local=comp_to_local,
+        comp_flips_to_remote=comp_to_remote,
+        opt_flips_to_local=opt_to_local,
+        opt_flips_to_remote=opt_to_remote,
+    )

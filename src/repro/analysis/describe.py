@@ -1,0 +1,179 @@
+"""Structured summaries of an allocation's state.
+
+:func:`describe_allocation` walks a :class:`~repro.core.allocation.
+Allocation` and produces per-server and global statistics: replica
+counts and bytes, storage/processing utilisation, repository workload
+shares, and the distribution of per-page stream balance (how close the
+two parallel downloads are to equal — the quantity PARTITION optimises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.constraints import (
+    local_processing_load,
+    repository_load_by_server,
+    storage_used,
+)
+from repro.core.cost_model import CostModel
+from repro.util.tables import format_table
+from repro.util.units import MB
+
+__all__ = ["StreamBalance", "ServerReport", "AllocationReport", "describe_allocation"]
+
+
+@dataclass(frozen=True)
+class StreamBalance:
+    """Distribution of per-page stream imbalance.
+
+    Imbalance of a page is ``|local - remote| / max(local, remote)`` of
+    its two estimated stream times: 0 = perfectly balanced parallel
+    downloads, 1 = one stream idle.
+    """
+
+    mean: float
+    median: float
+    p90: float
+    fraction_local_bound: float
+    """Share of pages whose local stream is the longer one."""
+
+
+@dataclass(frozen=True)
+class ServerReport:
+    """Per-server allocation statistics."""
+
+    server_id: int
+    name: str
+    n_replicas: int
+    replica_bytes: float
+    storage_used: float
+    storage_capacity: float
+    processing_load: float
+    processing_capacity: float
+    local_download_share: float
+    """Fraction of the server's compulsory downloads marked local."""
+    repo_share: float
+    """Repository workload imposed by this server (req/s)."""
+    unmarked_replicas: int
+    """Stored objects no page currently downloads locally."""
+
+    @property
+    def storage_utilisation(self) -> float:
+        """``used / capacity`` (0 when capacity is infinite)."""
+        if not np.isfinite(self.storage_capacity) or self.storage_capacity <= 0:
+            return 0.0
+        return self.storage_used / self.storage_capacity
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Global + per-server allocation description."""
+
+    servers: tuple[ServerReport, ...]
+    balance: StreamBalance
+    objective: float
+    total_replica_bytes: float
+    local_download_share: float
+
+    def render(self) -> str:
+        """ASCII rendering for examples and the CLI."""
+        rows = [
+            (
+                s.name or f"S{s.server_id}",
+                s.n_replicas,
+                f"{s.replica_bytes / MB:.0f} MB",
+                (
+                    f"{s.storage_utilisation:.0%}"
+                    if np.isfinite(s.storage_capacity)
+                    else "-"
+                ),
+                f"{s.local_download_share:.0%}",
+                f"{s.repo_share:.1f} req/s",
+                s.unmarked_replicas,
+            )
+            for s in self.servers
+        ]
+        table = format_table(
+            [
+                "server",
+                "replicas",
+                "bytes",
+                "disk util",
+                "local dl share",
+                "repo share",
+                "unmarked",
+            ],
+            rows,
+            title="Allocation summary",
+        )
+        return (
+            f"{table}\n"
+            f"objective D = {self.objective:.4g}; "
+            f"{self.local_download_share:.0%} of compulsory downloads local; "
+            f"stream imbalance mean {self.balance.mean:.0%} "
+            f"(median {self.balance.median:.0%}, p90 {self.balance.p90:.0%}); "
+            f"{self.balance.fraction_local_bound:.0%} of pages local-bound"
+        )
+
+
+def describe_allocation(
+    alloc: Allocation, cost: CostModel | None = None
+) -> AllocationReport:
+    """Compute the full report for ``alloc``."""
+    m = alloc.model
+    cost = cost or CostModel(m)
+    times = cost.page_times(alloc)
+
+    hi = np.maximum(times.local, times.remote)
+    lo = np.minimum(times.local, times.remote)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        imbalance = np.where(hi > 0, (hi - lo) / hi, 0.0)
+    balance = StreamBalance(
+        mean=float(imbalance.mean()) if len(imbalance) else 0.0,
+        median=float(np.median(imbalance)) if len(imbalance) else 0.0,
+        p90=float(np.percentile(imbalance, 90)) if len(imbalance) else 0.0,
+        fraction_local_bound=(
+            float((times.local >= times.remote).mean()) if len(imbalance) else 0.0
+        ),
+    )
+
+    loads = local_processing_load(alloc)
+    used = storage_used(alloc)
+    shares = repository_load_by_server(alloc)
+    srv_of_entry = m.page_server[m.comp_pages]
+
+    reports = []
+    for i, srv in enumerate(m.servers):
+        mask = srv_of_entry == i
+        n_entries = int(mask.sum())
+        local_share = (
+            float(alloc.comp_local[mask].mean()) if n_entries else 0.0
+        )
+        reports.append(
+            ServerReport(
+                server_id=i,
+                name=srv.name,
+                n_replicas=len(alloc.replicas[i]),
+                replica_bytes=alloc.stored_bytes(i),
+                storage_used=float(used[i]),
+                storage_capacity=float(srv.storage_capacity),
+                processing_load=float(loads[i]),
+                processing_capacity=float(srv.processing_capacity),
+                local_download_share=local_share,
+                repo_share=float(shares[i]),
+                unmarked_replicas=len(alloc.unmarked_stored(i)),
+            )
+        )
+    return AllocationReport(
+        servers=tuple(reports),
+        balance=balance,
+        objective=cost.D(alloc),
+        total_replica_bytes=float(alloc.stored_bytes_all().sum()),
+        local_download_share=(
+            float(alloc.comp_local.mean()) if len(alloc.comp_local) else 0.0
+        ),
+    )

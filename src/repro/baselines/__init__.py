@@ -1,0 +1,27 @@
+"""Baseline policies the paper compares against (Section 5.2).
+
+* :class:`RemotePolicy` — "download all from the repository": every MO
+  travels on the repository stream; no replicas, no constraints applied.
+* :class:`LocalPolicy` — "download all from the local servers": every MO
+  referenced by a server's pages is replicated there; no constraints
+  applied.
+* :class:`IdealLRUPolicy` — an LRU caching/redirection scheme with zero
+  redirection overhead, subjected only to the Eq. 8 processing
+  constraint; see :mod:`repro.simulation.lru_sim`.
+* :class:`PopularityPolicy` — popularity-per-byte greedy replication
+  (not in the paper; isolates how much of the win is stream balancing).
+"""
+
+from repro.baselines.base import AllocationPolicy
+from repro.baselines.local import LocalPolicy
+from repro.baselines.lru import IdealLRUPolicy
+from repro.baselines.popularity import PopularityPolicy
+from repro.baselines.remote import RemotePolicy
+
+__all__ = [
+    "AllocationPolicy",
+    "RemotePolicy",
+    "LocalPolicy",
+    "IdealLRUPolicy",
+    "PopularityPolicy",
+]

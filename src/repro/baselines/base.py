@@ -1,0 +1,32 @@
+"""Common interface for static allocation policies.
+
+A *static* policy maps a :class:`~repro.core.types.SystemModel` to an
+:class:`~repro.core.allocation.Allocation` once, offline; the simulator
+then replays any trace against it.  (The LRU baseline is stateful per
+request and therefore lives outside this interface — see
+:class:`repro.baselines.lru.IdealLRUPolicy`.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = ["AllocationPolicy"]
+
+
+class AllocationPolicy(ABC):
+    """A policy that produces a static ``X``/``X'`` assignment."""
+
+    #: Short identifier used in experiment reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def allocate(self, model: SystemModel) -> Allocation:
+        """Compute the allocation for ``model``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,124 @@
+"""Popularity-greedy replication — the classic caching heuristic.
+
+A natural competitor the paper does not evaluate: fill each server's
+storage with the objects its pages request most (popularity per byte),
+ignoring the two-connection structure entirely.  Two marking variants
+isolate *where the paper's gain comes from*:
+
+* ``marking="all-stored"`` — every stored object is downloaded locally
+  (what a conventional push-cache does); the replica *set* is greedy-
+  popular and the streams are whatever they end up being.
+* ``marking="balanced"`` — same replica set, but each page re-runs
+  PARTITION restricted to the stored objects, splitting its downloads
+  across the two connections.
+
+Comparing the two against the full policy shows that (1) balancing the
+streams matters even for a popularity-chosen replica set, and (2) the
+policy's D-aware eviction beats popularity-per-byte at equal storage.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.baselines.base import AllocationPolicy
+from repro.core.allocation import Allocation, ReverseIndex
+from repro.core.partition import _optional_marks, partition_page
+from repro.core.types import SystemModel
+
+__all__ = ["PopularityPolicy"]
+
+Marking = Literal["all-stored", "balanced"]
+
+
+class PopularityPolicy(AllocationPolicy):
+    """Greedy popularity-per-byte replication under Eq. 10 budgets.
+
+    Parameters
+    ----------
+    storage_bytes:
+        Per-server MO storage budget in bytes (scalar broadcasts).
+        ``None`` uses each server's Eq. 10 capacity minus hosted HTML.
+    marking:
+        How downloads are assigned once the replica set is fixed (see
+        module docstring).
+    """
+
+    def __init__(
+        self,
+        storage_bytes: float | np.ndarray | None = None,
+        marking: Marking = "all-stored",
+    ):
+        if marking not in ("all-stored", "balanced"):
+            raise ValueError(f"unknown marking {marking!r}")
+        self.storage_bytes = storage_bytes
+        self.marking: Marking = marking
+        self.name = f"popularity-{marking}"
+
+    # ------------------------------------------------------------------
+    def _budgets(self, model: SystemModel) -> np.ndarray:
+        if self.storage_bytes is not None:
+            return np.broadcast_to(
+                np.asarray(self.storage_bytes, dtype=float), (model.n_servers,)
+            ).copy()
+        budgets = model.server_storage - model.html_bytes_by_server()
+        return np.maximum(budgets, 0.0)
+
+    def _popular_set(self, model: SystemModel, server_id: int, budget: float) -> set[int]:
+        """Objects ranked by request rate per byte, greedily packed."""
+        rev = ReverseIndex.for_model(model)
+        scores: list[tuple[float, int, float]] = []
+        refs = model.objects_referenced_by_server(server_id)
+        for k in refs:
+            comp_e, opt_e = rev.entries_for(server_id, k)
+            rate = 0.0
+            for e in comp_e:
+                j = int(model.comp_pages[e])
+                rate += float(model.frequencies[j])
+            for e in opt_e:
+                j = int(model.opt_pages[e])
+                rate += float(
+                    model.frequencies[j]
+                    * model.optional_rate_scale[j]
+                    * model.opt_probs[e]
+                )
+            size = float(model.sizes[k])
+            scores.append((rate / size, k, size))
+        scores.sort(key=lambda t: (-t[0], t[1]))
+        chosen: set[int] = set()
+        used = 0.0
+        for _, k, size in scores:
+            if used + size <= budget:
+                chosen.add(k)
+                used += size
+        return chosen
+
+    # ------------------------------------------------------------------
+    def allocate(self, model: SystemModel) -> Allocation:
+        """Build the popularity replica sets and mark downloads."""
+        budgets = self._budgets(model)
+        alloc = Allocation(model)
+        for i in range(model.n_servers):
+            stored = self._popular_set(model, i, float(budgets[i]))
+            for j in model.pages_by_server[i]:
+                sl = model.comp_slice(j)
+                if self.marking == "all-stored":
+                    for e in range(sl.start, sl.stop):
+                        if int(model.comp_objects[e]) in stored:
+                            alloc.set_comp_local(e, True)
+                else:
+                    marks, _, _ = partition_page(model, j, allowed=stored)
+                    for off, val in enumerate(marks):
+                        if val:
+                            alloc.set_comp_local(sl.start + off, True)
+                omarks = _optional_marks(model, j, "all", stored)
+                slo = model.opt_slice(j)
+                for off, val in enumerate(omarks):
+                    if val:
+                        alloc.set_opt_local(slo.start + off, True)
+            # stored-but-unmarked objects still occupy the budget
+            for k in stored:
+                alloc.store(i, k)
+        return alloc

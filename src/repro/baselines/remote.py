@@ -1,0 +1,29 @@
+"""The Remote baseline: download everything from the repository.
+
+Every compulsory and optional MO is fetched over the repository stream;
+local servers store nothing beyond their HTML.  The paper applies **no**
+capacity constraints to this baseline (they would be meaningless — it
+imposes the maximum possible repository workload by construction) and
+reports it at roughly **+335%** average response time versus the
+unconstrained proposed policy: the repository's transfer rate
+(0.3-2 KB/s per region) is far below the local servers' (3-10 KB/s), so
+serialising every object onto the slow stream dominates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AllocationPolicy
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = ["RemotePolicy"]
+
+
+class RemotePolicy(AllocationPolicy):
+    """All-zero ``X``/``X'``: the repository serves every MO."""
+
+    name = "remote"
+
+    def allocate(self, model: SystemModel) -> Allocation:
+        """Return the empty allocation (no marks, no replicas)."""
+        return Allocation(model)

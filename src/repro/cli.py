@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment harnesses:
+
+* ``table1`` — nominal-vs-realised workload parameters,
+* ``fig1`` / ``fig2`` / ``fig3`` — regenerate the paper's figures,
+* ``claims`` — the Section 5.2 scalar claims,
+* ``dynamic`` — the extension E1 epoch experiment,
+* ``demo`` — one quick end-to-end policy-vs-baselines comparison.
+
+All commands print ASCII artifacts to stdout.  ``--scale`` and
+``--runs`` control workload size and averaging (defaults match the
+benchmark suite's quick settings; ``--scale paper`` is Table 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.params import WorkloadParams
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "paper": WorkloadParams.paper,
+    "small": WorkloadParams.small,
+    "tiny": WorkloadParams.tiny,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Replicating the Contents of a WWW "
+            "Multimedia Repository to Minimize Download Time' "
+            "(Loukopoulos & Ahmad, IPPS 2000)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="workload size (paper = Table 1 verbatim)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3, help="independent runs to average"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="trace length per server (defaults to the scale's setting)",
+    )
+    parser.add_argument("--seed", type=int, default=2000, help="root seed")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1: nominal vs realised workload")
+    sub.add_parser("fig1", help="Figure 1: response time vs storage")
+    sub.add_parser("fig2", help="Figure 2: response time vs local capacity")
+    sub.add_parser("fig3", help="Figure 3: constrained repository capacity")
+    sub.add_parser("claims", help="Section 5.2 scalar claims")
+    dyn = sub.add_parser("dynamic", help="extension E1: re-allocation cadence")
+    dyn.add_argument("--epochs", type=int, default=6)
+    dyn.add_argument("--drift-every", type=int, default=2)
+    sub.add_parser("demo", help="one policy-vs-baselines comparison")
+    sub.add_parser(
+        "analyze", help="run the policy once and describe the allocation"
+    )
+    sub.add_parser(
+        "linkspeed", help="extension E2: repository link-speed sensitivity"
+    )
+    rep = sub.add_parser(
+        "reproduce", help="every paper artifact in one combined report"
+    )
+    rep.add_argument(
+        "--charts", action="store_true", help="append ASCII bar charts"
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    params = _SCALES[args.scale]()
+    if args.requests:
+        params = params.with_(requests_per_server=args.requests)
+    return ExperimentConfig(params=params, n_runs=args.runs, base_seed=args.seed)
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.table1 import run_table1
+
+    return run_table1(_SCALES[args.scale](), seed=args.seed).render()
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    from repro.experiments.fig1_storage import run_fig1
+
+    return run_fig1(_config(args)).render()
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    from repro.experiments.fig2_processing import run_fig2
+
+    return run_fig2(_config(args)).render()
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    from repro.experiments.fig3_central import run_fig3
+
+    return run_fig3(_config(args)).render()
+
+
+def _cmd_claims(args: argparse.Namespace) -> str:
+    from repro.experiments.claims import run_headline_claims
+
+    return run_headline_claims(_config(args)).render()
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> str:
+    from repro.dynamic import EpochConfig, run_dynamic_experiment
+
+    params = _SCALES[args.scale]()
+    cfg = EpochConfig(n_epochs=args.epochs, drift_every=args.drift_every)
+    return run_dynamic_experiment(params, cfg, seed=args.seed).render()
+
+
+def _cmd_demo(args: argparse.Namespace) -> str:
+    from repro.baselines import IdealLRUPolicy, LocalPolicy, RemotePolicy
+    from repro.core.policy import RepositoryReplicationPolicy
+    from repro.simulation.engine import simulate_allocation
+    from repro.util.tables import format_table
+    from repro.workload.generator import generate_workload
+    from repro.workload.trace import generate_trace
+
+    params = _SCALES[args.scale]()
+    if args.requests:
+        params = params.with_(requests_per_server=args.requests)
+    model = generate_workload(params, seed=args.seed)
+    result = RepositoryReplicationPolicy().run(model)
+    trace = generate_trace(model, params, seed=args.seed + 1)
+    sims = {
+        "proposed": simulate_allocation(result.allocation, trace, seed=2),
+        "local": simulate_allocation(LocalPolicy().allocate(model), trace, seed=2),
+        "remote": simulate_allocation(RemotePolicy().allocate(model), trace, seed=2),
+    }
+    lru, _ = IdealLRUPolicy(
+        cache_bytes=result.allocation.stored_bytes_all()
+    ).evaluate(trace, seed=2)
+    sims["ideal-lru"] = lru
+    base = sims["proposed"].mean_page_time
+    rows = [
+        (
+            name,
+            f"{sim.mean_page_time:.0f}s",
+            f"{sim.mean_page_time / base - 1:+.1%}",
+        )
+        for name, sim in sims.items()
+    ]
+    return format_table(
+        ["policy", "mean page time", "vs proposed"],
+        rows,
+        title=f"{model} / {trace.n_requests} requests",
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> str:
+    from repro.analysis import describe_allocation
+    from repro.core.policy import RepositoryReplicationPolicy
+    from repro.workload.generator import generate_workload
+
+    params = _SCALES[args.scale]()
+    model = generate_workload(params, seed=args.seed)
+    result = RepositoryReplicationPolicy().run(model)
+    cost = RepositoryReplicationPolicy().cost_model(model)
+    report = describe_allocation(result.allocation, cost)
+    return f"{result.summary()}\n\n{report.render()}"
+
+
+def _cmd_linkspeed(args: argparse.Namespace) -> str:
+    from repro.experiments.extension_link_speed import run_link_speed
+
+    return run_link_speed(_config(args)).render()
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> str:
+    from repro.experiments.report import reproduce_all
+
+    return reproduce_all(_config(args)).render(charts=args.charts)
+
+
+_COMMANDS = {
+    "reproduce": _cmd_reproduce,
+    "table1": _cmd_table1,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "claims": _cmd_claims,
+    "dynamic": _cmd_dynamic,
+    "demo": _cmd_demo,
+    "analyze": _cmd_analyze,
+    "linkspeed": _cmd_linkspeed,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

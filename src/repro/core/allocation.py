@@ -1,0 +1,347 @@
+"""Allocation state: the decision matrices ``X``/``X'`` plus replica sets.
+
+The paper's decision variables are
+
+* ``X_jk = 1``  — compulsory object ``M_k`` of page ``W_j`` is downloaded
+  from the *local* server (Eq. 3/4),
+* ``X'_jk = 1`` — as ``X`` but extended to optional objects (Eq. 6), and
+* the implied **replica set** of each server: every object some hosted
+  page marks local must be stored there (text below Eq. 2).
+
+Two subtleties the paper relies on and we model explicitly:
+
+1. A server may *store* an object that no page currently marks for local
+   download ("some MOs although stored in the server may not be marked
+   for a local download", Section 4.2) — the storage-restoration loop
+   exploits exactly this.  Hence replicas are independent state, with the
+   invariant ``marked ⊆ stored``.
+2. An object marked local by several co-hosted pages is stored **once**
+   (the set-union in Eq. 10).
+
+:class:`Allocation` keeps the flat boolean mark arrays aligned with
+:class:`repro.core.types.SystemModel`'s flattened ``U``/``U'`` entries,
+plus one replica set per server, and maintains per-server mark counts so
+the greedy loops can find fully-unmarked (deallocatable) objects in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.types import SystemModel
+
+__all__ = ["Allocation", "ReverseIndex", "transplant_allocation"]
+
+
+def transplant_allocation(alloc: "Allocation", model: SystemModel) -> "Allocation":
+    """Rebind ``alloc``'s decisions onto a structurally identical model.
+
+    Used when planning and evaluation happen on different model
+    instances — e.g. an allocation computed against *estimated* page
+    frequencies replayed on the *true* model, or across frequency-drift
+    epochs.  Both models must have the same pages/objects layout (only
+    attributes like frequencies or capacities may differ).
+    """
+    src = alloc.model
+    if (
+        src.n_pages != model.n_pages
+        or src.n_servers != model.n_servers
+        or not np.array_equal(src.comp_objects, model.comp_objects)
+        or not np.array_equal(src.opt_objects, model.opt_objects)
+        or not np.array_equal(src.page_server, model.page_server)
+    ):
+        raise ValueError(
+            "models are structurally different; transplant requires "
+            "identical page/object layout"
+        )
+    return Allocation(
+        model,
+        alloc.comp_local,
+        alloc.opt_local,
+        replicas=[set(r) for r in alloc.replicas],
+    )
+
+
+class ReverseIndex:
+    """Static reverse maps from (server, object) to flat matrix entries.
+
+    Built once per :class:`SystemModel` (it does not depend on any
+    allocation decisions) and shared by all allocations over that model.
+
+    Attributes
+    ----------
+    comp_entries:
+        ``comp_entries[i][k]`` — tuple of flat compulsory-entry indices of
+        pages hosted on server ``i`` that reference object ``k``.
+    opt_entries:
+        The analogous map for optional entries.
+    """
+
+    _CACHE_ATTR = "_repro_reverse_index_cache"
+
+    def __init__(self, model: SystemModel):
+        self.model = model
+        comp: list[dict[int, list[int]]] = [dict() for _ in range(model.n_servers)]
+        opt: list[dict[int, list[int]]] = [dict() for _ in range(model.n_servers)]
+        srv_of_comp = model.page_server[model.comp_pages]
+        srv_of_opt = model.page_server[model.opt_pages]
+        for e, (i, k) in enumerate(zip(srv_of_comp, model.comp_objects)):
+            comp[i].setdefault(int(k), []).append(e)
+        for e, (i, k) in enumerate(zip(srv_of_opt, model.opt_objects)):
+            opt[i].setdefault(int(k), []).append(e)
+        self.comp_entries: tuple[dict[int, tuple[int, ...]], ...] = tuple(
+            {k: tuple(v) for k, v in d.items()} for d in comp
+        )
+        self.opt_entries: tuple[dict[int, tuple[int, ...]], ...] = tuple(
+            {k: tuple(v) for k, v in d.items()} for d in opt
+        )
+
+    @classmethod
+    def for_model(cls, model: SystemModel) -> "ReverseIndex":
+        """Return the (cached) reverse index of ``model``."""
+        cached = getattr(model, cls._CACHE_ATTR, None)
+        if cached is None:
+            cached = cls(model)
+            setattr(model, cls._CACHE_ATTR, cached)
+        return cached
+
+    def entries_for(self, server_id: int, object_id: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(compulsory_entries, optional_entries)`` for the pair."""
+        return (
+            self.comp_entries[server_id].get(object_id, ()),
+            self.opt_entries[server_id].get(object_id, ()),
+        )
+
+
+class Allocation:
+    """Mutable decision state over a :class:`SystemModel`.
+
+    Parameters
+    ----------
+    model:
+        The system universe the decisions refer to.
+    comp_local:
+        Flat boolean array over the model's compulsory entries (``X``).
+        Defaults to all-``False`` (everything from the repository).
+    opt_local:
+        Flat boolean array over the optional entries (the optional part of
+        ``X'``). Defaults to all-``False``.
+    replicas:
+        Per-server sets of stored object ids. Defaults to exactly the
+        objects required by the marks. Supplying a superset is allowed
+        (stored-but-unmarked objects); a subset raises.
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        comp_local: np.ndarray | None = None,
+        opt_local: np.ndarray | None = None,
+        replicas: Iterable[Iterable[int]] | None = None,
+    ):
+        self.model = model
+        ne_c = len(model.comp_objects)
+        ne_o = len(model.opt_objects)
+        self.comp_local = (
+            np.zeros(ne_c, dtype=bool) if comp_local is None else np.asarray(comp_local, dtype=bool).copy()
+        )
+        self.opt_local = (
+            np.zeros(ne_o, dtype=bool) if opt_local is None else np.asarray(opt_local, dtype=bool).copy()
+        )
+        if self.comp_local.shape != (ne_c,):
+            raise ValueError(
+                f"comp_local must have shape ({ne_c},), got {self.comp_local.shape}"
+            )
+        if self.opt_local.shape != (ne_o,):
+            raise ValueError(
+                f"opt_local must have shape ({ne_o},), got {self.opt_local.shape}"
+            )
+        self._rebuild_mark_counts()
+        required = self._required_replicas()
+        if replicas is None:
+            self.replicas: list[set[int]] = [set(r) for r in required]
+        else:
+            self.replicas = [set(r) for r in replicas]
+            if len(self.replicas) != model.n_servers:
+                raise ValueError(
+                    f"replicas must have one set per server "
+                    f"({model.n_servers}), got {len(self.replicas)}"
+                )
+            for i, (have, need) in enumerate(zip(self.replicas, required)):
+                missing = need - have
+                if missing:
+                    raise ValueError(
+                        f"server {i}: objects {sorted(missing)[:5]}... are "
+                        "marked for local download but absent from the "
+                        "replica set"
+                    )
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _rebuild_mark_counts(self) -> None:
+        """Recompute the per-server ``{object: #marking entries}`` maps."""
+        m = self.model
+        self._mark_counts: list[dict[int, int]] = [dict() for _ in range(m.n_servers)]
+        srv_c = m.page_server[m.comp_pages]
+        for e in np.flatnonzero(self.comp_local):
+            d = self._mark_counts[int(srv_c[e])]
+            k = int(m.comp_objects[e])
+            d[k] = d.get(k, 0) + 1
+        srv_o = m.page_server[m.opt_pages]
+        for e in np.flatnonzero(self.opt_local):
+            d = self._mark_counts[int(srv_o[e])]
+            k = int(m.opt_objects[e])
+            d[k] = d.get(k, 0) + 1
+
+    def _required_replicas(self) -> list[set[int]]:
+        return [set(d.keys()) for d in self._mark_counts]
+
+    def mark_count(self, server_id: int, object_id: int) -> int:
+        """Number of entries on ``server_id`` marking ``object_id`` local."""
+        return self._mark_counts[server_id].get(object_id, 0)
+
+    # ------------------------------------------------------------------
+    # mutation (keeps marks ⊆ replicas)
+    # ------------------------------------------------------------------
+    def set_comp_local(self, entry: int, value: bool) -> None:
+        """Set ``X`` for one flat compulsory entry, updating replica state."""
+        old = bool(self.comp_local[entry])
+        if old == bool(value):
+            return
+        m = self.model
+        i = int(m.page_server[m.comp_pages[entry]])
+        k = int(m.comp_objects[entry])
+        self.comp_local[entry] = value
+        self._bump(i, k, +1 if value else -1)
+
+    def set_opt_local(self, entry: int, value: bool) -> None:
+        """Set the optional part of ``X'`` for one flat entry."""
+        old = bool(self.opt_local[entry])
+        if old == bool(value):
+            return
+        m = self.model
+        i = int(m.page_server[m.opt_pages[entry]])
+        k = int(m.opt_objects[entry])
+        self.opt_local[entry] = value
+        self._bump(i, k, +1 if value else -1)
+
+    def _bump(self, server_id: int, object_id: int, delta: int) -> None:
+        d = self._mark_counts[server_id]
+        new = d.get(object_id, 0) + delta
+        if new < 0:  # pragma: no cover - defensive
+            raise RuntimeError("mark count underflow")
+        if new == 0:
+            d.pop(object_id, None)
+        else:
+            d[object_id] = new
+        if delta > 0:
+            self.replicas[server_id].add(object_id)
+
+    def store(self, server_id: int, object_id: int) -> None:
+        """Add a replica of ``object_id`` at ``server_id`` (idempotent)."""
+        self.replicas[server_id].add(object_id)
+
+    def deallocate(self, server_id: int, object_id: int) -> tuple[int, ...]:
+        """Drop the replica of ``object_id`` at ``server_id``.
+
+        All entries on that server marking the object local are flipped to
+        remote first (a page cannot download locally what is not stored).
+
+        Returns
+        -------
+        tuple of page ids whose marks were flipped (useful for the
+        re-partitioning step of storage restoration).
+        """
+        if object_id not in self.replicas[server_id]:
+            raise KeyError(
+                f"object {object_id} is not stored at server {server_id}"
+            )
+        rev = ReverseIndex.for_model(self.model)
+        comp_e, opt_e = rev.entries_for(server_id, object_id)
+        affected: list[int] = []
+        for e in comp_e:
+            if self.comp_local[e]:
+                self.set_comp_local(e, False)
+                affected.append(int(self.model.comp_pages[e]))
+        for e in opt_e:
+            if self.opt_local[e]:
+                self.set_opt_local(e, False)
+                affected.append(int(self.model.opt_pages[e]))
+        self.replicas[server_id].discard(object_id)
+        return tuple(dict.fromkeys(affected))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stored_bytes(self, server_id: int) -> float:
+        """MO bytes stored at ``server_id`` (the set-union term of Eq. 10)."""
+        sizes = self.model.sizes
+        return float(sum(sizes[k] for k in self.replicas[server_id]))
+
+    def stored_bytes_all(self) -> np.ndarray:
+        """Per-server stored MO bytes."""
+        return np.array(
+            [self.stored_bytes(i) for i in range(self.model.n_servers)]
+        )
+
+    def unmarked_stored(self, server_id: int) -> set[int]:
+        """Objects stored at ``server_id`` with zero local-download marks."""
+        d = self._mark_counts[server_id]
+        return {k for k in self.replicas[server_id] if k not in d}
+
+    def page_comp_marks(self, page_id: int) -> np.ndarray:
+        """View of this page's compulsory marks (aligned with
+        ``model.pages[page_id].compulsory``)."""
+        return self.comp_local[self.model.comp_slice(page_id)]
+
+    def page_opt_marks(self, page_id: int) -> np.ndarray:
+        """View of this page's optional marks."""
+        return self.opt_local[self.model.opt_slice(page_id)]
+
+    def copy(self) -> "Allocation":
+        """Deep copy of marks and replica sets (model is shared)."""
+        dup = Allocation.__new__(Allocation)
+        dup.model = self.model
+        dup.comp_local = self.comp_local.copy()
+        dup.opt_local = self.opt_local.copy()
+        dup.replicas = [set(r) for r in self.replicas]
+        dup._mark_counts = [dict(d) for d in self._mark_counts]
+        return dup
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` if marks/replicas are inconsistent.
+
+        Intended for tests and debugging; production paths maintain the
+        invariants incrementally.
+        """
+        fresh = Allocation(self.model, self.comp_local, self.opt_local)
+        for i in range(self.model.n_servers):
+            need = set(fresh._mark_counts[i].keys())
+            assert need <= self.replicas[i], (
+                f"server {i}: marked objects {sorted(need - self.replicas[i])} "
+                "missing from replica set"
+            )
+            assert self._mark_counts[i] == fresh._mark_counts[i], (
+                f"server {i}: stale mark counts"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return (
+            self.model is other.model
+            and np.array_equal(self.comp_local, other.comp_local)
+            and np.array_equal(self.opt_local, other.opt_local)
+            and self.replicas == other.replicas
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stored = sum(len(r) for r in self.replicas)
+        return (
+            f"Allocation(local_comp={int(self.comp_local.sum())}/"
+            f"{len(self.comp_local)}, local_opt={int(self.opt_local.sum())}/"
+            f"{len(self.opt_local)}, replicas={stored})"
+        )

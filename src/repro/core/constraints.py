@@ -1,0 +1,213 @@
+"""The constraint system of Section 3 (Eq. 8, 9, 10), vectorised.
+
+* **Eq. 8** — local processing: each page view costs its server one HTML
+  request, one request per locally-downloaded compulsory MO, and the
+  expected number of locally-downloaded optional MOs:
+
+  .. math::
+
+     \\sum_j A_{ij} f(W_j)\\Big(1 + \\sum_k X_{jk} +
+     f(W_j, M) \\sum_k U'_{jk} X'_{jk}\\Big) \\le C(S_i)
+
+* **Eq. 9** — repository processing: every compulsory MO *not* marked
+  local plus every optional MO expected to be fetched remotely:
+
+  .. math::
+
+     \\sum_j f(W_j)\\Big(\\sum_k U_{jk}(1 - X_{jk}) +
+     \\sum_k U'_{jk}(1 - X'_{jk})\\Big) \\le C(R)
+
+* **Eq. 10** — storage: hosted HTML plus the *set union* of MOs stored at
+  the server:
+
+  .. math::
+
+     \\sum_j A_{ij} Size(H_j) + \\sum_k \\{Size(M_k) \\mid \\exists W_j:
+     A_{ij} = 1 \\wedge X'_{jk} = 1\\} \\le Size(S_i)
+
+  We use the replica set (which may strictly contain the marked set, see
+  :mod:`repro.core.allocation`) — a stored-but-unmarked object still
+  occupies disk.
+
+Note: the paper's Eq. 9 weighs optional remote requests by ``U'_jk``
+(expected requests per page view); for symmetry we also weight by the
+page's ``f(W_j, M)`` scale, matching Eq. 8's optional term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = [
+    "local_processing_load",
+    "repository_load",
+    "storage_used",
+    "ConstraintReport",
+    "evaluate_constraints",
+    "html_request_load",
+]
+
+
+def html_request_load(model: SystemModel) -> np.ndarray:
+    """Per-server HTML-request load: :math:`\\sum_{j on i} f(W_j)`.
+
+    This is the irreducible part of Eq. 8's LHS — serving pages at all
+    costs one request per view regardless of replication decisions.
+    """
+    out = np.zeros(model.n_servers)
+    np.add.at(out, model.page_server, model.frequencies)
+    return out
+
+
+def local_processing_load(alloc: Allocation) -> np.ndarray:
+    """Eq. 8 LHS per server (HTTP requests/second)."""
+    m = alloc.model
+    # one HTML request per page view
+    load = html_request_load(m)
+    # one request per locally downloaded compulsory MO per view
+    sel = alloc.comp_local
+    srv_c = m.page_server[m.comp_pages[sel]]
+    np.add.at(load, srv_c, m.frequencies[m.comp_pages[sel]])
+    # expected locally downloaded optional MOs per view
+    selo = alloc.opt_local
+    pages_o = m.opt_pages[selo]
+    w = m.frequencies[pages_o] * m.optional_rate_scale[pages_o] * m.opt_probs[selo]
+    np.add.at(load, m.page_server[pages_o], w)
+    return load
+
+
+def repository_load(alloc: Allocation) -> float:
+    """Eq. 9 LHS (HTTP requests/second hitting the repository)."""
+    m = alloc.model
+    sel = ~alloc.comp_local
+    comp = float(m.frequencies[m.comp_pages[sel]].sum())
+    selo = ~alloc.opt_local
+    pages_o = m.opt_pages[selo]
+    opt = float(
+        np.sum(
+            m.frequencies[pages_o]
+            * m.optional_rate_scale[pages_o]
+            * m.opt_probs[selo]
+        )
+    )
+    return comp + opt
+
+
+def repository_load_by_server(alloc: Allocation) -> np.ndarray:
+    """Eq. 9 LHS decomposed by originating local server.
+
+    ``P(S_i, R)`` of Section 4.2 — the repository workload that server
+    ``S_i``'s current assignment imposes.  Sums to
+    :func:`repository_load`.
+    """
+    m = alloc.model
+    out = np.zeros(m.n_servers)
+    sel = ~alloc.comp_local
+    pages_c = m.comp_pages[sel]
+    np.add.at(out, m.page_server[pages_c], m.frequencies[pages_c])
+    selo = ~alloc.opt_local
+    pages_o = m.opt_pages[selo]
+    w = m.frequencies[pages_o] * m.optional_rate_scale[pages_o] * m.opt_probs[selo]
+    np.add.at(out, m.page_server[pages_o], w)
+    return out
+
+
+def storage_used(alloc: Allocation) -> np.ndarray:
+    """Eq. 10 LHS per server (bytes): HTML + stored-replica union."""
+    m = alloc.model
+    return m.html_bytes_by_server() + alloc.stored_bytes_all()
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Snapshot of all three constraint families for one allocation.
+
+    ``slack`` entries are ``capacity - load``; negative slack means the
+    constraint is violated by that amount.
+    """
+
+    local_load: np.ndarray
+    local_capacity: np.ndarray
+    repo_load: float
+    repo_capacity: float
+    storage_load: np.ndarray
+    storage_capacity: np.ndarray
+
+    @property
+    def local_slack(self) -> np.ndarray:
+        """Per-server Eq. 8 slack (requests/second)."""
+        return self.local_capacity - self.local_load
+
+    @property
+    def repo_slack(self) -> float:
+        """Eq. 9 slack (requests/second)."""
+        return self.repo_capacity - self.repo_load
+
+    @property
+    def storage_slack(self) -> np.ndarray:
+        """Per-server Eq. 10 slack (bytes)."""
+        return self.storage_capacity - self.storage_load
+
+    @property
+    def local_ok(self) -> bool:
+        """Whether every server satisfies Eq. 8."""
+        return bool(np.all(self.local_slack >= -1e-9 * np.maximum(self.local_capacity, 1.0)))
+
+    @property
+    def repo_ok(self) -> bool:
+        """Whether Eq. 9 holds."""
+        if np.isinf(self.repo_capacity):
+            return True
+        return self.repo_slack >= -1e-9 * max(self.repo_capacity, 1.0)
+
+    @property
+    def storage_ok(self) -> bool:
+        """Whether every server satisfies Eq. 10."""
+        return bool(
+            np.all(
+                self.storage_slack
+                >= -1e-9 * np.maximum(self.storage_capacity, 1.0)
+            )
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the allocation is feasible under all constraints."""
+        return self.local_ok and self.repo_ok and self.storage_ok
+
+    def violated_servers_storage(self) -> list[int]:
+        """Server ids violating Eq. 10."""
+        tol = 1e-9 * np.maximum(self.storage_capacity, 1.0)
+        return np.flatnonzero(self.storage_slack < -tol).tolist()
+
+    def violated_servers_processing(self) -> list[int]:
+        """Server ids violating Eq. 8."""
+        tol = 1e-9 * np.maximum(self.local_capacity, 1.0)
+        return np.flatnonzero(self.local_slack < -tol).tolist()
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        parts = [
+            f"storage: {'OK' if self.storage_ok else 'VIOLATED ' + str(self.violated_servers_storage())}",
+            f"local processing: {'OK' if self.local_ok else 'VIOLATED ' + str(self.violated_servers_processing())}",
+            f"repository processing: {'OK' if self.repo_ok else f'VIOLATED by {-self.repo_slack:.2f} req/s'}",
+        ]
+        return "; ".join(parts)
+
+
+def evaluate_constraints(alloc: Allocation) -> ConstraintReport:
+    """Evaluate Eq. 8-10 for ``alloc`` and return a report."""
+    m = alloc.model
+    return ConstraintReport(
+        local_load=local_processing_load(alloc),
+        local_capacity=m.server_capacity.copy(),
+        repo_load=repository_load(alloc),
+        repo_capacity=m.repository.processing_capacity,
+        storage_load=storage_used(alloc),
+        storage_capacity=m.server_storage.copy(),
+    )

@@ -1,0 +1,254 @@
+"""Vectorised implementation of the Section 3 cost model (Eq. 3-7).
+
+For an allocation ``X``/``X'`` the model computes, per page ``W_j`` hosted
+on server ``S_i``:
+
+.. math::
+
+    Time(S_i, W_j) &= Ovhd(S_i) + \\frac{Size(H_j) + \\sum_k X_{jk} Size(M_k)}{B(S_i)}
+
+    Time(R, W_j)   &= Ovhd(R, S_i) + \\frac{\\sum_k (1 - X_{jk}) U_{jk} Size(M_k)}{B(R, S_i)}
+
+    Time(W_j)      &= \\max\\{Time(S_i, W_j),\\ Time(R, W_j)\\}
+
+(the two downloads proceed in parallel over persistent pipelined
+connections), and the expected optional-object time of Eq. 6
+
+.. math::
+
+    Time(W_j, M) = f(W_j, M) \\sum_k U'_{jk} \\big[ X'_{jk} t^{loc}_k +
+                   (1 - X'_{jk}) t^{rep}_k \\big]
+
+where each optional download pays a fresh connection overhead.  The
+composite objective (Eq. 7 with weights) is
+
+.. math::
+
+    D = \\alpha_1 \\underbrace{\\sum_j f(W_j) Time(W_j)}_{D_1} +
+        \\alpha_2 \\underbrace{\\sum_j f(W_j) Time(W_j, M)}_{D_2}.
+
+Note on units: the paper calls ``B`` a transfer rate yet multiplies it by
+sizes; we store rates in bytes/second and divide (see
+:mod:`repro.util.units`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = ["PageTimes", "CostModel"]
+
+
+@dataclass(frozen=True)
+class _ScalarViews:
+    """Plain-list per-page attribute views (see :attr:`CostModel.scalars`)."""
+
+    ovhd_local: list[float]
+    spb_local: list[float]
+    ovhd_repo: list[float]
+    spb_repo: list[float]
+    html: list[float]
+    freq: list[float]
+
+
+@dataclass(frozen=True)
+class PageTimes:
+    """Per-page time decomposition under an allocation.
+
+    All arrays have length ``n_pages``.
+
+    Attributes
+    ----------
+    local:
+        ``Time(S_i, W_j)`` — the local pipelined stream (Eq. 3).
+    remote:
+        ``Time(R, W_j)`` — the repository stream (Eq. 4).
+    page:
+        ``Time(W_j) = max(local, remote)`` (Eq. 5).
+    optional:
+        ``Time(W_j, M)`` — expected optional-object time (Eq. 6).
+    """
+
+    local: np.ndarray
+    remote: np.ndarray
+    page: np.ndarray
+    optional: np.ndarray
+
+
+class CostModel:
+    """Evaluates Eq. 3-7 for allocations over a fixed :class:`SystemModel`.
+
+    Parameters
+    ----------
+    model:
+        The system universe.
+    alpha1, alpha2:
+        The positive weights combining ``D1`` (page retrieval time) and
+        ``D2`` (optional object time) into the scalar objective ``D``.
+        Table 1 uses ``(2, 1)`` — page time matters more.
+    """
+
+    def __init__(self, model: SystemModel, alpha1: float = 2.0, alpha2: float = 1.0):
+        if alpha1 <= 0 or alpha2 <= 0:
+            raise ValueError(
+                f"alpha weights must be positive, got ({alpha1}, {alpha2})"
+            )
+        self.model = model
+        self.alpha1 = float(alpha1)
+        self.alpha2 = float(alpha2)
+
+        m = model
+        srv = m.page_server
+        #: per-page seconds-per-byte on the local / repository connection
+        self.page_spb_local = 1.0 / m.server_rate[srv]
+        self.page_spb_repo = 1.0 / m.server_repo_rate[srv]
+        #: per-page connection overheads
+        self.page_ovhd_local = m.server_overhead[srv]
+        self.page_ovhd_repo = m.server_repo_overhead[srv]
+
+        #: per-compulsory-entry object sizes (flat, aligned with comp_local)
+        self.comp_sizes = m.sizes[m.comp_objects]
+        #: per-optional-entry object sizes
+        self.opt_sizes = m.sizes[m.opt_objects]
+
+        # Per-optional-entry single-download times (each needs its own TCP
+        # connection, Eq. 6): local vs repository.
+        po = m.opt_pages
+        self.opt_time_local = (
+            self.page_ovhd_local[po] + self.page_spb_local[po] * self.opt_sizes
+        )
+        self.opt_time_repo = (
+            self.page_ovhd_repo[po] + self.page_spb_repo[po] * self.opt_sizes
+        )
+        #: expected weight of each optional entry: f(W_j)·scale·U'_jk
+        self.opt_freq_weight = (
+            m.frequencies[po] * m.optional_rate_scale[po] * m.opt_probs
+        )
+
+    # ------------------------------------------------------------------
+    # byte aggregation
+    # ------------------------------------------------------------------
+    def local_mo_bytes(self, alloc: Allocation) -> np.ndarray:
+        """Per-page :math:`\\sum_k X_{jk} Size(M_k)`."""
+        m = self.model
+        out = np.zeros(m.n_pages)
+        sel = alloc.comp_local
+        np.add.at(out, m.comp_pages[sel], self.comp_sizes[sel])
+        return out
+
+    def remote_mo_bytes(self, alloc: Allocation) -> np.ndarray:
+        """Per-page :math:`\\sum_k (1-X_{jk}) U_{jk} Size(M_k)`."""
+        m = self.model
+        out = np.zeros(m.n_pages)
+        sel = ~alloc.comp_local
+        np.add.at(out, m.comp_pages[sel], self.comp_sizes[sel])
+        return out
+
+    # ------------------------------------------------------------------
+    # Eq. 3-6
+    # ------------------------------------------------------------------
+    def stream_times(
+        self, local_mo_bytes: np.ndarray, remote_mo_bytes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eq. 3 and Eq. 4 from per-page byte totals."""
+        m = self.model
+        local = self.page_ovhd_local + self.page_spb_local * (
+            m.html_sizes + local_mo_bytes
+        )
+        remote = self.page_ovhd_repo + self.page_spb_repo * remote_mo_bytes
+        return local, remote
+
+    def optional_times(self, alloc: Allocation) -> np.ndarray:
+        """Eq. 6 per page: expected optional download time per view."""
+        m = self.model
+        per_entry = np.where(
+            alloc.opt_local, self.opt_time_local, self.opt_time_repo
+        )
+        weighted = m.opt_probs * per_entry
+        out = np.zeros(m.n_pages)
+        np.add.at(out, m.opt_pages, weighted)
+        return out * m.optional_rate_scale
+
+    def page_times(self, alloc: Allocation) -> PageTimes:
+        """Full per-page decomposition (Eq. 3-6)."""
+        local, remote = self.stream_times(
+            self.local_mo_bytes(alloc), self.remote_mo_bytes(alloc)
+        )
+        page = np.maximum(local, remote)
+        optional = self.optional_times(alloc)
+        return PageTimes(local=local, remote=remote, page=page, optional=optional)
+
+    # ------------------------------------------------------------------
+    # Eq. 7
+    # ------------------------------------------------------------------
+    def D1(self, alloc: Allocation) -> float:
+        """:math:`D_1 = \\sum_j f(W_j)\\,Time(W_j)`."""
+        times = self.page_times(alloc)
+        return float(np.dot(self.model.frequencies, times.page))
+
+    def D2(self, alloc: Allocation) -> float:
+        """:math:`D_2 = \\sum_j f(W_j)\\,Time(W_j, M)`."""
+        times = self.optional_times(alloc)
+        return float(np.dot(self.model.frequencies, times))
+
+    def D(self, alloc: Allocation) -> float:
+        """The weighted composite objective :math:`\\alpha_1 D_1 + \\alpha_2 D_2`."""
+        times = self.page_times(alloc)
+        d1 = float(np.dot(self.model.frequencies, times.page))
+        d2 = float(np.dot(self.model.frequencies, times.optional))
+        return self.alpha1 * d1 + self.alpha2 * d2
+
+    def objective_from_times(self, times: PageTimes) -> float:
+        """``D`` from an existing :class:`PageTimes` (avoids recomputation)."""
+        d1 = float(np.dot(self.model.frequencies, times.page))
+        d2 = float(np.dot(self.model.frequencies, times.optional))
+        return self.alpha1 * d1 + self.alpha2 * d2
+
+    # ------------------------------------------------------------------
+    # scalar helpers used by the greedy loops
+    # ------------------------------------------------------------------
+    @property
+    def scalars(self) -> "_ScalarViews":
+        """Plain-Python per-page views for scalar-heavy greedy loops.
+
+        NumPy scalar indexing costs ~1 microsecond per access; the greedy
+        restoration loops evaluate millions of single-page times, so they
+        read these plain ``list`` views instead (computed once, lazily).
+        """
+        cached = getattr(self, "_scalar_views", None)
+        if cached is None:
+            cached = _ScalarViews(
+                ovhd_local=self.page_ovhd_local.tolist(),
+                spb_local=self.page_spb_local.tolist(),
+                ovhd_repo=self.page_ovhd_repo.tolist(),
+                spb_repo=self.page_spb_repo.tolist(),
+                html=self.model.html_sizes.tolist(),
+                freq=self.model.frequencies.tolist(),
+            )
+            self._scalar_views = cached
+        return cached
+
+    def page_time_from_bytes(
+        self, page_id: int, local_mo_bytes: float, remote_mo_bytes: float
+    ) -> float:
+        """Eq. 5 for a single page given its stream byte totals."""
+        s = self.scalars
+        tl = s.ovhd_local[page_id] + s.spb_local[page_id] * (
+            s.html[page_id] + local_mo_bytes
+        )
+        tr = s.ovhd_repo[page_id] + s.spb_repo[page_id] * remote_mo_bytes
+        return tl if tl >= tr else tr
+
+    def optional_entry_delta(self, entry: int, to_local: bool) -> float:
+        """Change in ``alpha2 * D2`` from flipping one optional entry.
+
+        Positive means the objective gets worse.
+        """
+        diff = self.opt_time_local[entry] - self.opt_time_repo[entry]
+        signed = diff if to_local else -diff
+        return self.alpha2 * self.opt_freq_weight[entry] * signed

@@ -1,0 +1,258 @@
+"""Exact mixed-integer reference solver for small instances.
+
+The paper notes the allocation decision problem is NP-complete (knapsack
+reduction) and solves it greedily.  For *small* instances we can compute
+the true optimum of the weighted objective ``D`` (Eq. 7) under Eq. 8-10
+with a MILP, which lets tests and ablation benches quantify the greedy
+policy's optimality gap.
+
+Formulation
+-----------
+Variables:
+
+* ``x_e ∈ {0,1}``  — one per compulsory entry (``X_jk``),
+* ``z_e ∈ {0,1}``  — one per optional entry (optional part of ``X'``),
+* ``y_{ik} ∈ {0,1}`` — object ``k`` stored at server ``i`` (only pairs
+  actually referenced by some hosted page are materialised),
+* ``T_j ≥ 0``      — page response time, with ``T_j ≥`` both Eq. 3 and
+  Eq. 4 stream times (linearising the max of Eq. 5; minimisation makes
+  the bound tight whenever ``T_j`` carries positive weight).
+
+Constraints: mark-implies-stored (``x_e ≤ y``, ``z_e ≤ y``), storage
+(Eq. 10 with the union expressed through ``y``), local processing
+(Eq. 8), repository processing (Eq. 9).
+
+Only use this for toy models (tens of pages); the variable count grows
+as the number of matrix entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.allocation import Allocation
+from repro.core.cost_model import CostModel
+from repro.core.types import SystemModel
+
+__all__ = ["IlpSolution", "solve_optimal_allocation"]
+
+_MAX_ENTRIES = 2000
+
+
+@dataclass(frozen=True)
+class IlpSolution:
+    """Optimal allocation plus the solver's objective value."""
+
+    allocation: Allocation
+    objective: float
+    status: int
+    message: str
+
+
+def solve_optimal_allocation(
+    model: SystemModel,
+    alpha1: float = 2.0,
+    alpha2: float = 1.0,
+    time_limit: float | None = 60.0,
+) -> IlpSolution:
+    """Solve for the exact optimum of ``D`` on a small instance.
+
+    Raises
+    ------
+    ValueError
+        If the instance is too large (guards against accidentally feeding
+        a full Table 1 workload to the MILP).
+    RuntimeError
+        If the MILP terminates without an optimal solution.
+    """
+    m = model
+    n_comp = len(m.comp_objects)
+    n_opt = len(m.opt_objects)
+    if n_comp + n_opt > _MAX_ENTRIES:
+        raise ValueError(
+            f"instance has {n_comp + n_opt} matrix entries; the ILP "
+            f"reference is limited to {_MAX_ENTRIES} (use the greedy "
+            "policy for real workloads)"
+        )
+    cost = CostModel(m, alpha1, alpha2)
+
+    # --- variable layout -------------------------------------------------
+    pairs: list[tuple[int, int]] = []
+    pair_index: dict[tuple[int, int], int] = {}
+    srv_c = m.page_server[m.comp_pages]
+    srv_o = m.page_server[m.opt_pages]
+    for i, k in list(zip(srv_c, m.comp_objects)) + list(zip(srv_o, m.opt_objects)):
+        key = (int(i), int(k))
+        if key not in pair_index:
+            pair_index[key] = len(pairs)
+            pairs.append(key)
+    n_pairs = len(pairs)
+    n_pages = m.n_pages
+
+    # variable vector: [x (n_comp), z (n_opt), y (n_pairs), T (n_pages)]
+    off_x, off_z = 0, n_comp
+    off_y = n_comp + n_opt
+    off_t = off_y + n_pairs
+    n_vars = off_t + n_pages
+
+    integrality = np.zeros(n_vars)
+    integrality[:off_t] = 1
+    lb = np.zeros(n_vars)
+    ub = np.ones(n_vars)
+    ub[off_t:] = np.inf
+
+    # --- objective --------------------------------------------------------
+    c = np.zeros(n_vars)
+    c[off_t:] = alpha1 * m.frequencies
+    # optional term: w_e [z t_local + (1-z) t_repo] = const + w_e (t_local - t_repo) z
+    const = 0.0
+    for e in range(n_opt):
+        w = alpha2 * cost.opt_freq_weight[e]
+        c[off_z + e] += w * (cost.opt_time_local[e] - cost.opt_time_repo[e])
+        const += w * cost.opt_time_repo[e]
+
+    constraints: list[LinearConstraint] = []
+
+    # --- T_j >= local stream time (Eq. 3) ----------------------------------
+    # T_j - spb_S * sum_e x_e size_e >= ovhd_S + spb_S * html
+    rows_A: list[np.ndarray] = []
+    rows_lb: list[float] = []
+    rows_ub: list[float] = []
+
+    for j in range(n_pages):
+        sl = m.comp_slice(j)
+        row = np.zeros(n_vars)
+        row[off_t + j] = 1.0
+        for e in range(sl.start, sl.stop):
+            row[off_x + e] = -cost.page_spb_local[j] * cost.comp_sizes[e]
+        rows_A.append(row)
+        rows_lb.append(
+            float(
+                cost.page_ovhd_local[j]
+                + cost.page_spb_local[j] * m.html_sizes[j]
+            )
+        )
+        rows_ub.append(np.inf)
+        # T_j >= remote stream time (Eq. 4):
+        # T_j + spb_R * sum_e x_e size_e >= ovhd_R + spb_R * total_comp_bytes
+        row2 = np.zeros(n_vars)
+        row2[off_t + j] = 1.0
+        total = 0.0
+        for e in range(sl.start, sl.stop):
+            row2[off_x + e] = cost.page_spb_repo[j] * cost.comp_sizes[e]
+            total += cost.comp_sizes[e]
+        rows_A.append(row2)
+        rows_lb.append(
+            float(cost.page_ovhd_repo[j] + cost.page_spb_repo[j] * total)
+        )
+        rows_ub.append(np.inf)
+
+    # --- mark implies stored ------------------------------------------------
+    for e in range(n_comp):
+        key = (int(srv_c[e]), int(m.comp_objects[e]))
+        row = np.zeros(n_vars)
+        row[off_x + e] = 1.0
+        row[off_y + pair_index[key]] = -1.0
+        rows_A.append(row)
+        rows_lb.append(-np.inf)
+        rows_ub.append(0.0)
+    for e in range(n_opt):
+        key = (int(srv_o[e]), int(m.opt_objects[e]))
+        row = np.zeros(n_vars)
+        row[off_z + e] = 1.0
+        row[off_y + pair_index[key]] = -1.0
+        rows_A.append(row)
+        rows_lb.append(-np.inf)
+        rows_ub.append(0.0)
+
+    # --- storage (Eq. 10) ----------------------------------------------------
+    html_by_srv = m.html_bytes_by_server()
+    for i in range(m.n_servers):
+        if np.isinf(m.server_storage[i]):
+            continue
+        row = np.zeros(n_vars)
+        any_pair = False
+        for (si, k), idx in pair_index.items():
+            if si == i:
+                row[off_y + idx] = float(m.sizes[k])
+                any_pair = True
+        if not any_pair:
+            continue
+        rows_A.append(row)
+        rows_lb.append(-np.inf)
+        rows_ub.append(float(m.server_storage[i] - html_by_srv[i]))
+
+    # --- local processing (Eq. 8) --------------------------------------------
+    for i in range(m.n_servers):
+        if np.isinf(m.server_capacity[i]):
+            continue
+        row = np.zeros(n_vars)
+        base = 0.0
+        for j in m.pages_by_server[i]:
+            base += m.frequencies[j]
+            sl = m.comp_slice(j)
+            for e in range(sl.start, sl.stop):
+                row[off_x + e] = float(m.frequencies[j])
+            slo = m.opt_slice(j)
+            for e in range(slo.start, slo.stop):
+                row[off_z + e] = float(
+                    m.frequencies[j]
+                    * m.optional_rate_scale[j]
+                    * m.opt_probs[e]
+                )
+        rows_A.append(row)
+        rows_lb.append(-np.inf)
+        rows_ub.append(float(m.server_capacity[i] - base))
+
+    # --- repository processing (Eq. 9) ----------------------------------------
+    if not np.isinf(m.repository.processing_capacity):
+        row = np.zeros(n_vars)
+        base = 0.0
+        for e in range(n_comp):
+            f = float(m.frequencies[m.comp_pages[e]])
+            base += f
+            row[off_x + e] = -f
+        for e in range(n_opt):
+            j = int(m.opt_pages[e])
+            w = float(
+                m.frequencies[j] * m.optional_rate_scale[j] * m.opt_probs[e]
+            )
+            base += w
+            row[off_z + e] = -w
+        rows_A.append(row)
+        rows_lb.append(-np.inf)
+        rows_ub.append(float(m.repository.processing_capacity - base))
+
+    A = np.vstack(rows_A)
+    constraints.append(LinearConstraint(A, np.array(rows_lb), np.array(rows_ub)))
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    res = milp(
+        c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=options,
+    )
+    if res.status != 0 or res.x is None:
+        raise RuntimeError(f"MILP failed: status={res.status}, {res.message}")
+
+    x = res.x
+    comp_local = x[off_x : off_x + n_comp] > 0.5
+    opt_local = x[off_z : off_z + n_opt] > 0.5
+    replicas: list[set[int]] = [set() for _ in range(m.n_servers)]
+    for (i, k), idx in pair_index.items():
+        if x[off_y + idx] > 0.5:
+            replicas[i].add(k)
+    alloc = Allocation(m, comp_local, opt_local, replicas)
+    return IlpSolution(
+        allocation=alloc,
+        objective=float(res.fun + const),
+        status=int(res.status),
+        message=str(res.message),
+    )

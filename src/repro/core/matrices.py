@@ -1,0 +1,160 @@
+"""Sparse-matrix view of the Section 3 formalisation.
+
+The algorithms in :mod:`repro.core` work on the flattened entry arrays of
+:class:`~repro.core.types.SystemModel` for speed; this module provides the
+paper's actual matrices — ``U``, ``U'``, ``A``, ``X``, ``X'`` — as
+:class:`scipy.sparse.csr_matrix` objects, together with validation of the
+structural invariants the paper states:
+
+* ``U`` and ``U'`` have disjoint supports (``U_jk = 1 ⇒ U'_jk = 0``),
+* ``X ⊆ U`` (only compulsory objects appear in ``X``),
+* ``X'`` agrees with ``X`` on compulsory entries and may additionally
+  mark optional entries,
+* ``A`` allocates each page to exactly one server.
+
+These matrices are the lingua franca for the ILP reference solver and for
+tests that verify the vectorised cost model against a literal
+matrix-by-matrix transcription of Eq. 3-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = ["MatrixSet"]
+
+
+def _csr(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, shape: tuple[int, int]) -> sp.csr_matrix:
+    return sp.csr_matrix((vals, (rows, cols)), shape=shape)
+
+
+@dataclass(frozen=True)
+class MatrixSet:
+    """The five Section 3 matrices for one model + allocation.
+
+    Attributes
+    ----------
+    U:
+        ``n x m`` 0/1 compulsory matrix.
+    U_prime:
+        ``n x m`` matrix of optional request probabilities ``U'_jk``.
+    A:
+        ``s x n`` 0/1 page-allocation matrix.
+    X:
+        ``n x m`` 0/1 local-download matrix for compulsory objects.
+    X_prime:
+        ``n x m`` 0/1 extension of ``X`` including locally-downloaded
+        optional objects.
+    """
+
+    U: sp.csr_matrix
+    U_prime: sp.csr_matrix
+    A: sp.csr_matrix
+    X: sp.csr_matrix
+    X_prime: sp.csr_matrix
+
+    @classmethod
+    def from_allocation(cls, alloc: Allocation) -> "MatrixSet":
+        """Build the matrix view of ``alloc``."""
+        m = alloc.model
+        n, mm, s = m.n_pages, m.n_objects, m.n_servers
+        ones_c = np.ones(len(m.comp_objects))
+        U = _csr(m.comp_pages, m.comp_objects, ones_c, (n, mm))
+        U_prime = _csr(m.opt_pages, m.opt_objects, m.opt_probs.copy(), (n, mm))
+        A = _csr(
+            m.page_server,
+            np.arange(n, dtype=np.intp),
+            np.ones(n),
+            (s, n),
+        )
+        X = _csr(
+            m.comp_pages[alloc.comp_local],
+            m.comp_objects[alloc.comp_local],
+            np.ones(int(alloc.comp_local.sum())),
+            (n, mm),
+        )
+        xp_rows = np.concatenate(
+            [m.comp_pages[alloc.comp_local], m.opt_pages[alloc.opt_local]]
+        )
+        xp_cols = np.concatenate(
+            [m.comp_objects[alloc.comp_local], m.opt_objects[alloc.opt_local]]
+        )
+        X_prime = _csr(xp_rows, xp_cols, np.ones(len(xp_rows)), (n, mm))
+        ms = cls(U=U, U_prime=U_prime, A=A, X=X, X_prime=X_prime)
+        ms.validate()
+        return ms
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the paper's structural invariants; raise ``ValueError``."""
+        n, mm = self.U.shape
+        for name, mat, shape in [
+            ("U'", self.U_prime, (n, mm)),
+            ("X", self.X, (n, mm)),
+            ("X'", self.X_prime, (n, mm)),
+        ]:
+            if mat.shape != shape:
+                raise ValueError(f"{name} has shape {mat.shape}, expected {shape}")
+        if self.A.shape[1] != n:
+            raise ValueError(
+                f"A has {self.A.shape[1]} page columns, expected {n}"
+            )
+        # disjoint supports of U and U'
+        overlap = self.U.multiply(self.U_prime)
+        if overlap.nnz:
+            raise ValueError(
+                "U and U' overlap: the paper requires U'_jk = 0 when U_jk = 1"
+            )
+        # X subset of U
+        if (self.X - self.X.multiply(self.U)).nnz:
+            raise ValueError("X marks an entry outside U's support")
+        # X' extends X and stays inside U ∪ U'.  Support is *structural*:
+        # an optional entry with U'_jk = 0 (stored as an explicit zero)
+        # still belongs to the page and may legally carry an X' mark.
+        if (self.X_prime.multiply(self.U) - self.X).nnz:
+            raise ValueError("X' disagrees with X on compulsory entries")
+        up_pattern = self.U_prime.copy()
+        if up_pattern.nnz:
+            up_pattern.data = np.ones_like(up_pattern.data)
+        support = (self.U + up_pattern) > 0
+        if (self.X_prime - self.X_prime.multiply(support)).nnz:
+            raise ValueError("X' marks an entry outside U ∪ U'")
+        # each page on exactly one server
+        col_sums = np.asarray(self.A.sum(axis=0)).ravel()
+        if not np.all(col_sums == 1):
+            bad = np.flatnonzero(col_sums != 1)
+            raise ValueError(
+                f"pages {bad[:5].tolist()} are allocated to "
+                f"{col_sums[bad[:5]].tolist()} servers (must be exactly 1)"
+            )
+
+    # ------------------------------------------------------------------
+    def local_compulsory_bytes(self, sizes: np.ndarray) -> np.ndarray:
+        """Per-page :math:`\\sum_k X_{jk} Size(M_k)` (Eq. 3's sum)."""
+        return np.asarray(self.X @ sizes).ravel()
+
+    def remote_compulsory_bytes(self, sizes: np.ndarray) -> np.ndarray:
+        """Per-page :math:`\\sum_k (1-X_{jk}) U_{jk} Size(M_k)` (Eq. 4)."""
+        return np.asarray((self.U - self.X) @ sizes).ravel()
+
+    def to_allocation(self, model: SystemModel) -> Allocation:
+        """Convert back to the flat :class:`Allocation` representation."""
+        comp_local = np.zeros(len(model.comp_objects), dtype=bool)
+        opt_local = np.zeros(len(model.opt_objects), dtype=bool)
+        Xc = self.X.tocoo()
+        marked = set(zip(Xc.row.tolist(), Xc.col.tolist()))
+        for e, (j, k) in enumerate(zip(model.comp_pages, model.comp_objects)):
+            if (int(j), int(k)) in marked:
+                comp_local[e] = True
+        Xp = self.X_prime.tocoo()
+        marked_p = set(zip(Xp.row.tolist(), Xp.col.tolist()))
+        for e, (j, k) in enumerate(zip(model.opt_pages, model.opt_objects)):
+            if (int(j), int(k)) in marked_p:
+                opt_local[e] = True
+        return Allocation(model, comp_local, opt_local)

@@ -1,0 +1,197 @@
+"""The PARTITION algorithm (Section 4.2).
+
+For each page the compulsory MOs are sorted by **decreasing size** and
+greedily assigned to whichever of the two parallel streams — local server
+or repository — ends up shorter after receiving the object.  This is the
+paper's pseudocode verbatim: both running totals are tentatively
+incremented, then the loser is rolled back.
+
+The local stream starts at ``Ovhd(S_i) + Size(H_j)/B(S_i)`` (the HTML
+document must always come from the local server); the repository stream
+starts at ``Ovhd(R, S_i)``.
+
+After partitioning, the paper stores every MO with at least one local
+mark, and additionally *stores all optional objects* (downloading an
+optional object locally is beneficial whenever ``B(R,S_i) < B(S_i)``).
+:func:`partition_all` exposes that choice via ``optional_policy``:
+
+* ``"all"`` (paper default) — mark every optional object local,
+* ``"beneficial"`` — mark an optional object local only when its single
+  download is faster locally (equivalent under the Table 1 workload,
+  strictly better when some region's repository link beats its local
+  link).
+
+Re-partitioning during constraint restoration passes ``allowed`` — the
+set of objects currently stored at the page's server — so the greedy can
+only mark objects that will not grow the replica set.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Literal
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = ["partition_page", "partition_all", "OptionalPolicy", "SortOrder"]
+
+OptionalPolicy = Literal["all", "beneficial", "none"]
+SortOrder = Literal["decreasing", "increasing", "document"]
+
+
+def partition_page(
+    model: SystemModel,
+    page_id: int,
+    allowed: Collection[int] | None = None,
+    order: SortOrder = "decreasing",
+) -> tuple[np.ndarray, float, float]:
+    """Run PARTITION for one page.
+
+    Parameters
+    ----------
+    model:
+        The system universe.
+    page_id:
+        Page to partition.
+    allowed:
+        If given, only these object ids may be marked local; all others
+        are forced onto the repository stream.  ``None`` means any object
+        may be replicated.
+    order:
+        Iteration order over the page's compulsory objects.  The paper
+        prescribes ``"decreasing"`` size (big objects placed while both
+        streams are short, so the greedy can still balance around them);
+        ``"increasing"`` and ``"document"`` (the page's embed order) are
+        provided for the ablation bench.
+
+    Returns
+    -------
+    (marks, local_time, remote_time):
+        ``marks`` is a boolean array aligned with
+        ``model.pages[page_id].compulsory`` (``True`` = download locally,
+        i.e. ``X_jk = 1``); the two floats are the resulting estimated
+        stream times (Eq. 3 and Eq. 4).
+    """
+    page = model.pages[page_id]
+    srv = model.servers[page.server]
+    spb_local = srv.spb
+    spb_repo = srv.repo_spb
+
+    local_time = srv.overhead + spb_local * page.html_size
+    remote_time = srv.repo_overhead
+
+    n = len(page.compulsory)
+    marks = np.zeros(n, dtype=bool)
+    if n == 0:
+        return marks, local_time, remote_time
+
+    # Pre-sorted by decreasing size (ties broken by entry position); see
+    # SystemModel.comp_sorted.  Plain-list views keep this hot loop off
+    # NumPy scalar indexing.
+    sorted_entries, comp_objects, entry_sizes = model.fast_comp
+    sl = model.comp_slice(page_id)
+    start = sl.start
+    if order == "decreasing":
+        iteration = sorted_entries[start : sl.stop]
+    elif order == "increasing":
+        iteration = sorted_entries[start : sl.stop][::-1]
+    elif order == "document":
+        iteration = range(start, sl.stop)
+    else:
+        raise ValueError(f"unknown sort order {order!r}")
+
+    if allowed is None:
+        allowed_set = None
+    elif isinstance(allowed, (set, frozenset)):
+        allowed_set = allowed
+    else:
+        allowed_set = set(allowed)
+    for e in iteration:
+        k = comp_objects[e]
+        size = entry_sizes[e]
+        if allowed_set is not None and k not in allowed_set:
+            remote_time += spb_repo * size
+            continue
+        # Tentatively add the object to both streams (paper pseudocode),
+        # then roll back the stream that should not carry it.
+        cand_remote = remote_time + spb_repo * size
+        cand_local = local_time + spb_local * size
+        if cand_remote < cand_local:
+            remote_time = cand_remote
+            # marks stay False: X_jk = 0
+        else:
+            local_time = cand_local
+            marks[e - start] = True
+    return marks, local_time, remote_time
+
+
+def _optional_marks(
+    model: SystemModel,
+    page_id: int,
+    policy: OptionalPolicy,
+    allowed: Collection[int] | None,
+) -> np.ndarray:
+    page = model.pages[page_id]
+    n = len(page.optional)
+    if n == 0 or policy == "none":
+        return np.zeros(n, dtype=bool)
+    srv = model.servers[page.server]
+    allowed_set = None if allowed is None else set(allowed)
+    marks = np.zeros(n, dtype=bool)
+    for pos, k in enumerate(page.optional):
+        if allowed_set is not None and k not in allowed_set:
+            continue
+        if policy == "all":
+            marks[pos] = True
+        else:  # "beneficial"
+            size = model.sizes[k]
+            t_local = srv.overhead + srv.spb * size
+            t_repo = srv.repo_overhead + srv.repo_spb * size
+            marks[pos] = t_local <= t_repo
+    return marks
+
+
+def partition_all(
+    model: SystemModel,
+    optional_policy: OptionalPolicy = "all",
+    allowed_per_server: dict[int, Collection[int]] | None = None,
+    order: SortOrder = "decreasing",
+) -> Allocation:
+    """Run PARTITION over every page and assemble an :class:`Allocation`.
+
+    The resulting replica sets are exactly the marked objects: every MO
+    with at least one ``X'_jk = 1`` on the server is stored (the paper's
+    "Store the M_k's that have at least one non-zero entry in X matrix.
+    Store all optional objects.").
+
+    Parameters
+    ----------
+    model:
+        The system universe.
+    optional_policy:
+        How optional objects are marked (see module docstring).
+    allowed_per_server:
+        Optional per-server whitelists restricting which objects may be
+        replicated (used by constrained re-partitioning).
+    """
+    alloc = Allocation(model)
+    for j in range(model.n_pages):
+        page = model.pages[j]
+        allowed = (
+            None
+            if allowed_per_server is None
+            else allowed_per_server.get(page.server, ())
+        )
+        comp_marks, _, _ = partition_page(model, j, allowed, order=order)
+        sl = model.comp_slice(j)
+        for off, val in enumerate(comp_marks):
+            if val:
+                alloc.set_comp_local(sl.start + off, True)
+        opt_marks = _optional_marks(model, j, optional_policy, allowed)
+        slo = model.opt_slice(j)
+        for off, val in enumerate(opt_marks):
+            if val:
+                alloc.set_opt_local(slo.start + off, True)
+    return alloc

@@ -1,0 +1,432 @@
+"""Typed description of the paper's system universe (Section 2/3).
+
+The universe consists of
+
+* ``s`` local servers :math:`S_1 \\dots S_s` (:class:`ServerSpec`),
+* one repository server ``R`` (:class:`RepositorySpec`),
+* ``n`` web pages :math:`W_1 \\dots W_n` with their HTML documents
+  :math:`H_1 \\dots H_n` (:class:`PageSpec`), and
+* ``m`` multimedia objects :math:`M_1 \\dots M_m` (:class:`ObjectSpec`).
+
+:class:`SystemModel` bundles them and pre-computes the flat NumPy views
+(`sizes`, per-page compulsory/optional index ranges) every other module
+vectorises over.
+
+Units
+-----
+* sizes — bytes
+* rates — bytes/second (``B`` of the paper is derived as 1/rate when
+  computing times; see :mod:`repro.util.units`)
+* overheads — seconds (``Ovhd`` of the paper)
+* frequencies / processing capacities — HTTP requests per second
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "ObjectSpec",
+    "PageSpec",
+    "ServerSpec",
+    "RepositorySpec",
+    "SystemModel",
+]
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """A multimedia object :math:`M_k` stored at the repository.
+
+    Attributes
+    ----------
+    object_id:
+        Dense index in ``[0, m)``; position in :attr:`SystemModel.objects`.
+    size:
+        ``Size(M_k)`` in bytes.
+    """
+
+    object_id: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.object_id < 0:
+            raise ValueError(f"object_id must be >= 0, got {self.object_id}")
+        if self.size <= 0:
+            raise ValueError(f"object size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """A web page :math:`W_j` together with its HTML document :math:`H_j`.
+
+    A page is hosted by exactly one local server (``A`` matrix, Section 3);
+    replicated pages are modelled as distinct :class:`PageSpec` instances,
+    exactly as the paper prescribes.
+
+    Attributes
+    ----------
+    page_id:
+        Dense index in ``[0, n)``.
+    server:
+        Index of the hosting local server (the ``i`` with ``A_ij = 1``).
+    html_size:
+        ``Size(H_j)`` in bytes (composite HTML treated as one document).
+    frequency:
+        ``f(W_j)`` — peak-hour access frequency in requests/second.
+    compulsory:
+        Object ids ``k`` with ``U_jk = 1``.
+    optional:
+        Object ids ``k`` with ``U'_jk > 0``; disjoint from ``compulsory``.
+    optional_prob:
+        The per-object request probability ``U'_jk`` shared by this page's
+        optional objects (the Table 1 workload uses
+        P(interested) x fraction-requested = 0.1 x 0.3 = 0.03).
+    optional_rate_scale:
+        The paper's ``f(W_j, M)`` expressed per page view: a multiplier on
+        the expected optional download time of Eq. 6. Defaults to 1.
+    """
+
+    page_id: int
+    server: int
+    html_size: int
+    frequency: float
+    compulsory: tuple[int, ...] = ()
+    optional: tuple[int, ...] = ()
+    optional_prob: float = 0.0
+    optional_rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.page_id < 0:
+            raise ValueError(f"page_id must be >= 0, got {self.page_id}")
+        if self.server < 0:
+            raise ValueError(f"server index must be >= 0, got {self.server}")
+        if self.html_size <= 0:
+            raise ValueError(f"html_size must be positive, got {self.html_size}")
+        check_nonnegative("frequency", self.frequency)
+        if not 0.0 <= self.optional_prob <= 1.0:
+            raise ValueError(
+                f"optional_prob must be in [0, 1], got {self.optional_prob}"
+            )
+        check_nonnegative("optional_rate_scale", self.optional_rate_scale)
+        if len(set(self.compulsory)) != len(self.compulsory):
+            raise ValueError(f"page {self.page_id}: duplicate compulsory objects")
+        if len(set(self.optional)) != len(self.optional):
+            raise ValueError(f"page {self.page_id}: duplicate optional objects")
+        overlap = set(self.compulsory) & set(self.optional)
+        if overlap:
+            raise ValueError(
+                f"page {self.page_id}: objects {sorted(overlap)} are both "
+                "compulsory and optional (the paper requires U'_jk = 0 when "
+                "U_jk = 1)"
+            )
+
+    @property
+    def n_compulsory(self) -> int:
+        """Number of compulsory MOs embedded in the page."""
+        return len(self.compulsory)
+
+    @property
+    def n_optional(self) -> int:
+        """Number of optional MO links in the page."""
+        return len(self.optional)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A local server :math:`S_i` plus its estimated network attributes.
+
+    The rate/overhead fields are the *estimations used when deciding about
+    replica creation* (Section 3); the simulation perturbs them per HTTP
+    request (Section 5.1).
+
+    Attributes
+    ----------
+    server_id:
+        Dense index in ``[0, s)``.
+    storage_capacity:
+        ``Size(S_i)`` in bytes.
+    processing_capacity:
+        ``C(S_i)`` in HTTP requests/second (``math.inf`` = unconstrained).
+    rate:
+        Estimated ``B(S_i)`` in bytes/second — the local transfer rate
+        clients in this region see.
+    overhead:
+        Estimated ``Ovhd(S_i)`` in seconds (TCP setup + request processing).
+    repo_rate:
+        Estimated ``B(R, S_i)`` in bytes/second — the rate at which this
+        region's clients are served by the repository.
+    repo_overhead:
+        Estimated ``Ovhd(R, S_i)`` in seconds.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    server_id: int
+    storage_capacity: float
+    processing_capacity: float
+    rate: float
+    overhead: float
+    repo_rate: float
+    repo_overhead: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
+        if not (self.storage_capacity >= 0):
+            raise ValueError(
+                f"storage_capacity must be >= 0 (math.inf allowed), got "
+                f"{self.storage_capacity}"
+            )
+        if not (self.processing_capacity > 0):
+            raise ValueError(
+                f"processing_capacity must be > 0 (use math.inf for "
+                f"unconstrained), got {self.processing_capacity}"
+            )
+        check_positive("rate", self.rate)
+        check_nonnegative("overhead", self.overhead)
+        check_positive("repo_rate", self.repo_rate)
+        check_nonnegative("repo_overhead", self.repo_overhead)
+
+    @property
+    def spb(self) -> float:
+        """Seconds per byte on the local connection (``B(S_i)`` of Eq. 3)."""
+        return 1.0 / self.rate
+
+    @property
+    def repo_spb(self) -> float:
+        """Seconds per byte on the repository connection (Eq. 4)."""
+        return 1.0 / self.repo_rate
+
+
+@dataclass(frozen=True)
+class RepositorySpec:
+    """The central multimedia repository ``R``.
+
+    Attributes
+    ----------
+    processing_capacity:
+        ``C(R)`` in HTTP requests/second. Table 1 sets this to infinity;
+        Figure 3 constrains it.
+    """
+
+    processing_capacity: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not (self.processing_capacity > 0):
+            raise ValueError(
+                f"repository processing_capacity must be > 0, got "
+                f"{self.processing_capacity}"
+            )
+
+
+class SystemModel:
+    """The full ``(servers, repository, pages, objects)`` universe.
+
+    Besides holding the specs, the model pre-computes the flat array views
+    used by the vectorised cost model:
+
+    * :attr:`sizes` — ``m``-vector of object sizes,
+    * :attr:`comp_pages` / :attr:`comp_objects` — COO-style flattening of
+      the compulsory matrix ``U`` (one entry per ``U_jk = 1``),
+    * :attr:`comp_indptr` — CSR row pointers into the two arrays above,
+    * the analogous ``opt_*`` arrays for the optional matrix ``U'`` with
+      :attr:`opt_probs` holding the per-entry probabilities.
+
+    Parameters
+    ----------
+    servers:
+        Local server specs, ordered by ``server_id`` (checked).
+    repository:
+        Repository spec.
+    pages:
+        Page specs, ordered by ``page_id`` (checked). Every referenced
+        object id must exist and each ``server`` index must be valid.
+    objects:
+        Object specs, ordered by ``object_id`` (checked).
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[ServerSpec],
+        repository: RepositorySpec,
+        pages: Sequence[PageSpec],
+        objects: Sequence[ObjectSpec],
+    ):
+        self.servers: tuple[ServerSpec, ...] = tuple(servers)
+        self.repository = repository
+        self.pages: tuple[PageSpec, ...] = tuple(pages)
+        self.objects: tuple[ObjectSpec, ...] = tuple(objects)
+        self._validate_ids()
+        self._build_arrays()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate_ids(self) -> None:
+        for i, srv in enumerate(self.servers):
+            if srv.server_id != i:
+                raise ValueError(
+                    f"servers must be ordered by server_id: position {i} "
+                    f"holds server_id {srv.server_id}"
+                )
+        for j, page in enumerate(self.pages):
+            if page.page_id != j:
+                raise ValueError(
+                    f"pages must be ordered by page_id: position {j} holds "
+                    f"page_id {page.page_id}"
+                )
+            if page.server >= len(self.servers):
+                raise ValueError(
+                    f"page {j} references server {page.server} but only "
+                    f"{len(self.servers)} servers exist"
+                )
+        for k, obj in enumerate(self.objects):
+            if obj.object_id != k:
+                raise ValueError(
+                    f"objects must be ordered by object_id: position {k} "
+                    f"holds object_id {obj.object_id}"
+                )
+        m = len(self.objects)
+        for page in self.pages:
+            for k in page.compulsory + page.optional:
+                if not 0 <= k < m:
+                    raise ValueError(
+                        f"page {page.page_id} references object {k} but only "
+                        f"{m} objects exist"
+                    )
+
+    # ------------------------------------------------------------------
+    # flat array views
+    # ------------------------------------------------------------------
+    def _build_arrays(self) -> None:
+        n, m, s = len(self.pages), len(self.objects), len(self.servers)
+        self.n_pages = n
+        self.n_objects = m
+        self.n_servers = s
+
+        self.sizes = np.array([o.size for o in self.objects], dtype=np.float64)
+        self.html_sizes = np.array([p.html_size for p in self.pages], dtype=np.float64)
+        self.frequencies = np.array([p.frequency for p in self.pages], dtype=np.float64)
+        self.page_server = np.array([p.server for p in self.pages], dtype=np.intp)
+        self.optional_rate_scale = np.array(
+            [p.optional_rate_scale for p in self.pages], dtype=np.float64
+        )
+
+        comp_indptr = np.zeros(n + 1, dtype=np.intp)
+        opt_indptr = np.zeros(n + 1, dtype=np.intp)
+        for j, p in enumerate(self.pages):
+            comp_indptr[j + 1] = comp_indptr[j] + len(p.compulsory)
+            opt_indptr[j + 1] = opt_indptr[j] + len(p.optional)
+        self.comp_indptr = comp_indptr
+        self.opt_indptr = opt_indptr
+
+        self.comp_objects = np.fromiter(
+            (k for p in self.pages for k in p.compulsory),
+            dtype=np.intp,
+            count=int(comp_indptr[-1]),
+        )
+        self.comp_pages = np.repeat(np.arange(n, dtype=np.intp), np.diff(comp_indptr))
+        self.opt_objects = np.fromiter(
+            (k for p in self.pages for k in p.optional),
+            dtype=np.intp,
+            count=int(opt_indptr[-1]),
+        )
+        self.opt_pages = np.repeat(np.arange(n, dtype=np.intp), np.diff(opt_indptr))
+        self.opt_probs = np.fromiter(
+            (p.optional_prob for p in self.pages for _ in p.optional),
+            dtype=np.float64,
+            count=int(opt_indptr[-1]),
+        )
+
+        # per-server estimated network attributes, index-aligned with pages
+        self.server_rate = np.array([sv.rate for sv in self.servers])
+        self.server_overhead = np.array([sv.overhead for sv in self.servers])
+        self.server_repo_rate = np.array([sv.repo_rate for sv in self.servers])
+        self.server_repo_overhead = np.array(
+            [sv.repo_overhead for sv in self.servers]
+        )
+        self.server_storage = np.array(
+            [sv.storage_capacity for sv in self.servers], dtype=np.float64
+        )
+        self.server_capacity = np.array(
+            [sv.processing_capacity for sv in self.servers], dtype=np.float64
+        )
+
+        pages_by_server: list[list[int]] = [[] for _ in range(s)]
+        for j, p in enumerate(self.pages):
+            pages_by_server[p.server].append(j)
+        self.pages_by_server: tuple[tuple[int, ...], ...] = tuple(
+            tuple(lst) for lst in pages_by_server
+        )
+
+        # Per-page compulsory entries pre-sorted by decreasing object size
+        # (PARTITION's iteration order), as a global permutation: page j's
+        # sorted entries are comp_sorted[comp_indptr[j]:comp_indptr[j+1]].
+        ne = len(self.comp_objects)
+        if ne:
+            entry_sizes = self.sizes[self.comp_objects]
+            self.comp_sorted = np.lexsort(
+                (np.arange(ne), -entry_sizes, self.comp_pages)
+            )
+        else:
+            self.comp_sorted = np.empty(0, dtype=np.intp)
+
+    @property
+    def fast_comp(self) -> tuple[list[int], list[int], list[float]]:
+        """Plain-list views of the compulsory entry arrays for hot loops:
+        ``(comp_sorted, comp_objects, entry_sizes)`` — built lazily once.
+        """
+        cached = getattr(self, "_fast_comp_cache", None)
+        if cached is None:
+            cached = (
+                self.comp_sorted.tolist(),
+                self.comp_objects.tolist(),
+                self.sizes[self.comp_objects].tolist(),
+            )
+            self._fast_comp_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    def comp_slice(self, page_id: int) -> slice:
+        """Slice into the flat compulsory arrays for ``page_id``."""
+        return slice(int(self.comp_indptr[page_id]), int(self.comp_indptr[page_id + 1]))
+
+    def opt_slice(self, page_id: int) -> slice:
+        """Slice into the flat optional arrays for ``page_id``."""
+        return slice(int(self.opt_indptr[page_id]), int(self.opt_indptr[page_id + 1]))
+
+    def objects_referenced_by_server(self, server_id: int) -> set[int]:
+        """All object ids referenced (compulsorily or optionally) by pages
+        hosted on ``server_id``."""
+        refs: set[int] = set()
+        for j in self.pages_by_server[server_id]:
+            p = self.pages[j]
+            refs.update(p.compulsory)
+            refs.update(p.optional)
+        return refs
+
+    def html_bytes_by_server(self) -> np.ndarray:
+        """Per-server total HTML bytes (the fixed part of Eq. 10's LHS)."""
+        out = np.zeros(self.n_servers)
+        np.add.at(out, self.page_server, self.html_sizes)
+        return out
+
+    def total_object_bytes(self) -> float:
+        """Sum of all MO sizes (useful for storage normalisation)."""
+        return float(self.sizes.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SystemModel(servers={self.n_servers}, pages={self.n_pages}, "
+            f"objects={self.n_objects})"
+        )

@@ -1,0 +1,53 @@
+"""Experiment harnesses regenerating the paper's evaluation (Section 5).
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.table1`  — realised workload statistics against
+  every Table 1 row,
+* :mod:`repro.experiments.fig1_storage` — Figure 1 (response time vs
+  local storage, ours vs ideal LRU, Remote/Local reference lines),
+* :mod:`repro.experiments.fig2_processing` — Figure 2 (response time vs
+  local processing capacity at 100% storage),
+* :mod:`repro.experiments.fig3_central` — Figure 3 (response time vs
+  local processing capacity for 90/70/50% central capacity),
+* :mod:`repro.experiments.claims` — the scalar Section 5.2 claims
+  (Remote +335%, Local +23.8%, LRU@100% ≈ Local, ~1.8 GB average).
+
+Shared infrastructure lives in :mod:`repro.experiments.runner`
+(multi-run orchestration, paired traces, normalisation to the
+unconstrained policy) and :mod:`repro.experiments.scaling` (the
+capacity-percentage definitions documented in DESIGN.md).
+"""
+
+from repro.experiments.claims import HeadlineClaims, run_headline_claims
+from repro.experiments.fig1_storage import Fig1Result, run_fig1
+from repro.experiments.fig2_processing import Fig2Result, run_fig2
+from repro.experiments.fig3_central import Fig3Result, run_fig3
+from repro.experiments.runner import ExperimentConfig, RunContext, iter_runs
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    processing_capacities_for_fraction,
+    repo_capacity_for_fraction,
+    storage_capacities_for_fraction,
+)
+from repro.experiments.table1 import Table1Report, run_table1
+
+__all__ = [
+    "ExperimentConfig",
+    "RunContext",
+    "iter_runs",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "HeadlineClaims",
+    "Table1Report",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_headline_claims",
+    "run_table1",
+    "clone_with_capacities",
+    "storage_capacities_for_fraction",
+    "processing_capacities_for_fraction",
+    "repo_capacity_for_fraction",
+]

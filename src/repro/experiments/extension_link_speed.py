@@ -1,0 +1,136 @@
+"""Extension E2 — when does the repository link kill the premise?
+
+The paper's whole design rests on Table 1's asymmetry: repository links
+(0.3-2 KB/s per region) are an order of magnitude slower than local
+links (3-10 KB/s).  This extension scales the repository transfer rate
+by a multiplier and tracks, at each point,
+
+* the share of compulsory downloads PARTITION sends to the repository,
+* the response-time advantage of the proposed policy over the Local
+  policy (the parallelism dividend), and
+* the advantage over the Remote policy (the replication dividend).
+
+The expected arc: as the repository approaches and passes local speed,
+PARTITION naturally shifts traffic onto it (no reconfiguration — the
+cost model adapts), the gain over Local *grows* (the second connection
+is worth more), and the gain over Remote shrinks toward the point where
+replication stops paying at all.  Past ~8x the measured gain over Remote
+can turn *negative*: the Section 5.1 perturbations degrade local links
+far below their estimates, so the estimate-balanced split over-commits
+to the local connection exactly when the repository could carry
+everything — a concrete cost of planning from stale estimates that the
+paper's regime (slow repository) never exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.local import LocalPolicy
+from repro.baselines.remote import RemotePolicy
+from repro.core.partition import partition_all
+from repro.core.types import ServerSpec, SystemModel
+from repro.experiments.runner import ExperimentConfig, iter_runs
+from repro.util.tables import format_table
+from repro.workload.trace import generate_trace
+
+__all__ = ["LinkSpeedResult", "run_link_speed", "DEFAULT_MULTIPLIERS"]
+
+#: Repository-rate multipliers swept (1 = Table 1's slow repository).
+DEFAULT_MULTIPLIERS: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _scale_repo_rate(model: SystemModel, multiplier: float) -> SystemModel:
+    servers = [
+        ServerSpec(
+            server_id=s.server_id,
+            name=s.name,
+            storage_capacity=s.storage_capacity,
+            processing_capacity=s.processing_capacity,
+            rate=s.rate,
+            overhead=s.overhead,
+            repo_rate=s.repo_rate * multiplier,
+            repo_overhead=s.repo_overhead,
+        )
+        for s in model.servers
+    ]
+    return SystemModel(servers, model.repository, model.pages, model.objects)
+
+
+@dataclass
+class LinkSpeedResult:
+    """Per-multiplier series of the three tracked quantities."""
+
+    multipliers: list[float]
+    remote_share: list[float]
+    """Mean share of compulsory downloads PARTITION marks remote."""
+    gain_vs_local: list[float]
+    """Relative response-time advantage over the Local policy."""
+    gain_vs_remote: list[float]
+    """Relative advantage over the Remote policy."""
+    n_runs: int = 0
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{mult:g}x",
+                f"{self.remote_share[i]:.0%}",
+                f"{self.gain_vs_local[i]:+.1%}",
+                f"{self.gain_vs_remote[i]:+.1%}",
+            )
+            for i, mult in enumerate(self.multipliers)
+        ]
+        return (
+            format_table(
+                [
+                    "repo rate",
+                    "downloads sent remote",
+                    "faster than Local by",
+                    "faster than Remote by",
+                ],
+                rows,
+                title=(
+                    "Extension E2: sensitivity to the repository link speed"
+                ),
+            )
+            + f"\n(averaged over {self.n_runs} runs)"
+        )
+
+
+def run_link_speed(
+    config: ExperimentConfig | None = None,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+) -> LinkSpeedResult:
+    """Sweep the repository transfer rate; see module docstring."""
+    cfg = config or ExperimentConfig()
+    shares: dict[float, list[float]] = {m: [] for m in multipliers}
+    vs_local: dict[float, list[float]] = {m: [] for m in multipliers}
+    vs_remote: dict[float, list[float]] = {m: [] for m in multipliers}
+
+    for ctx in iter_runs(cfg):
+        for mult in multipliers:
+            scaled = _scale_repo_rate(ctx.model, mult)
+            trace = generate_trace(scaled, cfg.params, seed=ctx.trace_seed)
+            alloc = partition_all(scaled)
+            shares[mult].append(1.0 - float(alloc.comp_local.mean()))
+
+            sim_ours = ctx.simulate(alloc, trace)
+            sim_local = ctx.simulate(LocalPolicy().allocate(scaled), trace)
+            sim_remote = ctx.simulate(RemotePolicy().allocate(scaled), trace)
+            vs_local[mult].append(
+                1.0 - sim_ours.mean_page_time / sim_local.mean_page_time
+            )
+            vs_remote[mult].append(
+                1.0 - sim_ours.mean_page_time / sim_remote.mean_page_time
+            )
+
+    return LinkSpeedResult(
+        multipliers=list(multipliers),
+        remote_share=[float(np.mean(shares[m])) for m in multipliers],
+        gain_vs_local=[float(np.mean(vs_local[m])) for m in multipliers],
+        gain_vs_remote=[float(np.mean(vs_remote[m])) for m in multipliers],
+        n_runs=cfg.n_runs,
+    )

@@ -1,0 +1,109 @@
+"""One-shot reproduction report: every paper artifact in a single run.
+
+:func:`reproduce_all` executes Table 1, Figures 1-3 and the headline
+claims on one :class:`~repro.experiments.runner.ExperimentConfig` and
+assembles a combined text report (with optional ASCII charts).  This is
+what ``python -m repro reproduce`` prints, and what a reviewer would run
+first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.claims import HeadlineClaims, run_headline_claims
+from repro.experiments.fig1_storage import Fig1Result, run_fig1
+from repro.experiments.fig2_processing import Fig2Result, run_fig2
+from repro.experiments.fig3_central import Fig3Result, run_fig3
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import Table1Report, run_table1
+from repro.util.charts import series_chart
+
+__all__ = ["ReproductionReport", "reproduce_all"]
+
+
+@dataclass
+class ReproductionReport:
+    """All five paper artifacts from one configuration."""
+
+    table1: Table1Report
+    fig1: Fig1Result
+    fig2: Fig2Result
+    fig3: Fig3Result
+    claims: HeadlineClaims
+    config: ExperimentConfig
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        """The coarse acceptance predicate: every headline ordering."""
+        fig1_ok = all(
+            o <= l + 0.05
+            for o, l in zip(
+                self.fig1.series["proposed"], self.fig1.series["ideal-lru"]
+            )
+        )
+        ys = self.fig2.series["proposed"]
+        fig2_ok = ys[0] > ys[-1] and abs(ys[-1]) < 0.05
+        f3 = self.fig3.series
+        keys = sorted(f3.keys())  # "central 50%" < "central 70%" < "central 90%"
+        fig3_ok = all(
+            f3[keys[0]][i] >= f3[keys[-1]][i] - 0.05
+            for i in range(len(self.fig3.x_values))
+        )
+        return bool(
+            self.claims.orderings_hold and fig1_ok and fig2_ok and fig3_ok
+        )
+
+    def render(self, charts: bool = False) -> str:
+        """The combined report; ``charts=True`` appends bar charts."""
+        parts = [
+            "=" * 72,
+            "REPRODUCTION REPORT — Loukopoulos & Ahmad, IPPS 2000",
+            f"workload: {self.config.params.n_servers} servers, "
+            f"{self.config.params.n_objects} MOs, "
+            f"{self.config.n_runs} runs",
+            "=" * 72,
+            "",
+            self.table1.render(),
+            "",
+            self.claims.render(),
+            "",
+            self.fig1.render(),
+            "",
+            self.fig2.render(),
+            "",
+            self.fig3.render(),
+            "",
+            f"ALL PAPER SHAPES HOLD: {self.all_shapes_hold}",
+        ]
+        if charts:
+            parts.extend(
+                [
+                    "",
+                    series_chart(
+                        [f"{x:.0%}" for x in self.fig1.x_values],
+                        self.fig1.series,
+                        title="Figure 1 (bars)",
+                    ),
+                    "",
+                    series_chart(
+                        [f"{x:.0%}" for x in self.fig2.x_values],
+                        self.fig2.series,
+                        title="Figure 2 (bars)",
+                    ),
+                ]
+            )
+        return "\n".join(parts)
+
+
+def reproduce_all(config: ExperimentConfig | None = None) -> ReproductionReport:
+    """Run every paper artifact under one configuration."""
+    cfg = config or ExperimentConfig()
+    return ReproductionReport(
+        table1=run_table1(cfg.params, seed=cfg.base_seed),
+        fig1=run_fig1(cfg),
+        fig2=run_fig2(cfg),
+        fig3=run_fig3(cfg),
+        claims=run_headline_claims(cfg),
+        config=cfg,
+    )

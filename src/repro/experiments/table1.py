@@ -1,0 +1,234 @@
+"""Table 1 — realised workload statistics against every nominal row.
+
+:func:`run_table1` generates a workload + trace and tabulates, for every
+Table 1 parameter, the paper's nominal value next to the realised value
+in the synthetic population — the workload generator's acceptance test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import SystemModel
+from repro.util.tables import format_table
+from repro.util.units import KB, MB
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+from repro.workload.trace import RequestTrace, generate_trace
+
+__all__ = ["Table1Report", "run_table1"]
+
+
+@dataclass
+class Table1Report:
+    """Nominal-vs-realised rows for Table 1."""
+
+    rows: list[tuple[str, str, str]]
+    model: SystemModel
+    trace: RequestTrace
+
+    def render(self) -> str:
+        """ASCII table mirroring Table 1 plus a 'realised' column."""
+        return format_table(
+            ["Parameter", "Table 1", "realised"],
+            self.rows,
+            title="Table 1: workload parameters (nominal vs realised)",
+        )
+
+
+def _rng_str(lo: float, hi: float, fmt: str = "{:.0f}") -> str:
+    return f"{fmt.format(lo)}-{fmt.format(hi)}"
+
+
+def run_table1(
+    params: WorkloadParams | None = None, seed: int = 0
+) -> Table1Report:
+    """Generate one workload and compare it against Table 1 row by row."""
+    p = params or WorkloadParams.paper()
+    model = generate_workload(p, seed=seed)
+    trace = generate_trace(model, p, seed=seed + 1)
+
+    pages_per_server = [len(s) for s in model.pages_by_server]
+    comp_counts = np.diff(model.comp_indptr)
+    opt_counts = np.diff(model.opt_indptr)
+    opt_counts_nz = opt_counts[opt_counts > 0]
+    frac_with_opt = float((opt_counts > 0).mean())
+
+    # hot-page traffic share: top 10% of pages by frequency, per server
+    hot_share = []
+    for i in range(model.n_servers):
+        ids = np.asarray(model.pages_by_server[i], dtype=np.intp)
+        f = model.frequencies[ids]
+        n_hot = int(np.ceil(p.hot_page_fraction * len(ids)))
+        top = np.sort(f)[::-1][:n_hot]
+        hot_share.append(top.sum() / f.sum())
+    mos_per_server = [
+        len(model.objects_referenced_by_server(i)) for i in range(model.n_servers)
+    ]
+
+    html = model.html_sizes
+    mo = model.sizes
+
+    def share(arr: np.ndarray, lo: float, hi: float) -> float:
+        return float(((arr >= lo) & (arr <= hi)).mean())
+
+    # optional requests per interested view (from the trace)
+    if trace.n_optional_downloads:
+        per_req = np.bincount(trace.opt_owner)
+        per_req = per_req[per_req > 0]
+        opt_links = opt_counts[trace.page_of_request]
+        interested = np.unique(trace.opt_owner)
+        req_frac = per_req / np.maximum(opt_links[interested], 1)
+        realised_opt_frac = float(req_frac.mean())
+        interested_share = len(interested) / max(
+            int((opt_counts[trace.page_of_request] > 0).sum()), 1
+        )
+    else:
+        realised_opt_frac = 0.0
+        interested_share = 0.0
+
+    rows: list[tuple[str, str, str]] = [
+        (
+            "Number of Local Sites (LS)",
+            str(p.n_servers),
+            str(model.n_servers),
+        ),
+        (
+            "Number of Web Pages per LS",
+            _rng_str(*p.pages_per_server),
+            f"{min(pages_per_server)}-{max(pages_per_server)}",
+        ),
+        (
+            "Hot pages traffic share (10% of pages)",
+            f"{p.hot_traffic_fraction:.0%}",
+            f"{np.mean(hot_share):.0%}",
+        ),
+        (
+            "Compulsory MOs per page",
+            _rng_str(*p.compulsory_per_page),
+            f"{comp_counts.min()}-{comp_counts.max()} (mean {comp_counts.mean():.1f})",
+        ),
+        (
+            "Optional MOs per page (pages that have any)",
+            _rng_str(*p.optional_per_page),
+            (
+                f"{opt_counts_nz.min()}-{opt_counts_nz.max()}"
+                if len(opt_counts_nz)
+                else "none"
+            ),
+        ),
+        (
+            "Share of pages with optional MOs",
+            f"{p.optional_page_fraction:.0%}",
+            f"{frac_with_opt:.1%}",
+        ),
+        (
+            "Number of MOs in the network",
+            str(p.n_objects),
+            str(model.n_objects),
+        ),
+        (
+            "Number of MOs referenced per LS",
+            _rng_str(*p.objects_per_server),
+            f"{min(mos_per_server)}-{max(mos_per_server)}",
+        ),
+        (
+            "Small HTML share (1K-6K)",
+            "35%",
+            f"{share(html, 1 * KB, 6 * KB):.1%}",
+        ),
+        (
+            "Medium HTML share (6K-20K)",
+            "60%",
+            f"{share(html, 6 * KB, 20 * KB):.1%}",
+        ),
+        (
+            "Large HTML share (20K-50K)",
+            "5%",
+            f"{share(html, 20 * KB, 50 * KB):.1%}",
+        ),
+        (
+            "Small MO share (40K-300K)",
+            "30%",
+            f"{share(mo, 40 * KB, 300 * KB):.1%}",
+        ),
+        (
+            "Medium MO share (300K-800K)",
+            "60%",
+            f"{share(mo, 300 * KB, 800 * KB):.1%}",
+        ),
+        (
+            "Large MO share (800K-4M)",
+            "10%",
+            f"{share(mo, 800 * KB, 4 * MB):.1%}",
+        ),
+        (
+            "Optional MOs requested per interested view",
+            f"{p.optional_request_fraction:.0%} of links",
+            f"{realised_opt_frac:.1%} of links",
+        ),
+        (
+            "P(user requests optional MOs)",
+            f"{p.optional_interest_prob:.0%}",
+            f"{interested_share:.1%}",
+        ),
+        (
+            "Processing capacity of LS (req/s)",
+            f"{p.processing_capacity:g}",
+            f"{model.server_capacity[0]:g}",
+        ),
+        (
+            "Processing capacity of repository",
+            "infinite",
+            f"{model.repository.processing_capacity:g}",
+        ),
+        (
+            "Overhead at LS (s)",
+            _rng_str(*p.local_overhead_range, fmt="{:.3f}"),
+            _rng_str(
+                float(model.server_overhead.min()),
+                float(model.server_overhead.max()),
+                fmt="{:.3f}",
+            ),
+        ),
+        (
+            "Overhead at repository (s)",
+            _rng_str(*p.repo_overhead_range, fmt="{:.3f}"),
+            _rng_str(
+                float(model.server_repo_overhead.min()),
+                float(model.server_repo_overhead.max()),
+                fmt="{:.3f}",
+            ),
+        ),
+        (
+            "LS transfer rate (KB/s)",
+            _rng_str(*p.local_rate_range_kbps, fmt="{:.1f}"),
+            _rng_str(
+                float(model.server_rate.min() / KB),
+                float(model.server_rate.max() / KB),
+                fmt="{:.1f}",
+            ),
+        ),
+        (
+            "Repository transfer rate (KB/s)",
+            _rng_str(*p.repo_rate_range_kbps, fmt="{:.1f}"),
+            _rng_str(
+                float(model.server_repo_rate.min() / KB),
+                float(model.server_repo_rate.max() / KB),
+                fmt="{:.1f}",
+            ),
+        ),
+        (
+            "Page requests per server",
+            str(p.requests_per_server),
+            str(trace.n_requests // model.n_servers),
+        ),
+        (
+            "(alpha1, alpha2)",
+            f"({p.alpha1:g}, {p.alpha2:g})",
+            f"({p.alpha1:g}, {p.alpha2:g})",
+        ),
+    ]
+    return Table1Report(rows=rows, model=model, trace=trace)

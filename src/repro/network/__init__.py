@@ -1,0 +1,48 @@
+"""Message-passing substrate for the distributed algorithm (Section 4).
+
+The paper's scheme is decentralised: each local server decides its own
+replica set, then the repository and the servers negotiate the Eq. 9
+off-loading by exchanging messages.  :mod:`repro.core.offload`
+implements the decision logic as plain functions; this package runs the
+same logic as an **actual protocol** over an in-process message bus —
+actors, typed messages, rounds — with full message accounting, so the
+communication cost the paper argues about ("a rather high amount of
+messages ..." vs its own scheme) is measurable.
+
+* :mod:`repro.network.messages` — the typed message vocabulary,
+* :mod:`repro.network.bus`      — synchronous in-process message bus,
+* :mod:`repro.network.nodes`    — ``LocalServerNode`` / ``RepositoryNode``,
+* :mod:`repro.network.protocol` — drives a full distributed policy run.
+
+The distributed run is bit-identical to
+:class:`repro.core.policy.RepositoryReplicationPolicy` (tested), because
+the decision procedures are shared; only the control flow moves onto the
+bus.
+"""
+
+from repro.network.bus import BusStats, FaultModel, LatencyModel, MessageBus
+from repro.network.messages import (
+    Message,
+    NewRequirementMessage,
+    OffloadEndMessage,
+    StatusMessage,
+    WorkloadAnswerMessage,
+)
+from repro.network.nodes import LocalServerNode, RepositoryNode
+from repro.network.protocol import DistributedRunResult, run_distributed_policy
+
+__all__ = [
+    "MessageBus",
+    "BusStats",
+    "FaultModel",
+    "LatencyModel",
+    "Message",
+    "StatusMessage",
+    "NewRequirementMessage",
+    "WorkloadAnswerMessage",
+    "OffloadEndMessage",
+    "LocalServerNode",
+    "RepositoryNode",
+    "DistributedRunResult",
+    "run_distributed_policy",
+]

@@ -1,0 +1,201 @@
+"""Synchronous in-process message bus with delivery accounting.
+
+Nodes register handlers; :meth:`MessageBus.send` enqueues, and
+:meth:`MessageBus.run_until_idle` drains the queue in FIFO order,
+invoking each recipient's handler (which may send further messages).
+The bus records per-kind message counts and total wire bytes so
+experiments can report the protocol's communication cost.
+
+The bus is deliberately synchronous and deterministic: the paper's
+protocol is round-based (collect statuses → assign → collect answers),
+and determinism is what lets the distributed run be asserted
+bit-identical to the centralised one.
+
+Failure injection: a :class:`FaultModel` can silently drop messages
+(lossy links) or blackhole everything addressed to crashed nodes
+(crash-stop servers).  Dropped messages are *recorded* (they were sent)
+but never delivered; the protocol layer is responsible for recovering —
+see :func:`repro.network.protocol.run_distributed_policy`'s stall
+handling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.network.messages import Message
+from repro.util.rng import as_generator
+
+__all__ = ["MessageBus", "BusStats", "FaultModel", "LatencyModel"]
+
+
+class LatencyModel:
+    """One-way message delays for virtual-time delivery.
+
+    The paper's Table 1 estimates put client↔repository RTTs at 200 ms
+    and client↔local RTTs at 50 ms; server↔repository control messages
+    ride the same wide-area paths, so the default one-way delay is
+    100 ms, overridable per link.  With a latency model installed the
+    bus orders deliveries by arrival time and tracks a virtual clock —
+    :attr:`MessageBus.clock` after a drain is the protocol's makespan.
+    """
+
+    def __init__(
+        self,
+        default_delay: float = 0.1,
+        per_link: dict[tuple[str, str], float] | None = None,
+    ):
+        if default_delay < 0:
+            raise ValueError(f"default_delay must be >= 0, got {default_delay}")
+        self.default_delay = float(default_delay)
+        self.per_link = dict(per_link or {})
+        for (a, b), d in self.per_link.items():
+            if d < 0:
+                raise ValueError(f"delay for link {(a, b)} must be >= 0, got {d}")
+
+    def delay(self, sender: str, recipient: str) -> float:
+        """One-way delay for a message on this link."""
+        return self.per_link.get((sender, recipient), self.default_delay)
+
+
+class FaultModel:
+    """Seeded message-loss and crash-stop fault injection.
+
+    Parameters
+    ----------
+    drop_probability:
+        Each message is silently lost with this probability (independent
+        draws from ``seed``).
+    crashed:
+        Node ids whose inbound messages are blackholed (crash-stop: a
+        dead server neither receives nor answers).  The set may be
+        mutated mid-run to crash nodes at a chosen protocol phase.
+    seed:
+        RNG for the loss draws.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        crashed: set[str] | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        self.drop_probability = drop_probability
+        self.crashed: set[str] = set(crashed or ())
+        self._rng = as_generator(seed)
+        self.dropped = 0
+
+    def crash(self, node_id: str) -> None:
+        """Mark ``node_id`` crashed from now on."""
+        self.crashed.add(node_id)
+
+    def should_drop(self, msg: Message) -> bool:
+        """Decide (and account) whether ``msg`` is lost."""
+        if msg.recipient in self.crashed or msg.sender in self.crashed:
+            self.dropped += 1
+            return True
+        if self.drop_probability > 0.0 and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return True
+        return False
+
+
+@dataclass
+class BusStats:
+    """Aggregate traffic statistics."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.wire_bytes
+        kind = type(msg).__name__
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def summary(self) -> str:
+        """Human-readable digest of the traffic."""
+        kinds = ", ".join(f"{k}: {v}" for k, v in sorted(self.by_kind.items()))
+        return f"{self.messages} messages / {self.bytes} B ({kinds})"
+
+
+class MessageBus:
+    """Deterministic delivery between named nodes.
+
+    Without a :class:`LatencyModel` delivery is FIFO (send order); with
+    one, messages arrive in virtual-time order and :attr:`clock` tracks
+    the latest delivery — the protocol makespan.  Optional
+    :class:`FaultModel` injection applies in either mode.
+    """
+
+    def __init__(
+        self,
+        faults: FaultModel | None = None,
+        latency: LatencyModel | None = None,
+    ):
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._queue: list[tuple[float, int, Message]] = []
+        self._seq = itertools.count()
+        self.stats = BusStats()
+        self.faults = faults
+        self.latency = latency
+        self.clock = 0.0
+
+    def register(self, node_id: str, handler: Callable[[Message], None]) -> None:
+        """Attach ``handler`` for messages addressed to ``node_id``."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+
+    def send(self, msg: Message) -> None:
+        """Enqueue ``msg`` for delivery (or lose it, per the fault model).
+
+        With a latency model the message is stamped to arrive one
+        link-delay after the *current* virtual time (handlers execute at
+        their message's arrival instant, so replies chain correctly).
+        """
+        if msg.recipient not in self._handlers:
+            raise KeyError(f"unknown recipient {msg.recipient!r}")
+        self.stats.record(msg)
+        if self.faults is not None and self.faults.should_drop(msg):
+            return
+        arrival = (
+            self.clock + self.latency.delay(msg.sender, msg.recipient)
+            if self.latency is not None
+            else self.clock
+        )
+        heapq.heappush(self._queue, (arrival, next(self._seq), msg))
+
+    def run_until_idle(self, max_deliveries: int = 1_000_000) -> int:
+        """Deliver queued messages (and any they trigger) until quiet.
+
+        Returns the number of deliveries.  ``max_deliveries`` guards
+        against protocol bugs that would loop forever.
+        """
+        delivered = 0
+        while self._queue:
+            if delivered >= max_deliveries:
+                raise RuntimeError(
+                    f"message bus exceeded {max_deliveries} deliveries — "
+                    "protocol livelock?"
+                )
+            arrival, _, msg = heapq.heappop(self._queue)
+            self.clock = max(self.clock, arrival)
+            self._handlers[msg.recipient](msg)
+            delivered += 1
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        """Messages currently queued."""
+        return len(self._queue)

@@ -1,0 +1,102 @@
+"""Typed message vocabulary of the off-loading protocol (Section 4.2).
+
+Four message kinds flow between the repository and the local servers:
+
+* :class:`StatusMessage` — server → repository, after local allocation:
+  free space, spare processing capacity, imposed repository workload.
+* :class:`NewRequirementMessage` — repository → server: "absorb this
+  much workload" (``Send_Message(S_i, NewReq(S_i))``).
+* :class:`WorkloadAnswerMessage` — server → repository: how much it
+  actually absorbed, and whether it is now exhausted (joins ``L3``).
+* :class:`OffloadEndMessage` — repository → all servers: negotiation
+  over (``Send_Message(Off_Loading_END)``).
+
+Messages carry a nominal wire size so the bus can account for bytes as
+well as message counts; the sizes are small constants — the paper's
+point is precisely that this negotiation is cheap compared with
+per-object replication chatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.offload import ServerStatus
+
+__all__ = [
+    "Message",
+    "StatusMessage",
+    "NewRequirementMessage",
+    "WorkloadAnswerMessage",
+    "OffloadEndMessage",
+]
+
+#: Node id used for the repository on the bus.
+REPOSITORY_NODE = "repository"
+
+
+def server_node(server_id: int) -> str:
+    """Bus address of local server ``server_id``."""
+    return f"server:{server_id}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base envelope: sender/recipient are bus node ids."""
+
+    sender: str
+    recipient: str
+
+    @property
+    def wire_bytes(self) -> int:
+        """Nominal payload size in bytes (headers excluded)."""
+        return 16
+
+
+@dataclass(frozen=True)
+class StatusMessage(Message):
+    """``S_i`` → ``R``: Space(S_i), P(S_i), P(S_i, R)."""
+
+    status: ServerStatus = field(kw_only=True)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 16 + 3 * 8  # three 64-bit quantities
+
+
+@dataclass(frozen=True)
+class NewRequirementMessage(Message):
+    """``R`` → ``S_i``: absorb ``amount`` req/s of repository workload."""
+
+    amount: float = field(kw_only=True)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 16 + 8
+
+
+@dataclass(frozen=True)
+class WorkloadAnswerMessage(Message):
+    """``S_i`` → ``R``: ``achieved`` req/s absorbed; ``exhausted`` marks
+    the server as belonging to ``L3`` from now on.  The answer piggybacks
+    the server's refreshed status so the repository never needs an extra
+    status round-trip."""
+
+    achieved: float = field(kw_only=True)
+    exhausted: bool = field(kw_only=True, default=False)
+    status: ServerStatus = field(kw_only=True)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 16 + 8 + 1 + 3 * 8
+
+
+@dataclass(frozen=True)
+class OffloadEndMessage(Message):
+    """``R`` → all: the negotiation has terminated."""
+
+    restored: bool = field(kw_only=True, default=True)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 16 + 1

@@ -1,0 +1,138 @@
+"""Drive a full distributed policy run over the message bus.
+
+:func:`run_distributed_policy` is the decentralised twin of
+:class:`repro.core.policy.RepositoryReplicationPolicy.run`:
+
+1. every :class:`~repro.network.nodes.LocalServerNode` computes its own
+   allocation (PARTITION + restoration) using only its local pages,
+2. all servers send status messages,
+3. the :class:`~repro.network.nodes.RepositoryNode` runs the off-loading
+   rounds until Eq. 9 holds or no server can absorb more,
+4. the bus drains; the final allocation and full traffic statistics are
+   returned.
+
+The result is asserted (by tests) to be identical to the centralised
+pipeline — the protocol moves control flow, not decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.constraints import ConstraintReport, evaluate_constraints
+from repro.core.cost_model import CostModel
+from repro.core.partition import OptionalPolicy
+from repro.core.types import SystemModel
+from repro.network.bus import BusStats, FaultModel, LatencyModel, MessageBus
+from repro.network.nodes import LocalServerNode, RepositoryNode
+
+__all__ = ["DistributedRunResult", "run_distributed_policy"]
+
+#: Safety bound on stall-recovery iterations (each recovery demotes at
+#: least one server or finalises, so n_servers + 2 always suffices).
+_MAX_RECOVERIES = 1000
+
+
+@dataclass
+class DistributedRunResult:
+    """Outcome of a distributed policy execution."""
+
+    allocation: Allocation
+    objective: float
+    constraints: ConstraintReport
+    bus_stats: BusStats
+    offload_rounds: int
+    offload_restored: bool
+    absorbed_by_server: dict[int, float]
+    makespan: float = 0.0
+    """Virtual-time length of the negotiation (0 without a latency
+    model): status collection through the END broadcast."""
+
+    @property
+    def feasible(self) -> bool:
+        """Whether all constraints hold at exit."""
+        return self.constraints.ok
+
+    def summary(self) -> str:
+        """Human-readable digest including protocol traffic."""
+        return (
+            f"D = {self.objective:.4g}; {self.constraints.summary()}; "
+            f"off-loading rounds: {self.offload_rounds} "
+            f"({'restored' if self.offload_restored else 'NOT restored'}); "
+            f"traffic: {self.bus_stats.summary()}"
+        )
+
+
+def run_distributed_policy(
+    model: SystemModel,
+    alpha1: float = 2.0,
+    alpha2: float = 1.0,
+    optional_policy: OptionalPolicy = "all",
+    max_rounds: int = 50,
+    allow_swap: bool = True,
+    faults: FaultModel | None = None,
+    latency: LatencyModel | None = None,
+) -> DistributedRunResult:
+    """Execute the Section 4 scheme as an actual message protocol.
+
+    Parameters
+    ----------
+    latency:
+        Optional :class:`~repro.network.bus.LatencyModel`; when given,
+        the bus delivers in virtual-time order and the result's
+        ``makespan`` reports how long the negotiation takes on the wire
+        (the off-peak-hours window it must fit into).
+    faults:
+        Optional :class:`~repro.network.bus.FaultModel` injecting message
+        loss and crash-stop servers.  The repository recovers from
+        resulting stalls by demoting unresponsive servers to ``L3``
+        (see :meth:`RepositoryNode.recover_from_stall`), so the protocol
+        always terminates — possibly with Eq. 9 unrestored, never hung.
+    """
+    cost = CostModel(model, alpha1, alpha2)
+    alloc = Allocation(model)
+    bus = MessageBus(faults=faults, latency=latency)
+    repo = RepositoryNode(
+        capacity=model.repository.processing_capacity,
+        n_servers=model.n_servers,
+        bus=bus,
+        max_rounds=max_rounds,
+    )
+    servers = [
+        LocalServerNode(
+            i, alloc, cost, bus, optional_policy=optional_policy, allow_swap=allow_swap
+        )
+        for i in range(model.n_servers)
+    ]
+
+    # Phase 1: each server decides locally (may run in any order).
+    for node in servers:
+        if faults is None or node.node_id not in faults.crashed:
+            node.run_local_allocation()
+    # Phase 2: statuses flow to the repository; the bus drives the rest.
+    for node in servers:
+        if faults is None or node.node_id not in faults.crashed:
+            node.send_status()
+    bus.run_until_idle()
+    for _ in range(_MAX_RECOVERIES):
+        if repo.finished:
+            break
+        progressed = repo.recover_from_stall()
+        bus.run_until_idle()
+        if not progressed and not repo.finished:  # pragma: no cover
+            raise RuntimeError("off-loading protocol cannot make progress")
+
+    if not repo.finished:  # pragma: no cover - defensive
+        raise RuntimeError("protocol ended with the repository mid-round")
+
+    return DistributedRunResult(
+        allocation=alloc,
+        objective=cost.D(alloc),
+        constraints=evaluate_constraints(alloc),
+        bus_stats=bus.stats,
+        offload_rounds=repo.rounds,
+        offload_restored=repo.restored,
+        absorbed_by_server=dict(repo.absorbed_by_server),
+        makespan=bus.clock,
+    )

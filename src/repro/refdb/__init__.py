@@ -1,0 +1,32 @@
+"""The reference database and on-the-fly URL rewriting (Section 2).
+
+The paper's serving path: when an HTML file is created or updated, the
+local server parses it, records every multimedia URL and its position in
+a **reference database**, and — on each request — "replaces on the fly
+the remote URLs with the local ones" for the objects the allocation
+marks for local download.  This is how the scheme avoids all redirection
+latency: the split is baked into the HTML the client receives, and the
+rewrite is pure in-memory computation ("minimal compared to the network
+latency").
+
+* :mod:`repro.refdb.documents` — synthesises the HTML documents of a
+  :class:`~repro.core.types.SystemModel` (deterministic, sized to each
+  page's ``Size(H_j)``),
+* :mod:`repro.refdb.database` — parses documents into positional URL
+  entries and serves allocation-rewritten HTML.
+
+``benchmarks/bench_refdb_latency.py`` quantifies the paper's claim by
+comparing the rewrite latency against the connection overheads of
+Table 1.
+"""
+
+from repro.refdb.database import ReferenceDatabase, ReferenceEntry
+from repro.refdb.documents import LOCAL_BASE, REPO_BASE, render_html
+
+__all__ = [
+    "ReferenceDatabase",
+    "ReferenceEntry",
+    "render_html",
+    "REPO_BASE",
+    "LOCAL_BASE",
+]

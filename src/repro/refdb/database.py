@@ -1,0 +1,148 @@
+"""The reference database: positional URL index + on-the-fly rewriting.
+
+Build once per document update (:meth:`ReferenceDatabase.index_page` —
+the parse the paper performs "upon creation or update of an HTML file"),
+then serve each request by splicing the stored document around the
+recorded URL spans, pointing every locally-marked object at the local
+server (:meth:`ReferenceDatabase.serve`).  Serving is O(document size)
+string assembly with zero parsing — the "fast indexing scheme" the paper
+assumes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+from repro.refdb.documents import LOCAL_BASE, REPO_BASE, object_url, render_html
+
+__all__ = ["ReferenceEntry", "ReferenceDatabase"]
+
+_URL_RE = re.compile(
+    re.escape(REPO_BASE) + r"/(?P<oid>\d{6})\.bin"
+)
+
+
+@dataclass(frozen=True)
+class ReferenceEntry:
+    """One multimedia URL occurrence inside a stored document."""
+
+    object_id: int
+    start: int
+    """Byte offset of the URL in the document."""
+    end: int
+    """One past the URL's last byte."""
+    kind: str
+    """``"compulsory"`` or ``"optional"`` (from the page's structure)."""
+
+
+class ReferenceDatabase:
+    """Per-page positional URL index over authored documents."""
+
+    def __init__(self, model: SystemModel):
+        self.model = model
+        self._documents: dict[int, str] = {}
+        self._entries: dict[int, tuple[ReferenceEntry, ...]] = {}
+        self.rewrites_served = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, model: SystemModel) -> "ReferenceDatabase":
+        """Author + index every page of ``model``."""
+        db = cls(model)
+        for j in range(model.n_pages):
+            db.index_page(j)
+        return db
+
+    def index_page(self, page_id: int, document: str | None = None) -> None:
+        """(Re-)parse one page's document into positional entries.
+
+        Parameters
+        ----------
+        page_id:
+            The page to index.
+        document:
+            Updated document text; ``None`` re-authors the canonical one.
+
+        Raises
+        ------
+        ValueError
+            If the document references an object the page's structure
+            does not declare (a stale page/DB mismatch).
+        """
+        page = self.model.pages[page_id]
+        doc = document if document is not None else render_html(self.model, page_id)
+        compulsory = set(page.compulsory)
+        optional = set(page.optional)
+        entries = []
+        for match in _URL_RE.finditer(doc):
+            oid = int(match.group("oid"))
+            if oid in compulsory:
+                kind = "compulsory"
+            elif oid in optional:
+                kind = "optional"
+            else:
+                raise ValueError(
+                    f"page {page_id}: document references object {oid} "
+                    "which the page structure does not declare"
+                )
+            entries.append(
+                ReferenceEntry(
+                    object_id=oid, start=match.start(), end=match.end(), kind=kind
+                )
+            )
+        self._documents[page_id] = doc
+        self._entries[page_id] = tuple(entries)
+
+    # ------------------------------------------------------------------
+    def entries(self, page_id: int) -> tuple[ReferenceEntry, ...]:
+        """The positional index of ``page_id`` (indexed pages only)."""
+        return self._entries[page_id]
+
+    def document(self, page_id: int) -> str:
+        """The stored (authored) document."""
+        return self._documents[page_id]
+
+    def serve(self, page_id: int, alloc: Allocation) -> str:
+        """The HTML a client receives under ``alloc``.
+
+        Every URL whose object is marked for local download (``X'``) is
+        rewritten to the hosting server's base; the rest keep their
+        repository URLs.  Pure splicing around the pre-parsed spans.
+        """
+        if alloc.model is not self.model:
+            raise ValueError("allocation and database must share the model")
+        page = self.model.pages[page_id]
+        doc = self._documents[page_id]
+        local_base = LOCAL_BASE.format(server_id=page.server)
+
+        comp_marks = dict(zip(page.compulsory, alloc.page_comp_marks(page_id)))
+        opt_marks = dict(zip(page.optional, alloc.page_opt_marks(page_id)))
+
+        pieces: list[str] = []
+        cursor = 0
+        for entry in self._entries[page_id]:
+            local = (
+                comp_marks.get(entry.object_id, False)
+                if entry.kind == "compulsory"
+                else opt_marks.get(entry.object_id, False)
+            )
+            if local:
+                pieces.append(doc[cursor : entry.start])
+                pieces.append(object_url(entry.object_id, local_base))
+                cursor = entry.end
+        pieces.append(doc[cursor:])
+        self.rewrites_served += 1
+        return "".join(pieces)
+
+    def split_for(self, page_id: int, alloc: Allocation) -> tuple[list[int], list[int]]:
+        """Convenience: ``(local_object_ids, remote_object_ids)`` of the
+        page's compulsory set under ``alloc`` — what the served HTML
+        implies the browser will fetch from each connection."""
+        page = self.model.pages[page_id]
+        marks = alloc.page_comp_marks(page_id)
+        local = [k for k, m in zip(page.compulsory, marks) if m]
+        remote = [k for k, m in zip(page.compulsory, marks) if not m]
+        return local, remote

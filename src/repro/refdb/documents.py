@@ -1,0 +1,63 @@
+"""Synthetic HTML documents for the system's pages.
+
+Each page's document embeds its compulsory MOs as ``<img>``/``<embed>``
+tags and its optional MOs as ``<a href>`` links, all initially pointing
+at the repository (the authoring convention of Section 2: authors
+"refer to distant sites holding large multimedia objects without
+necessarily copying them locally").  Deterministic filler text pads the
+document to the page's ``Size(H_j)``, so the byte sizes the cost model
+uses and the documents the reference database parses agree.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import SystemModel
+
+__all__ = ["render_html", "REPO_BASE", "LOCAL_BASE", "object_url"]
+
+#: URL prefix of the central repository.
+REPO_BASE = "http://repository.example.com/mo"
+#: URL prefix template of a local server (formatted with the server id).
+LOCAL_BASE = "http://ls{server_id}.example.com/mo"
+
+_FILLER = (
+    "Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do "
+    "eiusmod tempor incididunt ut labore et dolore magna aliqua. "
+)
+
+
+def object_url(object_id: int, base: str = REPO_BASE) -> str:
+    """Canonical URL of ``M_k`` under ``base``."""
+    return f"{base}/{object_id:06d}.bin"
+
+
+def render_html(model: SystemModel, page_id: int) -> str:
+    """The authored document of ``W_j`` (every MO URL points at ``R``).
+
+    The document is padded with filler text to the page's ``Size(H_j)``
+    bytes; when the structural markup alone exceeds the target size the
+    document is returned unpadded (sizes in generated workloads are
+    large enough that this only happens in hand-built toy models).
+    """
+    page = model.pages[page_id]
+    lines = [
+        "<!DOCTYPE html>",
+        "<html>",
+        f"<head><title>Page {page_id}</title></head>",
+        "<body>",
+        f"<h1>W_{page_id}</h1>",
+    ]
+    for k in page.compulsory:
+        lines.append(f'<img src="{object_url(k)}" alt="mo-{k}">')
+    for k in page.optional:
+        lines.append(f'<a href="{object_url(k)}">extra {k}</a>')
+    lines.append("<p>")
+    skeleton = "\n".join(lines) + "\n"
+    suffix = "</p>\n</body>\n</html>\n"
+    target = int(page.html_size)
+    need = target - len(skeleton) - len(suffix)
+    filler = ""
+    if need > 0:
+        reps = need // len(_FILLER) + 1
+        filler = (_FILLER * reps)[:need]
+    return skeleton + filler + suffix

@@ -1,0 +1,37 @@
+"""Request-level evaluation of allocations (Section 5.1).
+
+The paper evaluates policies by replaying 10,000 requests per server
+while the *actual* transfer rates and connection overheads deviate from
+the estimations the allocation decisions used:
+
+* :mod:`repro.simulation.perturbation` — the deviation mixture,
+* :mod:`repro.simulation.engine` — vectorised replay of a trace under an
+  allocation (two parallel pipelined streams per page request, fresh
+  connections per optional download),
+* :mod:`repro.simulation.lru_sim` — the sequential, stateful replay the
+  ideal LRU baseline needs,
+* :mod:`repro.simulation.metrics` — response-time aggregation.
+"""
+
+from repro.simulation.engine import simulate_allocation
+from repro.simulation.lru_sim import LruCache, simulate_lru
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.perturbation import (
+    IDENTITY_PERTURBATION,
+    PAPER_PERTURBATION,
+    FactorMixture,
+    PerturbationModel,
+    UniformFactor,
+)
+
+__all__ = [
+    "simulate_allocation",
+    "simulate_lru",
+    "LruCache",
+    "SimulationResult",
+    "PerturbationModel",
+    "FactorMixture",
+    "UniformFactor",
+    "PAPER_PERTURBATION",
+    "IDENTITY_PERTURBATION",
+]

@@ -1,0 +1,354 @@
+"""Stateful replay for cache baselines (Section 5.2's ideal LRU, plus
+GreedyDual-Size).
+
+The paper compares against "an ideal LRU caching/redirection scheme with
+0 redirection overhead": each local server keeps an LRU cache of
+multimedia objects; a requested object found in the cache is served over
+the local pipelined stream, a miss is served directly from the
+repository (paying only the repository's normal connection attributes —
+the *redirection* itself is free, the idealisation) and is then inserted
+into the cache, evicting least-recently-used objects as needed.
+
+Consequences the paper highlights:
+
+* at 100% storage the cache eventually holds everything and LRU
+  degenerates to the Local policy (all objects on one stream), which is
+  why "LRU's performance is comparable to the local policy" there;
+* LRU adapts to the realised request stream rather than to frequency
+  estimates, which is its advantage at small cache sizes.
+
+The replay is two-pass: a sequential pass over each server's requests
+resolves every download to hit/miss (pure dict work), then the shared
+vectorised measurement core (:func:`repro.simulation.engine.
+simulate_partition_masks`) prices the resulting local/remote split.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.engine import expand_ragged, simulate_partition_masks
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.perturbation import PAPER_PERTURBATION, PerturbationModel
+from repro.util.rng import as_generator
+from repro.workload.trace import RequestTrace
+
+__all__ = ["LruCache", "GreedyDualSizeCache", "LruStats", "simulate_lru"]
+
+
+class LruCache:
+    """A byte-budgeted LRU cache of multimedia objects.
+
+    ``access`` is the single entry point: it reports whether the object
+    was a hit, refreshes its recency (on hit) or inserts it (on miss),
+    and evicts least-recently-used objects until the budget holds.
+    Objects larger than the whole budget are never cached.
+    """
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity = float(capacity_bytes)
+        self._entries: OrderedDict[int, float] = OrderedDict()
+        self.used = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, object_id: int, size: float, cost: float | None = None) -> bool:
+        """Record an access; return ``True`` on hit.
+
+        A hit with a *different* size (an updated object) adjusts the
+        accounted bytes and may trigger evictions.  ``cost`` is accepted
+        for interface parity with the cost-aware caches and ignored.
+        """
+        if object_id in self._entries:
+            old = self._entries[object_id]
+            self._entries.move_to_end(object_id)
+            self.hits += 1
+            if size != old:
+                self._entries[object_id] = size
+                self.used += size - old
+                self._evict_to_fit(keep=object_id)
+            return True
+        self.misses += 1
+        if size <= self.capacity:
+            self._entries[object_id] = size
+            self.used += size
+            self._evict_to_fit()
+        return False
+
+    def _evict_to_fit(self, keep: int | None = None) -> None:
+        while self.used > self.capacity and self._entries:
+            key = next(iter(self._entries))
+            if key == keep:
+                if len(self._entries) == 1:
+                    # the refreshed object alone exceeds the budget
+                    self.used -= self._entries.pop(key)
+                    self.evictions += 1
+                    return
+                self._entries.move_to_end(key)
+                continue
+            self.used -= self._entries.pop(key)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class GreedyDualSizeCache:
+    """GreedyDual-Size (Cao & Irani, USITS 1997) — the strongest
+    size-aware web-cache policy contemporaneous with the paper.
+
+    Each cached object carries a credit ``H = L + cost/size`` where ``L``
+    is an inflating baseline; eviction removes the minimum-``H`` object
+    and raises ``L`` to its credit, so objects decay unless re-accessed.
+    ``cost`` is the miss penalty — here the repository download latency
+    ``Ovhd(R,S_i) + Size/B(R,S_i)`` — so ``cost/size`` rewards small
+    objects (their connection overhead amortises over few bytes),
+    which is exactly GDS's edge over LRU.  With a cost *proportional* to
+    size the credit becomes uniform and GDS provably degenerates to LRU
+    (with the standard recency tie-break), a property the tests pin.
+
+    The class mirrors :class:`LruCache`'s ``access`` interface so
+    :func:`simulate_lru` accepts either via its ``cache_factory`` hook.
+    """
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity = float(capacity_bytes)
+        self._credit: dict[int, float] = {}
+        self._sizes: dict[int, float] = {}
+        self._touched: dict[int, int] = {}
+        # lazy min-heap of (credit, touch_seq, object_id); entries whose
+        # credit/touch no longer match the dicts are stale and discarded
+        # on pop — the standard O(log n) GreedyDual implementation
+        self._heap: list[tuple[float, int, int]] = []
+        self._seq = 0
+        self._baseline = 0.0
+        self.used = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._credit
+
+    def __len__(self) -> int:
+        return len(self._credit)
+
+    def _set_credit(self, object_id: int, credit: float) -> None:
+        self._credit[object_id] = credit
+        self._touched[object_id] = self._seq
+        heapq.heappush(self._heap, (credit, self._seq, object_id))
+
+    def _evict_one(self, protect: int | None = None) -> bool:
+        deferred: tuple[float, int, int] | None = None
+        while self._heap:
+            credit, touched, k = heapq.heappop(self._heap)
+            if (
+                k not in self._credit
+                or self._credit[k] != credit
+                or self._touched[k] != touched
+            ):
+                continue  # stale entry
+            if k == protect:
+                deferred = (credit, touched, k)
+                continue
+            self._baseline = credit
+            self.used -= self._sizes.pop(k)
+            del self._credit[k]
+            del self._touched[k]
+            self.evictions += 1
+            if deferred is not None:
+                heapq.heappush(self._heap, deferred)
+            return True
+        if deferred is not None:
+            heapq.heappush(self._heap, deferred)
+        return False
+
+    def access(self, object_id: int, size: float, cost: float | None = None) -> bool:
+        """Record an access; return ``True`` on hit.
+
+        ``cost`` is the miss penalty used for the credit (defaults to
+        ``size``, i.e. the LRU-degenerate uniform credit).
+        """
+        self._seq += 1
+        credit = self._baseline + (size if cost is None else cost) / max(size, 1e-12)
+        if object_id in self._credit:
+            self.hits += 1
+            self._set_credit(object_id, credit)
+            old = self._sizes[object_id]
+            if size != old:
+                self._sizes[object_id] = size
+                self.used += size - old
+                while self.used > self.capacity and self._credit:
+                    self._evict_one()
+            return True
+        self.misses += 1
+        if size <= self.capacity:
+            self._sizes[object_id] = size
+            self._set_credit(object_id, credit)
+            self.used += size
+            # never immediately evict the object just admitted unless it
+            # alone still overflows the budget
+            while self.used > self.capacity:
+                if not self._evict_one(protect=object_id):
+                    break
+            if self.used > self.capacity and object_id in self._credit:
+                self.used -= self._sizes.pop(object_id)
+                del self._credit[object_id]
+                del self._touched[object_id]
+                self.evictions += 1
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class LruStats:
+    """Aggregate cache behaviour of one LRU replay."""
+
+    hits: int
+    misses: int
+    evictions: int
+    final_bytes_by_server: np.ndarray
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate across all servers."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def simulate_lru(
+    trace: RequestTrace,
+    cache_bytes: np.ndarray | float,
+    perturbation: PerturbationModel = PAPER_PERTURBATION,
+    seed: int | np.random.Generator | None = 2,
+    local_service_prob: float = 1.0,
+    extra_remote_overhead: float = 0.0,
+    cache_factory=LruCache,
+) -> tuple[SimulationResult, LruStats]:
+    """Replay ``trace`` through per-server LRU caches.
+
+    Parameters
+    ----------
+    trace:
+        The request trace (requests are processed in trace order within
+        each server; caches are independent across servers).
+    cache_bytes:
+        Cache budget per server for multimedia objects — a scalar or a
+        per-server array.  HTML documents live outside the cache (they
+        are always hosted locally).
+    perturbation:
+        Deviation model for actual network attributes.
+    seed:
+        RNG for perturbations and the capacity coin-flips.
+    local_service_prob:
+        Models the Eq. 8 processing-capacity constraint the paper applies
+        to LRU: each cache hit is actually served locally only with this
+        probability (an overloaded server bounces the download to the
+        repository). 1.0 = unconstrained.
+    extra_remote_overhead:
+        Extra redirection latency per remote download; the paper's
+        *ideal* scheme uses 0.
+    cache_factory:
+        Cache class constructed per server with one positional byte
+        budget — :class:`LruCache` (default, the paper's baseline) or
+        :class:`GreedyDualSizeCache`.
+
+    Returns
+    -------
+    (SimulationResult, LruStats)
+    """
+    m = trace.model
+    rng = as_generator(seed)
+    budgets = np.broadcast_to(
+        np.asarray(cache_bytes, dtype=float), (m.n_servers,)
+    )
+    if not 0.0 <= local_service_prob <= 1.0:
+        raise ValueError(
+            f"local_service_prob must be in [0, 1], got {local_service_prob}"
+        )
+
+    caches = [cache_factory(budgets[i]) for i in range(m.n_servers)]
+
+    owner, entries = expand_ragged(trace.page_of_request, m.comp_indptr)
+    pair_local = np.zeros(len(entries), dtype=bool)
+    opt_local = np.zeros(trace.n_optional_downloads, dtype=bool)
+
+    # group the trace's optional downloads by owning request for ordering
+    opt_by_owner: dict[int, list[int]] = {}
+    for idx, r in enumerate(trace.opt_owner):
+        opt_by_owner.setdefault(int(r), []).append(idx)
+
+    # pair ranges per request (entries are laid out in request order)
+    counts = m.comp_indptr[trace.page_of_request + 1] - m.comp_indptr[
+        trace.page_of_request
+    ]
+    pair_starts = np.concatenate(([0], np.cumsum(counts)))
+
+    sizes = m.sizes
+    comp_objects = m.comp_objects
+    opt_objects = m.opt_objects
+
+    for i in range(m.n_servers):
+        cache = caches[i]
+        repo_ovhd = float(m.server_repo_overhead[i])
+        repo_spb = 1.0 / float(m.server_repo_rate[i])
+        for r in trace.requests_for_server(i):
+            r = int(r)
+            lo, hi = int(pair_starts[r]), int(pair_starts[r + 1])
+            for p in range(lo, hi):
+                k = int(comp_objects[entries[p]])
+                size_k = float(sizes[k])
+                hit = cache.access(k, size_k, cost=repo_ovhd + size_k * repo_spb)
+                if hit and (
+                    local_service_prob >= 1.0
+                    or rng.random() < local_service_prob
+                ):
+                    pair_local[p] = True
+            for d in opt_by_owner.get(r, ()):
+                k = int(opt_objects[trace.opt_entries[d]])
+                size_k = float(sizes[k])
+                hit = cache.access(k, size_k, cost=repo_ovhd + size_k * repo_spb)
+                if hit and (
+                    local_service_prob >= 1.0
+                    or rng.random() < local_service_prob
+                ):
+                    opt_local[d] = True
+
+    result = simulate_partition_masks(
+        trace,
+        pair_local,
+        opt_local,
+        perturbation=perturbation,
+        seed=rng,
+        extra_remote_overhead=extra_remote_overhead,
+    )
+    stats = LruStats(
+        hits=sum(c.hits for c in caches),
+        misses=sum(c.misses for c in caches),
+        evictions=sum(c.evictions for c in caches),
+        final_bytes_by_server=np.array([c.used for c in caches]),
+    )
+    return result, stats

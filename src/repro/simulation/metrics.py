@@ -1,0 +1,96 @@
+"""Response-time metrics collected by the simulators.
+
+The figures of the paper plot the **average response time** of page
+retrievals ("Increase in Response Time"); :class:`SimulationResult`
+carries the raw per-request samples so percentiles, per-server
+breakdowns, and the weighted composite (mirroring Eq. 7's
+:math:`\\alpha_1 D_1 + \\alpha_2 D_2` weighting) are all derivable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Raw outcome of replaying one trace under one allocation."""
+
+    page_times: np.ndarray
+    """Response time of each page request (Eq. 5 with actual attributes)."""
+    local_stream_times: np.ndarray
+    """The local-connection component of each page request."""
+    remote_stream_times: np.ndarray
+    """The repository-connection component (0 when nothing was remote)."""
+    optional_times: np.ndarray
+    """Response time of each optional-object download in the trace."""
+    server_of_request: np.ndarray
+    """Hosting server per page request (for per-server breakdowns)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        """Number of page requests replayed."""
+        return len(self.page_times)
+
+    @property
+    def mean_page_time(self) -> float:
+        """Average page response time — the figures' headline metric."""
+        return float(self.page_times.mean()) if self.n_requests else 0.0
+
+    @property
+    def mean_optional_time(self) -> float:
+        """Average optional-download response time."""
+        return (
+            float(self.optional_times.mean()) if len(self.optional_times) else 0.0
+        )
+
+    def composite_time(self, alpha1: float = 2.0, alpha2: float = 1.0) -> float:
+        """Eq. 7-weighted average over all response events.
+
+        Page requests carry weight ``alpha1``, optional downloads weight
+        ``alpha2``; the result is the weighted mean response time.
+        """
+        wp = alpha1 * self.page_times.sum()
+        wo = alpha2 * self.optional_times.sum()
+        denom = alpha1 * len(self.page_times) + alpha2 * len(self.optional_times)
+        return float((wp + wo) / denom) if denom else 0.0
+
+    def percentile_page_time(self, q: float) -> float:
+        """``q``-th percentile of page response time (q in [0, 100])."""
+        if not self.n_requests:
+            return 0.0
+        return float(np.percentile(self.page_times, q))
+
+    def mean_page_time_by_server(self, n_servers: int) -> np.ndarray:
+        """Per-server average page response time."""
+        out = np.zeros(n_servers)
+        for i in range(n_servers):
+            mask = self.server_of_request == i
+            if mask.any():
+                out[i] = self.page_times[mask].mean()
+        return out
+
+    def bottleneck_fraction_remote(self) -> float:
+        """Fraction of page requests whose repository stream was the
+        slower of the two (diagnoses which side limits response time)."""
+        if not self.n_requests:
+            return 0.0
+        return float(
+            (self.remote_stream_times >= self.local_stream_times).mean()
+        )
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        return (
+            f"{self.n_requests} page requests: mean {self.mean_page_time:.2f}s, "
+            f"p50 {self.percentile_page_time(50):.2f}s, "
+            f"p95 {self.percentile_page_time(95):.2f}s; "
+            f"{len(self.optional_times)} optional downloads: mean "
+            f"{self.mean_optional_time:.2f}s; repo-bound fraction "
+            f"{self.bottleneck_fraction_remote():.0%}"
+        )

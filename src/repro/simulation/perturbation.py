@@ -1,0 +1,155 @@
+"""The Section 5.1 rate/overhead perturbation model.
+
+"In order to simulate real life situations where the actual transfer
+rates and initial overheads differ from the estimations used when
+deciding about the object placement":
+
+* **local transfer rate** — per HTTP request, 60% of requests are served
+  within ±10% of the estimate, 30% at between 1/2 and 1/3 of it, and 10%
+  (network congestion) at between 1/4 and 1/6;
+* **repository transfer rate** — ±20% of the estimate;
+* **repository connection overhead** — ±20%;
+* **local connection overhead** — −10% … +50%.
+
+All perturbations are expressed as multiplicative *factors on the
+estimated rate/overhead* and are drawn independently per HTTP request
+("distinct for each HTTP request", Section 3).  The asymmetry — local
+attributes degrade hard while repository attributes stay near their
+estimates — is deliberate: it stress-tests a policy whose estimations
+led it to replicate aggressively (Section 5.1, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+__all__ = [
+    "UniformFactor",
+    "FactorMixture",
+    "PerturbationModel",
+    "PAPER_PERTURBATION",
+    "IDENTITY_PERTURBATION",
+]
+
+
+@dataclass(frozen=True)
+class UniformFactor:
+    """A uniform multiplicative factor in ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ValueError(
+                f"need 0 < low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` factors."""
+        if self.low == self.high:
+            return np.full(n, self.low)
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        """Expected factor."""
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class FactorMixture:
+    """A finite mixture of :class:`UniformFactor` components."""
+
+    weights: tuple[float, ...]
+    components: tuple[UniformFactor, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.components):
+            raise ValueError("weights and components must have equal length")
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        total = sum(self.weights)
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"mixture weights must sum to 1, got {total}")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("mixture weights must be non-negative")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` factors from the mixture."""
+        out = np.empty(n)
+        which = rng.choice(len(self.components), size=n, p=np.asarray(self.weights))
+        for idx, comp in enumerate(self.components):
+            mask = which == idx
+            cnt = int(mask.sum())
+            if cnt:
+                out[mask] = comp.sample(rng, cnt)
+        return out
+
+    def mean(self) -> float:
+        """Expected factor."""
+        return float(
+            sum(w * c.mean() for w, c in zip(self.weights, self.components))
+        )
+
+
+@dataclass(frozen=True)
+class PerturbationModel:
+    """Per-HTTP-request deviation factors for all four network attributes.
+
+    Rate factors multiply the estimated *rate* (a factor of 0.5 means the
+    request is served at half the estimated speed, i.e. twice the time);
+    overhead factors multiply the estimated connection overhead.
+    """
+
+    local_rate: FactorMixture
+    repo_rate: FactorMixture
+    local_overhead: FactorMixture
+    repo_overhead: FactorMixture
+
+    def sample_local_rate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Rate factors for ``n`` local HTTP requests."""
+        return self.local_rate.sample(rng, n)
+
+    def sample_repo_rate(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Rate factors for ``n`` repository HTTP requests."""
+        return self.repo_rate.sample(rng, n)
+
+    def sample_local_overhead(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Overhead factors for ``n`` local connections."""
+        return self.local_overhead.sample(rng, n)
+
+    def sample_repo_overhead(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Overhead factors for ``n`` repository connections."""
+        return self.repo_overhead.sample(rng, n)
+
+
+def _single(low: float, high: float) -> FactorMixture:
+    return FactorMixture(weights=(1.0,), components=(UniformFactor(low, high),))
+
+
+#: The Section 5.1 mixture, verbatim.
+PAPER_PERTURBATION = PerturbationModel(
+    local_rate=FactorMixture(
+        weights=(0.60, 0.30, 0.10),
+        components=(
+            UniformFactor(0.90, 1.10),  # within +-10% of the estimation
+            UniformFactor(1.0 / 3.0, 1.0 / 2.0),  # between 1/2 and 1/3
+            UniformFactor(1.0 / 6.0, 1.0 / 4.0),  # congestion: 1/4 to 1/6
+        ),
+    ),
+    repo_rate=_single(0.80, 1.20),
+    local_overhead=_single(0.90, 1.50),
+    repo_overhead=_single(0.80, 1.20),
+)
+
+#: No deviation at all — the simulation then reproduces the cost model's
+#: estimated times exactly (used to cross-validate engine vs Eq. 3-6).
+IDENTITY_PERTURBATION = PerturbationModel(
+    local_rate=_single(1.0, 1.0),
+    repo_rate=_single(1.0, 1.0),
+    local_overhead=_single(1.0, 1.0),
+    repo_overhead=_single(1.0, 1.0),
+)

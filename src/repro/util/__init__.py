@@ -1,0 +1,44 @@
+"""Shared utilities: seeded RNG management, unit conversions, ASCII tables.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro` that needs randomness, unit handling, or human-readable
+reporting goes through this package so that behaviour is consistent and
+deterministic across the library.
+"""
+
+from repro.util.rng import RngFactory, as_generator, spawn_generators
+from repro.util.tables import format_table, format_series
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    kbps_to_bps,
+    rate_to_spb,
+    seconds_per_byte,
+    spb_to_rate,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "format_table",
+    "format_series",
+    "KB",
+    "MB",
+    "GB",
+    "kbps_to_bps",
+    "rate_to_spb",
+    "spb_to_rate",
+    "seconds_per_byte",
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability_matrix",
+]

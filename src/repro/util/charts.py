@@ -1,0 +1,76 @@
+"""Terminal bar charts for sweep results.
+
+The figure harnesses print tables; for a quicker read the CLI can also
+render each series as horizontal bars.  Pure string assembly — no
+plotting dependency — and deterministic, so it is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "series_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    fill: str = "#",
+    value_format: str = "{:+.1%}",
+    title: str | None = None,
+) -> str:
+    """Horizontal bars scaled to the largest |value|.
+
+    Negative values render with ``-`` fills so improvement vs
+    degradation is visible at a glance.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max((abs(v) for v in values), default=0.0)
+    label_w = max((len(l) for l in labels), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, v in zip(labels, values):
+        if peak > 0:
+            n = int(round(abs(v) / peak * width))
+        else:
+            n = 0
+        bar = (fill if v >= 0 else "-") * n
+        lines.append(
+            f"{label.rjust(label_w)} | {bar.ljust(width)} {value_format.format(v)}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """One bar block per series, sharing the x labels and scale."""
+    labels = [str(x) for x in x_values]
+    blocks: list[str] = []
+    if title:
+        blocks.append(title)
+    all_values = [v for ys in series.values() for v in ys]
+    peak = max((abs(v) for v in all_values), default=0.0)
+    for name, ys in series.items():
+        if len(ys) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(labels)} x"
+            )
+        block = [f"[{name}]"]
+        label_w = max(len(l) for l in labels)
+        for label, v in zip(labels, ys):
+            n = int(round(abs(v) / peak * width)) if peak > 0 else 0
+            bar = ("#" if v >= 0 else "-") * n
+            block.append(f"{label.rjust(label_w)} | {bar.ljust(width)} {v:+.1%}")
+        blocks.append("\n".join(block))
+    return "\n\n".join(blocks)

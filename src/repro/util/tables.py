@@ -1,0 +1,81 @@
+"""Plain-text rendering of result tables and series.
+
+The experiment harness reports everything as ASCII so that benchmark
+output can be diffed against the paper's tables/figures without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table.
+
+    All rows must have the same number of cells as ``headers``.
+    """
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    y_format: str = "{:+.1%}",
+) -> str:
+    """Render one or more y-series against shared x-values.
+
+    This is the textual stand-in for the paper's figures: one row per
+    x tick, one column per plotted policy/configuration.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x-values"
+            )
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for ys in series.values():
+            row.append(y_format.format(ys[i]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,72 @@
+"""Unit helpers.
+
+The paper states sizes in KB/MB and transfer rates in KB/s, but its time
+equations (Eq. 3, 4, 6) multiply ``B(S_i)`` by ``Size(M_k)`` to obtain a
+*time* — an abuse of notation only consistent if ``B`` is interpreted as
+seconds-per-byte.  Internally :mod:`repro` stores
+
+* sizes in **bytes**,
+* rates in **bytes/second**,
+
+and converts rates to seconds-per-byte (``spb``) at the point where time
+is computed.  This module centralises those conversions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "kbps_to_bps",
+    "rate_to_spb",
+    "spb_to_rate",
+    "seconds_per_byte",
+]
+
+#: One kilobyte in bytes.  The paper predates KiB pedantry; it means 1024.
+KB: int = 1024
+#: One megabyte in bytes.
+MB: int = 1024 * KB
+#: One gigabyte in bytes.
+GB: int = 1024 * MB
+
+
+def kbps_to_bps(rate_kb_per_s: float | np.ndarray) -> float | np.ndarray:
+    """Convert a rate in KB/s (the paper's unit) to bytes/s."""
+    return np.multiply(rate_kb_per_s, KB)
+
+
+def rate_to_spb(rate_bytes_per_s: float | np.ndarray) -> float | np.ndarray:
+    """Convert bytes/second to seconds/byte (the ``B(·)`` of Eq. 3-6).
+
+    Raises
+    ------
+    ValueError
+        If any rate is not strictly positive — a zero rate would make
+        transfer time infinite and signals a configuration bug.
+    """
+    arr = np.asarray(rate_bytes_per_s, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError("transfer rates must be strictly positive")
+    out = 1.0 / arr
+    if np.isscalar(rate_bytes_per_s) or arr.ndim == 0:
+        return float(out)
+    return out
+
+
+#: Alias matching the paper's reading of ``B``.
+seconds_per_byte = rate_to_spb
+
+
+def spb_to_rate(spb: float | np.ndarray) -> float | np.ndarray:
+    """Inverse of :func:`rate_to_spb`."""
+    arr = np.asarray(spb, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError("seconds-per-byte values must be strictly positive")
+    out = 1.0 / arr
+    if np.isscalar(spb) or arr.ndim == 0:
+        return float(out)
+    return out

@@ -1,0 +1,48 @@
+"""Argument-validation helpers used across the library.
+
+All validators raise :class:`ValueError` with a message naming the
+offending parameter, so configuration errors surface at construction
+time instead of as NaNs deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+    "check_probability_matrix",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_fraction(name: str, value: float, *, allow_zero: bool = True) -> float:
+    """Require ``value`` in ``[0, 1]`` (or ``(0, 1]``); return it."""
+    lo_ok = value >= 0 if allow_zero else value > 0
+    if not np.isfinite(value) or not lo_ok or value > 1:
+        lo = "0" if allow_zero else "(0"
+        raise ValueError(f"{name} must lie in [{lo}, 1], got {value!r}")
+    return float(value)
+
+
+def check_probability_matrix(name: str, values: np.ndarray) -> np.ndarray:
+    """Require every entry of ``values`` to be a probability in [0, 1]."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size and (np.any(~np.isfinite(arr)) or arr.min() < 0 or arr.max() > 1):
+        raise ValueError(f"{name} entries must all lie in [0, 1]")
+    return arr

@@ -1,0 +1,39 @@
+"""Synthetic workload generation reproducing Table 1 of the paper.
+
+* :mod:`repro.workload.params` — every Table 1 row as a dataclass field,
+* :mod:`repro.workload.sizes` — the small/medium/large HTML and MO size
+  mixtures,
+* :mod:`repro.workload.popularity` — hot-page traffic skew (10% of pages
+  account for 60% of requests),
+* :mod:`repro.workload.generator` — assembles a
+  :class:`~repro.core.types.SystemModel`,
+* :mod:`repro.workload.trace` — samples the 10,000-request-per-server
+  evaluation traces, including optional-object sub-requests.
+"""
+
+from repro.workload.clf import ClfParseResult, parse_clf
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+from repro.workload.popularity import hot_cold_frequencies, zipf_frequencies
+from repro.workload.sizes import (
+    DEFAULT_HTML_SIZES,
+    DEFAULT_MO_SIZES,
+    SizeClass,
+    SizeMixture,
+)
+from repro.workload.trace import RequestTrace, generate_trace
+
+__all__ = [
+    "ClfParseResult",
+    "parse_clf",
+    "WorkloadParams",
+    "generate_workload",
+    "hot_cold_frequencies",
+    "zipf_frequencies",
+    "SizeClass",
+    "SizeMixture",
+    "DEFAULT_HTML_SIZES",
+    "DEFAULT_MO_SIZES",
+    "RequestTrace",
+    "generate_trace",
+]

@@ -1,0 +1,160 @@
+"""Import real access logs (Common Log Format) as request traces.
+
+A deployed operator has Apache/NCSA logs, not synthetic traces.  This
+module parses CLF lines,
+
+``host ident user [timestamp] "GET /path HTTP/1.0" status bytes``
+
+maps request paths onto the model's pages and optional objects, and
+assembles a :class:`~repro.workload.trace.RequestTrace` the simulator
+and estimator consume directly.  Conventions (overridable via
+``page_resolver``):
+
+* ``/page/<id>`` or ``/w/<id>``            — a page request,
+* ``/mo/<id>.bin``                          — an optional-object request,
+  attributed to the most recent page request from the same host that
+  links the object (browsers fetch optionals after the page),
+* anything else (compulsory MOs ride the page's pipelined connections
+  and never appear as separate entries in this model) is ignored.
+
+Malformed lines are counted, not fatal — logs are dirty.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.types import SystemModel
+from repro.workload.trace import RequestTrace
+
+__all__ = ["ClfParseResult", "parse_clf"]
+
+_LINE_RE = re.compile(
+    r'^(?P<host>\S+) \S+ \S+ \[(?P<ts>[^\]]*)\] '
+    r'"(?P<method>\S+) (?P<path>\S+)[^"]*" (?P<status>\d{3}) (?P<bytes>\S+)'
+)
+_PAGE_RE = re.compile(r"^/(?:page|w)/(\d+)$")
+_MO_RE = re.compile(r"^/mo/(\d+)(?:\.bin)?$")
+
+
+@dataclass
+class ClfParseResult:
+    """A parsed trace plus parse diagnostics."""
+
+    trace: RequestTrace
+    page_requests: int
+    optional_downloads: int
+    malformed_lines: int = 0
+    unresolved_paths: int = 0
+    orphan_optionals: int = 0
+    """Optional-object requests with no owning page request to attach to."""
+    non_success: int = 0
+    """Lines with non-2xx statuses (skipped)."""
+
+
+def parse_clf(
+    lines,
+    model: SystemModel,
+    page_resolver: Callable[[str], int | None] | None = None,
+) -> ClfParseResult:
+    """Parse CLF ``lines`` into a trace over ``model``.
+
+    Parameters
+    ----------
+    lines:
+        Iterable of log lines (strings).
+    model:
+        The universe the paths refer to.
+    page_resolver:
+        Optional ``path -> page_id`` override for custom URL layouts
+        (return ``None`` for non-page paths; optional-object paths still
+        follow the ``/mo/<id>`` convention).
+    """
+    m = model
+    pages: list[int] = []
+    opt_entries: list[int] = []
+    opt_owner: list[int] = []
+    malformed = unresolved = orphans = non_success = 0
+
+    # last page request index per client host, for optional attribution
+    last_page_req: dict[str, int] = {}
+    # per page: object id -> flat optional entry index
+    opt_index: list[dict[int, int]] = [dict() for _ in range(m.n_pages)]
+    for j in range(m.n_pages):
+        sl = m.opt_slice(j)
+        for e in range(sl.start, sl.stop):
+            opt_index[j][int(m.opt_objects[e])] = e
+
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            malformed += 1
+            continue
+        if not match.group("status").startswith("2"):
+            non_success += 1
+            continue
+        path = match.group("path")
+        host = match.group("host")
+
+        page_id: int | None = None
+        if page_resolver is not None:
+            page_id = page_resolver(path)
+        if page_id is None:
+            pm = _PAGE_RE.match(path)
+            if pm:
+                page_id = int(pm.group(1))
+        if page_id is not None:
+            if not 0 <= page_id < m.n_pages:
+                unresolved += 1
+                continue
+            last_page_req[host] = len(pages)
+            pages.append(page_id)
+            continue
+
+        mo = _MO_RE.match(path)
+        if mo:
+            k = int(mo.group(1))
+            owner = last_page_req.get(host)
+            if owner is None:
+                orphans += 1
+                continue
+            entry = opt_index[pages[owner]].get(k)
+            if entry is None:
+                # a compulsory MO (pipelined with the page) or a foreign
+                # object — neither is a separate download in the model
+                orphans += 1
+                continue
+            opt_entries.append(entry)
+            opt_owner.append(owner)
+            continue
+        unresolved += 1
+
+    page_arr = np.asarray(pages, dtype=np.intp)
+    trace = RequestTrace(
+        model=m,
+        page_of_request=page_arr,
+        server_of_request=(
+            m.page_server[page_arr].astype(np.intp)
+            if len(page_arr)
+            else np.empty(0, dtype=np.intp)
+        ),
+        opt_entries=np.asarray(opt_entries, dtype=np.intp),
+        opt_owner=np.asarray(opt_owner, dtype=np.intp),
+    )
+    trace.validate()
+    return ClfParseResult(
+        trace=trace,
+        page_requests=len(pages),
+        optional_downloads=len(opt_entries),
+        malformed_lines=malformed,
+        unresolved_paths=unresolved,
+        orphan_optionals=orphans,
+        non_success=non_success,
+    )

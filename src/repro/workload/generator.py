@@ -1,0 +1,162 @@
+"""Assemble a :class:`~repro.core.types.SystemModel` from
+:class:`~repro.workload.params.WorkloadParams` (Section 5.1 / Table 1).
+
+Generation proceeds in labelled RNG streams (see
+:class:`repro.util.rng.RngFactory`) so that, for a fixed seed, the object
+catalogue is identical regardless of how many servers/pages are drawn —
+useful when sweeping a single parameter.
+
+Steps:
+
+1. Draw the global MO catalogue sizes from the Table 1 mixture.
+2. Per server: draw its page count, its referenced-object pool
+   (1,500-4,500 of the 15,000 network MOs), its estimated network
+   attributes (``B``, ``Ovhd`` for both connections).
+3. Per page: HTML size, compulsory MOs (5-45, sampled from the server's
+   pool without replacement), optional MOs (10-85 for the 10% of pages
+   that have any), and the access frequency from the hot/cold model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import ObjectSpec, PageSpec, RepositorySpec, ServerSpec, SystemModel
+from repro.util.rng import RngFactory
+from repro.util.units import kbps_to_bps
+from repro.workload.params import WorkloadParams
+from repro.workload.popularity import hot_cold_frequencies
+
+__all__ = ["generate_workload"]
+
+
+def _uniform_in(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    lo, hi = bounds
+    return float(rng.uniform(lo, hi)) if hi > lo else float(lo)
+
+
+def _randint_in(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+    lo, hi = bounds
+    return int(rng.integers(lo, hi + 1))
+
+
+def generate_workload(
+    params: WorkloadParams | None = None,
+    seed: int | None = 0,
+) -> SystemModel:
+    """Generate a synthetic system per ``params`` (default: Table 1).
+
+    Parameters
+    ----------
+    params:
+        Workload configuration; ``None`` means :meth:`WorkloadParams.paper`.
+    seed:
+        Root seed for the labelled RNG tree. The same seed reproduces the
+        same model bit-for-bit.
+
+    Returns
+    -------
+    SystemModel
+        Fully validated universe, ready for any policy.
+    """
+    p = params or WorkloadParams.paper()
+    factory = RngFactory(seed)
+
+    # 1. global object catalogue ---------------------------------------
+    rng_obj = factory.generator("objects")
+    sizes = p.mo_sizes.sample(rng_obj, p.n_objects)
+    objects = [ObjectSpec(object_id=k, size=int(sizes[k])) for k in range(p.n_objects)]
+
+    # 1b. globally shared page templates (optional): the company-wide
+    # pages every site mirrors ("we treat each copy as a different page")
+    templates: list[tuple[int, tuple[int, ...], tuple[int, ...]]] = []
+    if p.mirrored_page_fraction > 0.0:
+        rng_tpl = factory.generator("templates")
+        avg_pages = (p.pages_per_server[0] + p.pages_per_server[1]) // 2
+        n_templates = max(1, int(round(p.mirrored_page_fraction * avg_pages)))
+        html_tpl = p.html_sizes.sample(rng_tpl, n_templates)
+        for t in range(n_templates):
+            n_comp = _randint_in(rng_tpl, p.compulsory_per_page)
+            has_opt = rng_tpl.random() < p.optional_page_fraction
+            n_opt = _randint_in(rng_tpl, p.optional_per_page) if has_opt else 0
+            refs = rng_tpl.choice(p.n_objects, size=n_comp + n_opt, replace=False)
+            templates.append(
+                (
+                    int(html_tpl[t]),
+                    tuple(int(k) for k in refs[:n_comp]),
+                    tuple(int(k) for k in refs[n_comp:]),
+                )
+            )
+
+    # 2. servers ---------------------------------------------------------
+    rng_srv = factory.generator("servers")
+    servers: list[ServerSpec] = []
+    pools: list[np.ndarray] = []
+    for i in range(p.n_servers):
+        pool_size = _randint_in(rng_srv, p.objects_per_server)
+        pool = rng_srv.choice(p.n_objects, size=pool_size, replace=False)
+        pools.append(pool)
+        servers.append(
+            ServerSpec(
+                server_id=i,
+                name=f"LS{i}",
+                storage_capacity=p.storage_capacity,
+                processing_capacity=p.processing_capacity,
+                rate=float(kbps_to_bps(_uniform_in(rng_srv, p.local_rate_range_kbps))),
+                overhead=_uniform_in(rng_srv, p.local_overhead_range),
+                repo_rate=float(
+                    kbps_to_bps(_uniform_in(rng_srv, p.repo_rate_range_kbps))
+                ),
+                repo_overhead=_uniform_in(rng_srv, p.repo_overhead_range),
+            )
+        )
+
+    # 3. pages -------------------------------------------------------------
+    pages: list[PageSpec] = []
+    page_id = 0
+    for i in range(p.n_servers):
+        rng_pages = factory.generator(f"pages/{i}")
+        n_pages = _randint_in(rng_pages, p.pages_per_server)
+        html = p.html_sizes.sample(rng_pages, n_pages)
+        freqs, _hot = hot_cold_frequencies(
+            n_pages,
+            p.page_rate_per_server,
+            p.hot_page_fraction,
+            p.hot_traffic_fraction,
+            rng=rng_pages,
+        )
+        pool = pools[i]
+        n_mirrored = min(len(templates), n_pages)
+        for local_j in range(n_pages):
+            if local_j < n_mirrored:
+                # a copy of a shared template (distinct page per server)
+                html_size, compulsory, optional = templates[local_j]
+            else:
+                n_comp = _randint_in(rng_pages, p.compulsory_per_page)
+                n_comp = min(n_comp, len(pool))
+                has_optional = rng_pages.random() < p.optional_page_fraction
+                n_opt = 0
+                if has_optional:
+                    n_opt = _randint_in(rng_pages, p.optional_per_page)
+                    n_opt = min(n_opt, len(pool) - n_comp)
+                refs = rng_pages.choice(pool, size=n_comp + n_opt, replace=False)
+                compulsory = tuple(int(k) for k in refs[:n_comp])
+                optional = tuple(int(k) for k in refs[n_comp:])
+                html_size = int(html[local_j])
+            pages.append(
+                PageSpec(
+                    page_id=page_id,
+                    server=i,
+                    html_size=html_size,
+                    frequency=float(freqs[local_j]),
+                    compulsory=compulsory,
+                    optional=optional,
+                    optional_prob=(
+                        p.optional_prob_per_object if optional else 0.0
+                    ),
+                )
+            )
+            page_id += 1
+
+    repository = RepositorySpec(processing_capacity=p.repository_capacity)
+    return SystemModel(servers, repository, pages, objects)

@@ -1,0 +1,98 @@
+"""Page popularity models.
+
+The paper cites Arlitt & Williamson's and Bestavros' server-workload
+characterisations ("a small percentage of pages accounted for a
+disproportionally large number of requests") and adopts a two-class
+model: **10% of pages account for 60% of traffic**, uniform within each
+class.  :func:`hot_cold_frequencies` implements exactly that;
+:func:`zipf_frequencies` is provided as a drop-in alternative for
+sensitivity studies (the classic web-trace model the cited papers fit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["hot_cold_frequencies", "zipf_frequencies"]
+
+
+def hot_cold_frequencies(
+    n_pages: int,
+    total_rate: float,
+    hot_fraction: float = 0.10,
+    hot_traffic: float = 0.60,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two-class (hot/cold) page access frequencies.
+
+    Parameters
+    ----------
+    n_pages:
+        Number of pages on the server.
+    total_rate:
+        Aggregate page-request rate in requests/second (peak hours).
+    hot_fraction:
+        Fraction of pages classed hot (Table 1: 10%).
+    hot_traffic:
+        Fraction of traffic the hot pages draw (Table 1: 60%).
+    rng:
+        If given, hot pages are chosen at random; otherwise the first
+        ``ceil(hot_fraction * n)`` pages are hot (deterministic layout).
+
+    Returns
+    -------
+    (frequencies, hot_mask):
+        Per-page requests/second summing to ``total_rate``, and the
+        boolean hot-page mask.
+    """
+    if n_pages <= 0:
+        raise ValueError(f"n_pages must be positive, got {n_pages}")
+    check_positive("total_rate", total_rate)
+    check_fraction("hot_fraction", hot_fraction)
+    check_fraction("hot_traffic", hot_traffic)
+
+    n_hot = int(np.ceil(hot_fraction * n_pages))
+    n_hot = min(max(n_hot, 0), n_pages)
+    hot_mask = np.zeros(n_pages, dtype=bool)
+    if n_hot:
+        if rng is not None:
+            hot_idx = rng.choice(n_pages, size=n_hot, replace=False)
+        else:
+            hot_idx = np.arange(n_hot)
+        hot_mask[hot_idx] = True
+
+    freqs = np.zeros(n_pages)
+    n_cold = n_pages - n_hot
+    if n_hot == 0:
+        freqs[:] = total_rate / n_pages
+    elif n_cold == 0:
+        freqs[:] = total_rate / n_pages
+    else:
+        freqs[hot_mask] = total_rate * hot_traffic / n_hot
+        freqs[~hot_mask] = total_rate * (1.0 - hot_traffic) / n_cold
+    return freqs, hot_mask
+
+
+def zipf_frequencies(
+    n_pages: int,
+    total_rate: float,
+    exponent: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Zipf-like page frequencies (rank ``r`` gets weight ``r^-exponent``).
+
+    Provided for sensitivity studies beyond the paper's two-class model.
+    Ranks are assigned randomly when ``rng`` is given, else by index.
+    """
+    if n_pages <= 0:
+        raise ValueError(f"n_pages must be positive, got {n_pages}")
+    check_positive("total_rate", total_rate)
+    check_positive("exponent", exponent)
+    ranks = np.arange(1, n_pages + 1, dtype=float)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    if rng is not None:
+        rng.shuffle(weights)
+    return total_rate * weights

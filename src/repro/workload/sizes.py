@@ -1,0 +1,110 @@
+"""Size mixtures for HTML documents and multimedia objects (Table 1).
+
+The paper partitions both populations into small/medium/large classes
+with uniform sizes inside each class:
+
+=================  ========  ==============
+population         fraction  size range
+=================  ========  ==============
+HTML small         35%       1 KB - 6 KB
+HTML medium        60%       6 KB - 20 KB
+HTML large         5%        20 KB - 50 KB
+MO small (gif)     30%       40 KB - 300 KB
+MO medium (audio)  60%       300 KB - 800 KB
+MO large (video)   10%       800 KB - 4 MB
+=================  ========  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import KB, MB
+
+__all__ = ["SizeClass", "SizeMixture", "DEFAULT_HTML_SIZES", "DEFAULT_MO_SIZES"]
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One mixture component: ``fraction`` of items sized uniformly in
+    ``[low, high]`` bytes."""
+
+    fraction: float
+    low: int
+    high: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if not 0 < self.low <= self.high:
+            raise ValueError(
+                f"need 0 < low <= high, got low={self.low}, high={self.high}"
+            )
+
+
+@dataclass(frozen=True)
+class SizeMixture:
+    """A mixture of :class:`SizeClass` components summing to 1."""
+
+    classes: tuple[SizeClass, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(c.fraction for c in self.classes)
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(
+                f"size-class fractions must sum to 1, got {total:.6f}"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` integer sizes (bytes).
+
+        Class membership is sampled per item so realised class shares
+        fluctuate around the nominal fractions, as in any finite
+        synthetic population.
+        """
+        if n < 0:
+            raise ValueError(f"cannot sample a negative count: {n}")
+        fractions = np.array([c.fraction for c in self.classes])
+        which = rng.choice(len(self.classes), size=n, p=fractions)
+        sizes = np.empty(n, dtype=np.int64)
+        for idx, cls in enumerate(self.classes):
+            mask = which == idx
+            cnt = int(mask.sum())
+            if cnt:
+                sizes[mask] = rng.integers(cls.low, cls.high + 1, size=cnt)
+        return sizes
+
+    def mean(self) -> float:
+        """Expected size in bytes."""
+        return float(
+            sum(c.fraction * (c.low + c.high) / 2.0 for c in self.classes)
+        )
+
+    def bounds(self) -> tuple[int, int]:
+        """(min, max) possible size."""
+        return (
+            min(c.low for c in self.classes),
+            max(c.high for c in self.classes),
+        )
+
+
+#: Table 1 HTML size mixture.
+DEFAULT_HTML_SIZES = SizeMixture(
+    classes=(
+        SizeClass(0.35, 1 * KB, 6 * KB, "small"),
+        SizeClass(0.60, 6 * KB, 20 * KB, "medium"),
+        SizeClass(0.05, 20 * KB, 50 * KB, "large"),
+    )
+)
+
+#: Table 1 multimedia-object size mixture.
+DEFAULT_MO_SIZES = SizeMixture(
+    classes=(
+        SizeClass(0.30, 40 * KB, 300 * KB, "small"),
+        SizeClass(0.60, 300 * KB, 800 * KB, "medium"),
+        SizeClass(0.10, 800 * KB, 4 * MB, "large"),
+    )
+)

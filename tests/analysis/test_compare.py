@@ -1,0 +1,77 @@
+"""Tests for repro.analysis.compare — allocation diffs."""
+
+import pytest
+
+from repro.analysis.compare import diff_allocations
+from repro.baselines.local import LocalPolicy
+from repro.baselines.remote import RemotePolicy
+from repro.core.partition import partition_all
+
+
+class TestDiffAllocations:
+    def test_identical_is_noop(self, micro_model):
+        a = partition_all(micro_model)
+        d = diff_allocations(a, a.copy())
+        assert d.is_noop
+        assert d.total_bytes_added == 0
+        assert "+0/-0" in d.summary()
+
+    def test_remote_to_local(self, micro_model):
+        d = diff_allocations(
+            RemotePolicy().allocate(micro_model),
+            LocalPolicy().allocate(micro_model),
+        )
+        assert d.comp_flips_to_local == 8
+        assert d.comp_flips_to_remote == 0
+        assert d.opt_flips_to_local == 2
+        # every referenced object becomes a replica somewhere
+        assert d.total_replicas_added == 4 + 5
+        assert sum(s.bytes_removed for s in d.servers) == 0
+
+    def test_local_to_remote(self, micro_model):
+        d = diff_allocations(
+            LocalPolicy().allocate(micro_model),
+            RemotePolicy().allocate(micro_model),
+        )
+        assert d.comp_flips_to_remote == 8
+        assert d.total_replicas_removed == 9
+        assert d.total_bytes_added == 0
+
+    def test_bytes_accounting(self, micro_model):
+        d = diff_allocations(
+            RemotePolicy().allocate(micro_model),
+            LocalPolicy().allocate(micro_model),
+        )
+        # S0 stores {0,1,2,4} = 650 B ; S1 stores {0,1,2,3,5} = 1060 B
+        by_server = {s.server_id: s for s in d.servers}
+        assert by_server[0].bytes_added == pytest.approx(650.0)
+        assert by_server[1].bytes_added == pytest.approx(1060.0)
+        assert d.total_bytes_added == pytest.approx(1710.0)
+
+    def test_churn_is_directional(self, micro_model):
+        a = RemotePolicy().allocate(micro_model)
+        b = LocalPolicy().allocate(micro_model)
+        forward = diff_allocations(a, b)
+        backward = diff_allocations(b, a)
+        assert forward.total_replicas_added == backward.total_replicas_removed
+        assert forward.total_bytes_added == pytest.approx(
+            sum(s.bytes_removed for s in backward.servers)
+        )
+
+    def test_structural_mismatch_rejected(self, micro_model, tiny_model):
+        with pytest.raises(ValueError, match="structurally"):
+            diff_allocations(
+                partition_all(micro_model), partition_all(tiny_model)
+            )
+
+    def test_drifted_model_ok(self, micro_model):
+        """Frequency drift (same structure) is comparable — the E1 case."""
+        from repro.dynamic.drift import replace_frequencies
+
+        drifted = replace_frequencies(
+            micro_model, micro_model.frequencies * 2.0
+        )
+        d = diff_allocations(
+            partition_all(micro_model), partition_all(drifted)
+        )
+        assert d.is_noop  # unconstrained PARTITION is frequency-blind

@@ -1,0 +1,94 @@
+"""Tests for repro.analysis.describe — allocation reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import describe_allocation
+from repro.baselines.local import LocalPolicy
+from repro.baselines.remote import RemotePolicy
+from repro.core.constraints import (
+    local_processing_load,
+    repository_load_by_server,
+    storage_used,
+)
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all
+
+
+class TestServerReports:
+    def test_replica_counts(self, micro_model):
+        report = describe_allocation(LocalPolicy().allocate(micro_model))
+        assert report.servers[0].n_replicas == 4  # {0,1,2,4}
+        assert report.servers[1].n_replicas == 5
+
+    def test_loads_match_constraints(self, micro_model):
+        alloc = partition_all(micro_model)
+        report = describe_allocation(alloc)
+        loads = local_processing_load(alloc)
+        shares = repository_load_by_server(alloc)
+        used = storage_used(alloc)
+        for i, srv in enumerate(report.servers):
+            assert srv.processing_load == pytest.approx(loads[i])
+            assert srv.repo_share == pytest.approx(shares[i])
+            assert srv.storage_used == pytest.approx(used[i])
+
+    def test_local_share(self, micro_model):
+        remote = describe_allocation(RemotePolicy().allocate(micro_model))
+        local = describe_allocation(LocalPolicy().allocate(micro_model))
+        assert all(s.local_download_share == 0.0 for s in remote.servers)
+        assert all(s.local_download_share == 1.0 for s in local.servers)
+
+    def test_unmarked_counted(self, micro_model):
+        alloc = partition_all(micro_model)
+        alloc.store(0, 3)  # stored but unmarked
+        report = describe_allocation(alloc)
+        assert report.servers[0].unmarked_replicas == 1
+
+    def test_storage_utilisation(self):
+        from tests.conftest import build_micro_model
+
+        m = build_micro_model(storage=(1900.0, 2920.0))
+        report = describe_allocation(LocalPolicy().allocate(m))
+        assert report.servers[0].storage_utilisation == pytest.approx(950 / 1900)
+        assert report.servers[1].storage_utilisation == pytest.approx(
+            1460 / 2920
+        )
+
+    def test_infinite_capacity_zero_utilisation(self, micro_model):
+        report = describe_allocation(LocalPolicy().allocate(micro_model))
+        assert report.servers[0].storage_utilisation == 0.0
+
+
+class TestBalance:
+    def test_partition_balances_better_than_extremes(self, small_model):
+        ours = describe_allocation(partition_all(small_model))
+        local = describe_allocation(LocalPolicy().allocate(small_model))
+        assert ours.balance.mean < local.balance.mean
+
+    def test_remote_policy_mostly_remote_bound(self, small_model):
+        report = describe_allocation(RemotePolicy().allocate(small_model))
+        assert report.balance.fraction_local_bound < 0.05
+
+    def test_imbalance_in_unit_interval(self, small_model):
+        report = describe_allocation(partition_all(small_model))
+        assert 0.0 <= report.balance.median <= 1.0
+        assert 0.0 <= report.balance.p90 <= 1.0
+
+
+class TestGlobal:
+    def test_objective_matches_cost_model(self, micro_model):
+        alloc = partition_all(micro_model)
+        report = describe_allocation(alloc)
+        assert report.objective == pytest.approx(CostModel(micro_model).D(alloc))
+
+    def test_total_bytes(self, micro_model):
+        alloc = partition_all(micro_model)
+        report = describe_allocation(alloc)
+        assert report.total_replica_bytes == pytest.approx(
+            alloc.stored_bytes_all().sum()
+        )
+
+    def test_render(self, micro_model):
+        out = describe_allocation(partition_all(micro_model)).render()
+        assert "Allocation summary" in out
+        assert "imbalance" in out

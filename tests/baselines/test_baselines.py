@@ -1,0 +1,73 @@
+"""Tests for repro.baselines — Remote / Local / ideal-LRU policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AllocationPolicy,
+    IdealLRUPolicy,
+    LocalPolicy,
+    RemotePolicy,
+)
+from repro.core.cost_model import CostModel
+from repro.simulation.perturbation import IDENTITY_PERTURBATION
+
+
+class TestRemotePolicy:
+    def test_no_marks_no_replicas(self, micro_model):
+        a = RemotePolicy().allocate(micro_model)
+        assert not a.comp_local.any()
+        assert not a.opt_local.any()
+        assert all(len(r) == 0 for r in a.replicas)
+
+    def test_is_allocation_policy(self):
+        assert isinstance(RemotePolicy(), AllocationPolicy)
+        assert RemotePolicy().name == "remote"
+
+
+class TestLocalPolicy:
+    def test_all_marks(self, micro_model):
+        a = LocalPolicy().allocate(micro_model)
+        assert a.comp_local.all()
+        assert a.opt_local.all()
+
+    def test_replicas_cover_references(self, micro_model):
+        a = LocalPolicy().allocate(micro_model)
+        for i in range(micro_model.n_servers):
+            assert a.replicas[i] == micro_model.objects_referenced_by_server(i)
+
+    def test_name(self):
+        assert LocalPolicy().name == "local"
+
+
+class TestOrdering:
+    def test_remote_worst_on_micro(self, micro_model):
+        """With repo links slower than local links, remote must cost the
+        most under the estimated attributes."""
+        cost = CostModel(micro_model)
+        d_remote = cost.D(RemotePolicy().allocate(micro_model))
+        d_local = cost.D(LocalPolicy().allocate(micro_model))
+        assert d_remote > d_local
+
+
+class TestIdealLRUPolicy:
+    def test_evaluate(self, small_model, small_params, small_trace):
+        policy = IdealLRUPolicy(cache_bytes=1e7)
+        sim, stats = policy.evaluate(small_trace, IDENTITY_PERTURBATION, seed=3)
+        assert sim.n_requests == small_trace.n_requests
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+    def test_frozen_config(self):
+        policy = IdealLRUPolicy(cache_bytes=1.0)
+        with pytest.raises(AttributeError):
+            policy.cache_bytes = 2.0  # type: ignore[misc]
+
+    def test_name(self):
+        assert IdealLRUPolicy(cache_bytes=1.0).name == "ideal-lru"
+
+    def test_constrained_service_prob(self, small_trace):
+        unconstrained = IdealLRUPolicy(cache_bytes=1e18)
+        constrained = IdealLRUPolicy(cache_bytes=1e18, local_service_prob=0.3)
+        su, _ = unconstrained.evaluate(small_trace, IDENTITY_PERTURBATION, seed=3)
+        sc, _ = constrained.evaluate(small_trace, IDENTITY_PERTURBATION, seed=3)
+        assert sc.mean_page_time > su.mean_page_time

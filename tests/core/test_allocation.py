@@ -1,0 +1,183 @@
+"""Tests for repro.core.allocation — decision state and replica sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation, ReverseIndex
+
+
+class TestConstruction:
+    def test_default_all_remote(self, micro_model):
+        a = Allocation(micro_model)
+        assert not a.comp_local.any()
+        assert not a.opt_local.any()
+        assert all(len(r) == 0 for r in a.replicas)
+
+    def test_marks_imply_replicas(self, micro_model):
+        comp = np.zeros(8, dtype=bool)
+        comp[0] = True  # page 0 (server 0), object 0
+        a = Allocation(micro_model, comp_local=comp)
+        assert 0 in a.replicas[0]
+        assert 0 not in a.replicas[1]
+
+    def test_extra_replicas_allowed(self, micro_model):
+        a = Allocation(micro_model, replicas=[{0, 2}, set()])
+        assert a.replicas[0] == {0, 2}
+
+    def test_missing_replica_rejected(self, micro_model):
+        comp = np.zeros(8, dtype=bool)
+        comp[0] = True
+        with pytest.raises(ValueError, match="replica"):
+            Allocation(micro_model, comp_local=comp, replicas=[set(), set()])
+
+    def test_wrong_shape_rejected(self, micro_model):
+        with pytest.raises(ValueError, match="comp_local"):
+            Allocation(micro_model, comp_local=np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError, match="opt_local"):
+            Allocation(micro_model, opt_local=np.zeros(9, dtype=bool))
+
+    def test_wrong_replica_count_rejected(self, micro_model):
+        with pytest.raises(ValueError, match="per server"):
+            Allocation(micro_model, replicas=[set()])
+
+
+class TestMutation:
+    def test_set_comp_local_adds_replica(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)  # page 0 / object 0 on server 0
+        assert a.comp_local[0]
+        assert 0 in a.replicas[0]
+        assert a.mark_count(0, 0) == 1
+
+    def test_unmark_keeps_replica(self, micro_model):
+        # the paper: stored objects may have no local-download marks
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)
+        a.set_comp_local(0, False)
+        assert 0 in a.replicas[0]
+        assert a.mark_count(0, 0) == 0
+        assert a.unmarked_stored(0) == {0}
+
+    def test_set_same_value_noop(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, False)
+        assert a.mark_count(0, 0) == 0
+
+    def test_mark_count_shared_object(self, micro_model):
+        # object 0 appears in pages 0 (server 0) and 3 (server 1)
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)  # page 0's entry for object 0
+        a.set_comp_local(5, True)  # page 3's entry for object 0
+        assert a.mark_count(0, 0) == 1
+        assert a.mark_count(1, 0) == 1
+
+    def test_opt_local_marks(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_opt_local(0, True)  # page 0's optional object 4
+        assert 4 in a.replicas[0]
+        assert a.mark_count(0, 4) == 1
+
+    def test_store_idempotent(self, micro_model):
+        a = Allocation(micro_model)
+        a.store(0, 3)
+        a.store(0, 3)
+        assert a.replicas[0] == {3}
+
+
+class TestDeallocate:
+    def test_flips_marks_and_reports_pages(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(1, True)  # page 0, object 1 (server 0)
+        affected = a.deallocate(0, 1)
+        assert affected == (0,)
+        assert not a.comp_local[1]
+        assert 1 not in a.replicas[0]
+
+    def test_flips_optional_marks(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_opt_local(0, True)  # page 0's optional object 4
+        affected = a.deallocate(0, 4)
+        assert affected == (0,)
+        assert not a.opt_local[0]
+
+    def test_unstored_raises(self, micro_model):
+        a = Allocation(micro_model)
+        with pytest.raises(KeyError):
+            a.deallocate(0, 2)
+
+    def test_does_not_touch_other_server(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)  # object 0 @ server 0
+        a.set_comp_local(5, True)  # object 0 @ server 1
+        a.deallocate(0, 0)
+        assert a.comp_local[5]
+        assert 0 in a.replicas[1]
+
+
+class TestQueries:
+    def test_stored_bytes(self, micro_model):
+        a = Allocation(micro_model, replicas=[{0, 1}, {3}])
+        assert a.stored_bytes(0) == 300.0  # 100 + 200
+        assert a.stored_bytes(1) == 400.0
+        assert a.stored_bytes_all().tolist() == [300.0, 400.0]
+
+    def test_page_marks_views(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(3, True)  # page 2's first entry (object 1)
+        marks = a.page_comp_marks(2)
+        assert marks.tolist() == [True, False]
+
+    def test_copy_independent(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)
+        b = a.copy()
+        b.set_comp_local(0, False)
+        b.replicas[0].discard(0)
+        assert a.comp_local[0]
+        assert 0 in a.replicas[0]
+        assert a != b
+
+    def test_equality(self, micro_model):
+        a = Allocation(micro_model)
+        b = Allocation(micro_model)
+        assert a == b
+        b.set_comp_local(0, True)
+        assert a != b
+
+    def test_check_invariants_passes(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)
+        a.set_opt_local(1, True)
+        a.check_invariants()
+
+    def test_check_invariants_catches_corruption(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)
+        a.replicas[0].discard(0)  # corrupt directly
+        with pytest.raises(AssertionError):
+            a.check_invariants()
+
+
+class TestReverseIndex:
+    def test_entries_for(self, micro_model):
+        rev = ReverseIndex.for_model(micro_model)
+        comp_e, opt_e = rev.entries_for(0, 0)
+        assert comp_e == (0,)
+        assert opt_e == ()
+        comp_e, opt_e = rev.entries_for(1, 0)
+        assert comp_e == (5,)
+
+    def test_optional_entries(self, micro_model):
+        rev = ReverseIndex.for_model(micro_model)
+        comp_e, opt_e = rev.entries_for(0, 4)
+        assert comp_e == ()
+        assert opt_e == (0,)
+
+    def test_missing_pair_empty(self, micro_model):
+        rev = ReverseIndex.for_model(micro_model)
+        assert rev.entries_for(0, 3) == ((), ())
+
+    def test_cached_per_model(self, micro_model):
+        assert ReverseIndex.for_model(micro_model) is ReverseIndex.for_model(
+            micro_model
+        )

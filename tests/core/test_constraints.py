@@ -1,0 +1,125 @@
+"""Tests for repro.core.constraints — exact Eq. 8-10 arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.local import LocalPolicy
+from repro.baselines.remote import RemotePolicy
+from repro.core.allocation import Allocation
+from repro.core.constraints import (
+    evaluate_constraints,
+    html_request_load,
+    local_processing_load,
+    repository_load,
+    repository_load_by_server,
+    storage_used,
+)
+from tests.conftest import build_micro_model
+
+
+class TestHtmlRequestLoad:
+    def test_micro(self, micro_model):
+        # server 0: f = 1 + 2 ; server 1: f = 0.5 + 1
+        assert html_request_load(micro_model).tolist() == [3.0, 1.5]
+
+
+class TestLocalProcessingLoad:
+    def test_all_remote_is_html_only(self, micro_model):
+        load = local_processing_load(RemotePolicy().allocate(micro_model))
+        assert load.tolist() == [3.0, 1.5]
+
+    def test_all_local(self, micro_model):
+        load = local_processing_load(LocalPolicy().allocate(micro_model))
+        # S0: 1*(1+2+0.1) + 2*(1+1) = 7.1 ; S1: 0.5*(1+2+0.2) + 1*(1+3) = 5.6
+        assert load[0] == pytest.approx(7.1)
+        assert load[1] == pytest.approx(5.6)
+
+    def test_single_mark(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(2, True)  # page 1 (f=2) on server 0
+        load = local_processing_load(a)
+        assert load[0] == pytest.approx(3.0 + 2.0)
+
+
+class TestRepositoryLoad:
+    def test_all_remote(self, micro_model):
+        # sum f_j (U_j + U'_j) = 1*2.1 + 2*1 + 0.5*2.2 + 1*3 = 8.2
+        load = repository_load(RemotePolicy().allocate(micro_model))
+        assert load == pytest.approx(8.2)
+
+    def test_all_local_zero(self, micro_model):
+        assert repository_load(LocalPolicy().allocate(micro_model)) == 0.0
+
+    def test_by_server_sums_to_total(self, micro_model):
+        a = RemotePolicy().allocate(micro_model)
+        by = repository_load_by_server(a)
+        assert by.sum() == pytest.approx(repository_load(a))
+        # server 0 pages: 1*(2+0.1) + 2*1 = 4.1
+        assert by[0] == pytest.approx(4.1)
+        assert by[1] == pytest.approx(4.1)
+
+
+class TestStorageUsed:
+    def test_html_plus_union(self, micro_model):
+        a = LocalPolicy().allocate(micro_model)
+        used = storage_used(a)
+        # S0: 300 html + {0,1,2,4} = 300+650 ; S1: 400 + {0,1,2,3,5} = 400+1060
+        assert used.tolist() == [950.0, 1460.0]
+
+    def test_union_not_double_counted(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(5, True)  # page 3, object 0 @ S1
+        a.set_comp_local(6, True)  # page 3, object 2 @ S1
+        a.set_comp_local(3, True)  # page 2, object 1 @ S1
+        # object sharing: page 2 also references object 3 (unmarked)
+        used = storage_used(a)
+        assert used[1] == pytest.approx(400 + 100 + 300 + 200)
+
+    def test_stored_but_unmarked_counts(self, micro_model):
+        a = Allocation(micro_model, replicas=[{3}, set()])
+        assert storage_used(a)[0] == pytest.approx(300 + 400)
+
+
+class TestConstraintReport:
+    def test_unconstrained_ok(self, micro_model):
+        rep = evaluate_constraints(LocalPolicy().allocate(micro_model))
+        assert rep.ok
+        assert rep.storage_ok and rep.local_ok and rep.repo_ok
+
+    def test_storage_violation_detected(self):
+        m = build_micro_model(storage=(900.0, 500.0))
+        rep = evaluate_constraints(LocalPolicy().allocate(m))
+        assert not rep.storage_ok
+        # all-local needs 950 B at S0 and 1460 B at S1
+        assert rep.violated_servers_storage() == [0, 1]
+        assert "storage" in rep.summary()
+
+    def test_processing_violation_detected(self):
+        m = build_micro_model(processing=(5.0, 100.0))
+        rep = evaluate_constraints(LocalPolicy().allocate(m))
+        assert not rep.local_ok
+        assert rep.violated_servers_processing() == [0]
+
+    def test_repo_violation_detected(self):
+        m = build_micro_model(repo_capacity=5.0)
+        rep = evaluate_constraints(RemotePolicy().allocate(m))
+        assert not rep.repo_ok
+        assert rep.repo_slack == pytest.approx(5.0 - 8.2)
+
+    def test_infinite_repo_always_ok(self, micro_model):
+        rep = evaluate_constraints(RemotePolicy().allocate(micro_model))
+        assert rep.repo_ok
+        assert math.isinf(rep.repo_capacity)
+
+    def test_slack_signs(self):
+        m = build_micro_model(storage=(2000.0, 2000.0))
+        rep = evaluate_constraints(LocalPolicy().allocate(m))
+        assert rep.storage_slack[0] == pytest.approx(2000 - 950)
+        assert rep.storage_slack[1] == pytest.approx(2000 - 1460)
+
+    def test_summary_mentions_all_families(self, micro_model):
+        rep = evaluate_constraints(Allocation(micro_model))
+        s = rep.summary()
+        assert "storage" in s and "local processing" in s and "repository" in s

@@ -1,0 +1,78 @@
+"""Tests for repro.core.ilp — the exact MILP reference solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.ilp import solve_optimal_allocation
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.core.constraints import evaluate_constraints
+from tests.conftest import build_micro_model
+
+
+class TestOptimality:
+    def test_unconstrained_beats_or_matches_greedy(self, micro_model):
+        cost = CostModel(micro_model)
+        greedy = cost.D(partition_all(micro_model))
+        sol = solve_optimal_allocation(micro_model)
+        assert sol.objective <= greedy + 1e-6
+
+    def test_objective_matches_cost_model(self, micro_model):
+        sol = solve_optimal_allocation(micro_model)
+        cost = CostModel(micro_model)
+        assert cost.D(sol.allocation) == pytest.approx(sol.objective, rel=1e-6)
+
+    def test_greedy_gap_is_small_unconstrained(self, micro_model):
+        """On the micro model PARTITION should be near-optimal."""
+        cost = CostModel(micro_model)
+        greedy = cost.D(partition_all(micro_model))
+        opt = solve_optimal_allocation(micro_model).objective
+        assert greedy <= opt * 1.10  # within 10%
+
+    def test_constrained_storage_optimum_feasible(self):
+        m = build_micro_model(storage=(800.0, 1000.0))
+        sol = solve_optimal_allocation(m)
+        rep = evaluate_constraints(sol.allocation)
+        assert rep.storage_ok
+
+    def test_constrained_optimum_bounds_greedy(self):
+        m = build_micro_model(storage=(800.0, 1000.0))
+        result = RepositoryReplicationPolicy().run(m)
+        sol = solve_optimal_allocation(m)
+        assert sol.objective <= result.objective + 1e-6
+
+    def test_processing_constraint_respected(self):
+        m = build_micro_model(processing=(5.0, 4.0))
+        sol = solve_optimal_allocation(m)
+        rep = evaluate_constraints(sol.allocation)
+        assert rep.local_ok
+
+    def test_repo_constraint_respected(self):
+        m = build_micro_model(repo_capacity=3.0)
+        sol = solve_optimal_allocation(m)
+        rep = evaluate_constraints(sol.allocation)
+        assert rep.repo_ok
+
+
+class TestGuards:
+    def test_too_large_rejected(self, small_model):
+        with pytest.raises(ValueError, match="entries"):
+            solve_optimal_allocation(small_model)
+
+    def test_weights_passed_through(self, micro_model):
+        a = solve_optimal_allocation(micro_model, alpha1=1.0, alpha2=1.0)
+        b = solve_optimal_allocation(micro_model, alpha1=4.0, alpha2=1.0)
+        assert b.objective > a.objective
+
+
+class TestTinyGenerated:
+    def test_greedy_gap_on_generated(self, tiny_model):
+        cost = CostModel(tiny_model)
+        greedy = cost.D(partition_all(tiny_model))
+        opt = solve_optimal_allocation(tiny_model).objective
+        assert opt <= greedy + 1e-6
+        # greedy should be within 25% of optimal on tiny instances
+        assert greedy <= opt * 1.25

@@ -1,0 +1,114 @@
+"""Tests for repro.core.matrices — sparse Section 3 matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.local import LocalPolicy
+from repro.core.allocation import Allocation
+from repro.core.matrices import MatrixSet
+from repro.core.partition import partition_all
+
+
+class TestFromAllocation:
+    def test_shapes(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        assert ms.U.shape == (4, 6)
+        assert ms.U_prime.shape == (4, 6)
+        assert ms.A.shape == (2, 4)
+        assert ms.X.shape == (4, 6)
+        assert ms.X_prime.shape == (4, 6)
+
+    def test_u_entries(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        U = ms.U.toarray()
+        assert U[0, 0] == 1 and U[0, 1] == 1
+        assert U[3, 0] == 1 and U[3, 2] == 1 and U[3, 3] == 1
+        assert U.sum() == 8
+
+    def test_u_prime_probabilities(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        Up = ms.U_prime.toarray()
+        assert Up[0, 4] == pytest.approx(0.1)
+        assert Up[2, 5] == pytest.approx(0.2)
+        assert Up.sum() == pytest.approx(0.3)
+
+    def test_a_one_server_per_page(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        A = ms.A.toarray()
+        assert np.array_equal(A.sum(axis=0), np.ones(4))
+        assert A[0, 0] == 1 and A[1, 2] == 1
+
+    def test_x_subset_of_u(self, micro_model):
+        alloc = partition_all(micro_model)
+        ms = MatrixSet.from_allocation(alloc)
+        X, U = ms.X.toarray(), ms.U.toarray()
+        assert np.all(X <= U)
+
+    def test_x_prime_extends_x(self, micro_model):
+        alloc = partition_all(micro_model)
+        ms = MatrixSet.from_allocation(alloc)
+        Xp, X = ms.X_prime.toarray(), ms.X.toarray()
+        assert np.all(Xp >= X)
+        # optional locals present
+        assert Xp[0, 4] == 1 and Xp[2, 5] == 1
+
+    def test_empty_allocation_x_empty(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        assert ms.X.nnz == 0
+        assert ms.X_prime.nnz == 0
+
+
+class TestValidate:
+    def test_overlapping_u_uprime_rejected(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        bad = MatrixSet(
+            U=ms.U,
+            U_prime=(ms.U * 0.5).tocsr(),  # same support as U
+            A=ms.A,
+            X=ms.X,
+            X_prime=ms.X_prime,
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            bad.validate()
+
+    def test_x_outside_u_rejected(self, micro_model):
+        ms = MatrixSet.from_allocation(Allocation(micro_model))
+        X = sp.csr_matrix(([1.0], ([0], [3])), shape=ms.U.shape)  # (0,3) not in U
+        bad = MatrixSet(U=ms.U, U_prime=ms.U_prime, A=ms.A, X=X, X_prime=X)
+        with pytest.raises(ValueError, match="outside U"):
+            bad.validate()
+
+    def test_x_prime_disagreeing_rejected(self, micro_model):
+        alloc = partition_all(micro_model)
+        ms = MatrixSet.from_allocation(alloc)
+        zero = sp.csr_matrix(ms.X.shape)
+        bad = MatrixSet(
+            U=ms.U, U_prime=ms.U_prime, A=ms.A, X=ms.X, X_prime=zero
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            bad.validate()
+
+
+class TestByteHelpers:
+    def test_local_remote_bytes(self, micro_model):
+        alloc = LocalPolicy().allocate(micro_model)
+        ms = MatrixSet.from_allocation(alloc)
+        lb = ms.local_compulsory_bytes(micro_model.sizes)
+        rb = ms.remote_compulsory_bytes(micro_model.sizes)
+        assert lb.tolist() == [300.0, 300.0, 600.0, 800.0]
+        assert rb.tolist() == [0.0, 0.0, 0.0, 0.0]
+
+
+class TestRoundTrip:
+    def test_to_allocation_round_trip(self, micro_model):
+        alloc = partition_all(micro_model)
+        ms = MatrixSet.from_allocation(alloc)
+        back = ms.to_allocation(micro_model)
+        assert np.array_equal(back.comp_local, alloc.comp_local)
+        assert np.array_equal(back.opt_local, alloc.opt_local)
+
+    def test_round_trip_on_generated(self, tiny_model):
+        alloc = partition_all(tiny_model)
+        back = MatrixSet.from_allocation(alloc).to_allocation(tiny_model)
+        assert np.array_equal(back.comp_local, alloc.comp_local)

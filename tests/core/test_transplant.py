@@ -1,0 +1,47 @@
+"""Tests for repro.core.allocation.transplant_allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import transplant_allocation
+from repro.core.partition import partition_all
+from repro.dynamic.drift import replace_frequencies
+from repro.experiments.scaling import clone_with_capacities
+
+
+class TestTransplant:
+    def test_marks_preserved(self, micro_model):
+        alloc = partition_all(micro_model)
+        clone = clone_with_capacities(micro_model, storage=1e9)
+        moved = transplant_allocation(alloc, clone)
+        assert moved.model is clone
+        assert np.array_equal(moved.comp_local, alloc.comp_local)
+        assert np.array_equal(moved.opt_local, alloc.opt_local)
+        assert moved.replicas == alloc.replicas
+
+    def test_extra_replicas_preserved(self, micro_model):
+        alloc = partition_all(micro_model)
+        alloc.store(0, 3)  # stored-but-unmarked
+        clone = clone_with_capacities(micro_model)
+        moved = transplant_allocation(alloc, clone)
+        assert 3 in moved.replicas[0]
+
+    def test_frequency_drifted_model_ok(self, micro_model):
+        alloc = partition_all(micro_model)
+        drifted = replace_frequencies(
+            micro_model, micro_model.frequencies * 2.0
+        )
+        moved = transplant_allocation(alloc, drifted)
+        moved.check_invariants()
+
+    def test_structurally_different_rejected(self, micro_model, tiny_model):
+        alloc = partition_all(micro_model)
+        with pytest.raises(ValueError, match="structurally"):
+            transplant_allocation(alloc, tiny_model)
+
+    def test_independent_after_transplant(self, micro_model):
+        alloc = partition_all(micro_model)
+        clone = clone_with_capacities(micro_model)
+        moved = transplant_allocation(alloc, clone)
+        moved.set_comp_local(0, not moved.comp_local[0])
+        assert moved.comp_local[0] != alloc.comp_local[0]

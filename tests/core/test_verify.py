@@ -1,0 +1,63 @@
+"""Tests for repro.core.verify — the consolidated checker."""
+
+import pytest
+
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.core.verify import verify_allocation
+from tests.conftest import build_micro_model
+
+
+class TestVerifyAllocation:
+    def test_clean_allocation_passes(self, micro_model):
+        report = verify_allocation(partition_all(micro_model))
+        assert report.passed
+        assert report.failures == []
+
+    def test_feasibility_expectation_met(self, micro_model):
+        report = verify_allocation(
+            partition_all(micro_model), expect_feasible=True
+        )
+        assert report.passed
+
+    def test_feasibility_expectation_violated(self):
+        m = build_micro_model(storage=(700.0, 900.0))
+        report = verify_allocation(partition_all(m), expect_feasible=True)
+        assert not report.passed
+        assert any("expected feasible" in f for f in report.failures)
+
+    def test_expected_infeasible(self):
+        m = build_micro_model(storage=(700.0, 900.0))
+        report = verify_allocation(partition_all(m), expect_feasible=False)
+        assert report.passed
+
+    def test_infeasible_recorded_as_warning_by_default(self):
+        m = build_micro_model(storage=(700.0, 900.0))
+        report = verify_allocation(partition_all(m))
+        assert report.passed
+        assert report.warnings
+
+    def test_corrupted_allocation_fails(self, micro_model):
+        alloc = partition_all(micro_model)
+        alloc.replicas[0].clear()  # violate marks ⊆ replicas directly
+        report = verify_allocation(alloc)
+        assert not report.passed
+
+    def test_raise_if_failed(self, micro_model):
+        alloc = partition_all(micro_model)
+        alloc.replicas[0].clear()
+        with pytest.raises(AssertionError, match="verification failed"):
+            verify_allocation(alloc).raise_if_failed()
+
+    def test_policy_results_verify(self):
+        m = build_micro_model(
+            storage=(800.0, 1200.0), processing=(4.0, 2.5), repo_capacity=2.0
+        )
+        result = RepositoryReplicationPolicy(optional_policy="none").run(m)
+        verify_allocation(
+            result.allocation, expect_feasible=result.feasible
+        ).raise_if_failed()
+
+    def test_generated_policy_verifies(self, small_model):
+        result = RepositoryReplicationPolicy().run(small_model)
+        verify_allocation(result.allocation, expect_feasible=True).raise_if_failed()

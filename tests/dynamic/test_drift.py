@@ -1,0 +1,99 @@
+"""Tests for repro.dynamic.drift — access-pattern drift operators."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.drift import (
+    jitter_frequencies,
+    replace_frequencies,
+    rotate_hot_set,
+)
+
+
+class TestReplaceFrequencies:
+    def test_values_planted(self, micro_model):
+        new = np.array([5.0, 6.0, 7.0, 8.0])
+        m2 = replace_frequencies(micro_model, new)
+        assert np.array_equal(m2.frequencies, new)
+        # structure untouched
+        assert m2.pages[0].compulsory == micro_model.pages[0].compulsory
+        assert m2.servers is micro_model.servers or tuple(m2.servers) == tuple(
+            micro_model.servers
+        )
+
+    def test_original_untouched(self, micro_model):
+        before = micro_model.frequencies.copy()
+        replace_frequencies(micro_model, np.zeros(4))
+        assert np.array_equal(micro_model.frequencies, before)
+
+    def test_wrong_shape_rejected(self, micro_model):
+        with pytest.raises(ValueError, match="shape"):
+            replace_frequencies(micro_model, np.ones(3))
+
+    def test_negative_rejected(self, micro_model):
+        with pytest.raises(ValueError, match="non-negative"):
+            replace_frequencies(micro_model, np.array([1.0, -1.0, 1.0, 1.0]))
+
+
+class TestRotateHotSet:
+    def test_preserves_per_server_totals(self, small_model):
+        drifted = rotate_hot_set(small_model, 0.5, seed=3)
+        for i in range(small_model.n_servers):
+            ids = np.asarray(small_model.pages_by_server[i], dtype=np.intp)
+            assert drifted.frequencies[ids].sum() == pytest.approx(
+                small_model.frequencies[ids].sum()
+            )
+
+    def test_preserves_multiset_of_frequencies(self, small_model):
+        drifted = rotate_hot_set(small_model, 1.0, seed=3)
+        assert np.allclose(
+            np.sort(drifted.frequencies), np.sort(small_model.frequencies)
+        )
+
+    def test_zero_fraction_identity(self, small_model):
+        drifted = rotate_hot_set(small_model, 0.0, seed=3)
+        assert np.array_equal(drifted.frequencies, small_model.frequencies)
+
+    def test_full_rotation_changes_hot_pages(self, small_model):
+        drifted = rotate_hot_set(small_model, 1.0, seed=3)
+        # the set of hottest pages must change on at least one server
+        changed = False
+        for i in range(small_model.n_servers):
+            ids = np.asarray(small_model.pages_by_server[i], dtype=np.intp)
+            n_hot = max(1, int(np.ceil(0.10 * len(ids))))
+            before = set(ids[np.argsort(small_model.frequencies[ids])[::-1][:n_hot]])
+            after = set(ids[np.argsort(drifted.frequencies[ids])[::-1][:n_hot]])
+            if before != after:
+                changed = True
+        assert changed
+
+    def test_bad_fraction_rejected(self, small_model):
+        with pytest.raises(ValueError, match="fraction"):
+            rotate_hot_set(small_model, 1.5)
+
+    def test_deterministic(self, small_model):
+        a = rotate_hot_set(small_model, 0.5, seed=9)
+        b = rotate_hot_set(small_model, 0.5, seed=9)
+        assert np.array_equal(a.frequencies, b.frequencies)
+
+
+class TestJitter:
+    def test_preserves_per_server_totals(self, small_model):
+        drifted = jitter_frequencies(small_model, 0.3, seed=4)
+        for i in range(small_model.n_servers):
+            ids = np.asarray(small_model.pages_by_server[i], dtype=np.intp)
+            assert drifted.frequencies[ids].sum() == pytest.approx(
+                small_model.frequencies[ids].sum()
+            )
+
+    def test_zero_sigma_identity(self, small_model):
+        drifted = jitter_frequencies(small_model, 0.0, seed=4)
+        assert np.allclose(drifted.frequencies, small_model.frequencies)
+
+    def test_changes_values(self, small_model):
+        drifted = jitter_frequencies(small_model, 0.3, seed=4)
+        assert not np.allclose(drifted.frequencies, small_model.frequencies)
+
+    def test_negative_sigma_rejected(self, small_model):
+        with pytest.raises(ValueError, match="sigma"):
+            jitter_frequencies(small_model, -0.1)

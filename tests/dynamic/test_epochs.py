@@ -1,0 +1,95 @@
+"""Tests for repro.dynamic.epochs — the E1 harness."""
+
+import pytest
+
+from repro.dynamic.epochs import (
+    DynamicExperimentResult,
+    EpochConfig,
+    run_dynamic_experiment,
+)
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def result():
+    # small (not tiny) scale: with only a dozen pages the greedy's local
+    # optima and perturbation noise would swamp the staleness signal
+    return run_dynamic_experiment(
+        params=WorkloadParams.small(),
+        config=EpochConfig(
+            n_epochs=4, drift_every=2, requests_per_server=400
+        ),
+        seed=5,
+    )
+
+
+class TestEpochConfig:
+    def test_defaults_valid(self):
+        EpochConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_epochs": 0},
+            {"reallocate_every": 0},
+            {"rotation_fraction": 1.5},
+            {"storage_fraction": 0.0},
+            {"drift_every": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EpochConfig(**kwargs)
+
+
+class TestRunDynamicExperiment:
+    def test_epoch_series_lengths(self, result):
+        assert result.epochs == [0, 1, 2, 3]
+        assert len(result.static) == 4
+        assert len(result.periodic) == 4
+        assert len(result.oracle) == 4
+
+    def test_epoch0_all_equal(self, result):
+        assert result.static[0] == pytest.approx(result.periodic[0])
+        assert result.static[0] == pytest.approx(result.oracle[0])
+
+    def test_oracle_is_best_on_average(self, result):
+        import numpy as np
+
+        # the greedy is not optimal and measurement is perturbed, so
+        # allow a small tolerance on the ordering
+        assert np.mean(result.oracle) <= np.mean(result.static) * 1.02
+        assert np.mean(result.oracle) <= np.mean(result.periodic) * 1.02
+
+    def test_reallocation_count(self, result):
+        # reallocate_every=1 over epochs 1..3
+        assert result.reallocations == 3
+
+    def test_metrics(self, result):
+        # staleness penalty well-defined and not absurd
+        assert -0.2 < result.staleness_penalty() < 2.0
+        assert -0.2 < result.periodic_gap() < 2.0
+
+    def test_render(self, result):
+        out = result.render()
+        assert "epoch" in out and "oracle" in out and "staleness" in out
+
+    def test_deterministic(self):
+        cfg = EpochConfig(n_epochs=2, requests_per_server=200)
+        a = run_dynamic_experiment(WorkloadParams.tiny(), cfg, seed=1)
+        b = run_dynamic_experiment(WorkloadParams.tiny(), cfg, seed=1)
+        assert a.static == b.static
+        assert a.periodic == b.periodic
+
+    def test_sparse_reallocation(self):
+        cfg = EpochConfig(
+            n_epochs=4, reallocate_every=2, requests_per_server=200
+        )
+        res = run_dynamic_experiment(WorkloadParams.tiny(), cfg, seed=1)
+        assert res.reallocations == 1  # only epoch 2
+
+
+    def test_churn_tracked_per_reallocation(self, result):
+        assert len(result.churn_bytes) == result.reallocations
+        assert all(b >= 0 for b in result.churn_bytes)
+        assert "MiB of replicas" in result.render()

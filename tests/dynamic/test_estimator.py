@@ -1,0 +1,83 @@
+"""Tests for repro.dynamic.estimator — frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.estimator import estimate_frequencies, with_frequencies
+from repro.workload.trace import generate_trace
+
+
+class TestEstimateFrequencies:
+    def test_converges_to_truth(self, small_model, small_params):
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=5000
+        )
+        est = estimate_frequencies(trace)
+        true = small_model.frequencies
+        # hot pages (large f) should be estimated within ~15%
+        hot = true > np.percentile(true, 90)
+        rel = np.abs(est[hot] - true[hot]) / true[hot]
+        assert rel.mean() < 0.15
+
+    def test_totals_match_truth_with_inferred_window(self, small_model, small_params):
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=1000
+        )
+        est = estimate_frequencies(trace, smoothing=0.0)
+        for i in range(small_model.n_servers):
+            ids = np.asarray(small_model.pages_by_server[i], dtype=np.intp)
+            assert est[ids].sum() == pytest.approx(
+                small_model.frequencies[ids].sum(), rel=1e-9
+            )
+
+    def test_smoothing_keeps_unseen_positive(self, small_model, small_params):
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=50
+        )
+        est = estimate_frequencies(trace, smoothing=0.5)
+        assert est.min() > 0
+
+    def test_zero_smoothing_allows_zero(self, small_model, small_params):
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=50
+        )
+        est = estimate_frequencies(trace, smoothing=0.0)
+        assert est.min() == 0.0  # some cold page unseen in 50 requests
+
+    def test_explicit_window(self, small_model, small_params):
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=100
+        )
+        est1 = estimate_frequencies(trace, observation_window=10.0)
+        est2 = estimate_frequencies(trace, observation_window=20.0)
+        assert np.allclose(est1, 2.0 * est2)
+
+    def test_negative_smoothing_rejected(self, small_model, small_params):
+        trace = generate_trace(small_model, small_params, seed=2, requests_per_server=10)
+        with pytest.raises(ValueError, match="smoothing"):
+            estimate_frequencies(trace, smoothing=-1.0)
+
+
+class TestWithFrequencies:
+    def test_planner_view(self, small_model, small_params):
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=500
+        )
+        est = estimate_frequencies(trace)
+        view = with_frequencies(small_model, est)
+        assert np.array_equal(view.frequencies, est)
+        assert view.n_pages == small_model.n_pages
+
+    def test_policy_runs_on_estimated_view(self, small_model, small_params):
+        from repro.core.allocation import transplant_allocation
+        from repro.core.policy import RepositoryReplicationPolicy
+        from repro.simulation.engine import simulate_allocation
+
+        trace = generate_trace(
+            small_model, small_params, seed=2, requests_per_server=500
+        )
+        view = with_frequencies(small_model, estimate_frequencies(trace))
+        result = RepositoryReplicationPolicy().run(view)
+        moved = transplant_allocation(result.allocation, small_model)
+        sim = simulate_allocation(moved, trace, seed=3)
+        assert sim.n_requests == trace.n_requests

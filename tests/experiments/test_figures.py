@@ -1,0 +1,122 @@
+"""Tests for the figure harnesses — shapes, not absolute numbers.
+
+These run on a tiny/small workload with few runs so they stay fast; the
+paper-scale values live in EXPERIMENTS.md.  What we assert is exactly
+what the paper claims qualitatively:
+
+* Figure 1 — the proposed policy dominates ideal LRU at every storage
+  tick; more storage never hurts; Remote is far above everything.
+* Figure 2 — monotone decreasing in capacity; equals Remote at 0%;
+  ~0 at 100%.
+* Figure 3 — tighter central capacity never helps; high local capacity
+  keeps even 50% central acceptable relative to low local capacity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+)
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(
+        params=WorkloadParams.small().with_(requests_per_server=400),
+        n_runs=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig1(cfg):
+    return run_fig1(cfg, fractions=(0.3, 0.65, 1.0))
+
+
+@pytest.fixture(scope="module")
+def fig2(cfg):
+    return run_fig2(cfg, fractions=(0.0, 0.5, 0.8, 1.0))
+
+
+@pytest.fixture(scope="module")
+def fig3(cfg):
+    return run_fig3(
+        cfg, local_fractions=(0.5, 1.0), central_fractions=(0.9, 0.5)
+    )
+
+
+class TestFig1:
+    def test_series_present(self, fig1):
+        assert set(fig1.series) == {"proposed", "ideal-lru"}
+        assert len(fig1.x_values) == 3
+
+    def test_proposed_dominates_lru(self, fig1):
+        for ours, lru in zip(fig1.series["proposed"], fig1.series["ideal-lru"]):
+            assert ours <= lru + 0.02
+
+    def test_more_storage_never_hurts(self, fig1):
+        ours = fig1.series["proposed"]
+        assert all(a >= b - 0.02 for a, b in zip(ours, ours[1:]))
+
+    def test_full_storage_is_optimal(self, fig1):
+        assert fig1.series["proposed"][-1] == pytest.approx(0.0, abs=0.01)
+
+    def test_remote_reference_far_above(self, fig1):
+        remote = fig1.scalars["remote (all from repository)"]
+        local = fig1.scalars["local (all from local server)"]
+        assert remote > 1.0  # > +100%
+        assert remote > 2 * max(local, 0.01)
+
+    def test_lru_at_full_storage_near_local(self, fig1):
+        lru_full = fig1.series["ideal-lru"][-1]
+        local = fig1.scalars["local (all from local server)"]
+        assert lru_full == pytest.approx(local, abs=0.15)
+
+    def test_render(self, fig1):
+        out = fig1.render()
+        assert "Figure 1" in out and "proposed" in out
+
+
+class TestFig2:
+    def test_monotone_decreasing(self, fig2):
+        ys = fig2.series["proposed"]
+        assert all(a >= b - 0.02 for a, b in zip(ys, ys[1:]))
+
+    def test_zero_capacity_equals_remote(self, fig2):
+        remote = fig2.scalars["remote (all from repository)"]
+        assert fig2.series["proposed"][0] == pytest.approx(remote, rel=0.05)
+
+    def test_full_capacity_optimal(self, fig2):
+        assert fig2.series["proposed"][-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_flat_near_full(self, fig2):
+        """The double-exponential shape: losing the top 20% of capacity
+        costs far less than the bottom 50%."""
+        ys = fig2.series["proposed"]
+        top_loss = ys[2] - ys[3]   # 80% vs 100%
+        bottom_loss = ys[0] - ys[1]  # 0% vs 50%
+        assert bottom_loss > top_loss
+
+
+class TestFig3:
+    def test_series_per_central_level(self, fig3):
+        assert set(fig3.series) == {"central 90%", "central 50%"}
+
+    def test_tighter_central_never_helps(self, fig3):
+        for a, b in zip(fig3.series["central 90%"], fig3.series["central 50%"]):
+            assert b >= a - 0.02
+
+    def test_local_capacity_dominates(self, fig3):
+        """High local capacity with 50% central beats low local capacity
+        with 90% central (the paper's main Figure 3 takeaway)."""
+        high_local_bad_central = fig3.series["central 50%"][-1]
+        low_local_good_central = fig3.series["central 90%"][0]
+        assert high_local_bad_central < low_local_good_central
+
+    def test_more_local_capacity_never_hurts(self, fig3):
+        for series in fig3.series.values():
+            assert series[-1] <= series[0] + 0.02

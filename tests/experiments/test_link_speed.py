@@ -1,0 +1,60 @@
+"""Tests for repro.experiments.extension_link_speed (E2)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extension_link_speed import (
+    LinkSpeedResult,
+    _scale_repo_rate,
+    run_link_speed,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.params import WorkloadParams
+
+
+class TestScaleRepoRate:
+    def test_rates_scaled(self, micro_model):
+        scaled = _scale_repo_rate(micro_model, 3.0)
+        assert np.allclose(
+            scaled.server_repo_rate, 3.0 * micro_model.server_repo_rate
+        )
+        assert np.array_equal(scaled.server_rate, micro_model.server_rate)
+
+    def test_structure_shared(self, micro_model):
+        scaled = _scale_repo_rate(micro_model, 2.0)
+        assert scaled.pages is micro_model.pages
+        assert scaled.objects is micro_model.objects
+
+    def test_partition_responds_to_scaling(self, micro_model):
+        from repro.core.partition import partition_all
+
+        slow = partition_all(_scale_repo_rate(micro_model, 0.01))
+        fast = partition_all(_scale_repo_rate(micro_model, 100.0))
+        assert slow.comp_local.sum() > fast.comp_local.sum()
+
+
+class TestRunLinkSpeed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = ExperimentConfig(
+            params=WorkloadParams.tiny().with_(requests_per_server=150),
+            n_runs=2,
+        )
+        return run_link_speed(cfg, multipliers=(0.5, 2.0, 8.0))
+
+    def test_series_lengths(self, result):
+        assert len(result.multipliers) == 3
+        assert len(result.remote_share) == 3
+        assert len(result.gain_vs_local) == 3
+        assert len(result.gain_vs_remote) == 3
+
+    def test_remote_share_monotone(self, result):
+        s = result.remote_share
+        assert s[0] <= s[1] + 0.05 and s[1] <= s[2] + 0.05
+
+    def test_shares_are_fractions(self, result):
+        assert all(0.0 <= s <= 1.0 for s in result.remote_share)
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Extension E2" in out and "repo rate" in out

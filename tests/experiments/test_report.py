@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.report — the combined reproduction report."""
+
+import pytest
+
+from repro.experiments.report import ReproductionReport, reproduce_all
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def report():
+    cfg = ExperimentConfig(
+        params=WorkloadParams.small().with_(requests_per_server=300),
+        n_runs=2,
+    )
+    return reproduce_all(cfg)
+
+
+class TestReproduceAll:
+    def test_all_artifacts_present(self, report):
+        assert report.table1 is not None
+        assert report.fig1.series
+        assert report.fig2.series
+        assert report.fig3.series
+        assert report.claims is not None
+
+    def test_shapes_hold_on_small(self, report):
+        assert report.all_shapes_hold
+
+    def test_render_contains_every_section(self, report):
+        out = report.render()
+        for token in (
+            "REPRODUCTION REPORT",
+            "Table 1",
+            "headline claims",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "ALL PAPER SHAPES HOLD",
+        ):
+            assert token in out
+
+    def test_render_with_charts(self, report):
+        out = report.render(charts=True)
+        assert "Figure 1 (bars)" in out
+        assert "#" in out
+
+    def test_cli_reproduce(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["--scale", "tiny", "--runs", "1", "--requests", "80", "reproduce"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "REPRODUCTION REPORT" in out

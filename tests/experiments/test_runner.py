@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.runner — multi-run orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, SweepResult, iter_runs
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return ExperimentConfig(
+        params=WorkloadParams.tiny().with_(requests_per_server=100), n_runs=2
+    )
+
+
+class TestConfig:
+    def test_quick(self):
+        cfg = ExperimentConfig.quick(2)
+        assert cfg.n_runs == 2
+        assert cfg.params.n_servers == WorkloadParams.small().n_servers
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_RUNS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_REQUESTS", raising=False)
+        cfg = ExperimentConfig.from_env()
+        assert cfg.n_runs == 5
+        assert cfg.params.n_servers == WorkloadParams.small().n_servers
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "2")
+        monkeypatch.setenv("REPRO_BENCH_REQUESTS", "123")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.n_runs == 2
+        assert cfg.params.requests_per_server == 123
+
+    def test_from_env_rejects_bad_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError, match="REPRO_BENCH_SCALE"):
+            ExperimentConfig.from_env()
+
+
+class TestIterRuns:
+    def test_yields_n_runs(self, quick_cfg):
+        runs = list(iter_runs(quick_cfg))
+        assert len(runs) == 2
+        assert [r.run_index for r in runs] == [0, 1]
+
+    def test_relaxed_capacities(self, quick_cfg):
+        ctx = next(iter(iter_runs(quick_cfg)))
+        assert np.all(np.isinf(ctx.model.server_storage))
+        assert np.all(np.isinf(ctx.model.server_capacity))
+
+    def test_runs_have_distinct_workloads(self, quick_cfg):
+        runs = list(iter_runs(quick_cfg))
+        assert runs[0].model.n_pages != runs[1].model.n_pages or not np.array_equal(
+            runs[0].model.frequencies, runs[1].model.frequencies
+        )
+
+    def test_reference_is_unconstrained_partition(self, quick_cfg):
+        from repro.core.partition import partition_all
+
+        ctx = next(iter(iter_runs(quick_cfg)))
+        assert ctx.reference == partition_all(ctx.model)
+
+    def test_relative_increase(self, quick_cfg):
+        ctx = next(iter(iter_runs(quick_cfg)))
+        assert ctx.relative_increase(ctx.reference_sim) == pytest.approx(0.0)
+
+    def test_retrace_identical(self, quick_cfg):
+        from repro.experiments.scaling import clone_with_capacities
+
+        ctx = next(iter(iter_runs(quick_cfg)))
+        clone = clone_with_capacities(ctx.model, storage=1e12)
+        tr = ctx.retrace(clone)
+        assert np.array_equal(tr.page_of_request, ctx.trace.page_of_request)
+        assert tr.model is clone
+
+    def test_deterministic_across_calls(self, quick_cfg):
+        a = next(iter(iter_runs(quick_cfg)))
+        b = next(iter(iter_runs(quick_cfg)))
+        assert np.array_equal(a.trace.page_of_request, b.trace.page_of_request)
+        assert a.reference_mean == pytest.approx(b.reference_mean)
+
+
+class TestSweepResult:
+    def test_aggregate(self):
+        assert SweepResult.aggregate([[1.0, 2.0], [3.0, 4.0]]) == [2.0, 3.0]
+
+    def test_render(self):
+        r = SweepResult(
+            title="T",
+            x_label="x",
+            x_values=[0.5, 1.0],
+            series={"a": [0.1, 0.0]},
+            scalars={"ref": 2.0},
+            n_runs=3,
+        )
+        out = r.render()
+        assert "T" in out and "+10.0%" in out and "ref" in out and "3 runs" in out

@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.scaling — capacity-percentage definitions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.local import LocalPolicy
+from repro.core.constraints import (
+    html_request_load,
+    local_processing_load,
+    repository_load,
+)
+from repro.core.partition import partition_all
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    processing_capacities_for_fraction,
+    repo_capacity_for_fraction,
+    storage_capacities_for_fraction,
+)
+
+
+class TestClone:
+    def test_storage_replaced(self, micro_model):
+        clone = clone_with_capacities(micro_model, storage=[10.0, 20.0])
+        assert clone.server_storage.tolist() == [10.0, 20.0]
+        # other attributes preserved
+        assert np.array_equal(clone.server_rate, micro_model.server_rate)
+
+    def test_scalar_broadcast(self, micro_model):
+        clone = clone_with_capacities(micro_model, processing=42.0)
+        assert clone.server_capacity.tolist() == [42.0, 42.0]
+
+    def test_repo_capacity(self, micro_model):
+        clone = clone_with_capacities(micro_model, repo_capacity=7.0)
+        assert clone.repository.processing_capacity == 7.0
+
+    def test_pages_shared(self, micro_model):
+        clone = clone_with_capacities(micro_model, storage=100.0)
+        assert clone.pages is micro_model.pages
+        assert clone.objects is micro_model.objects
+
+    def test_none_leaves_untouched(self, micro_model):
+        clone = clone_with_capacities(micro_model)
+        assert np.array_equal(clone.server_storage, micro_model.server_storage)
+        assert math.isinf(clone.repository.processing_capacity)
+
+
+class TestStorageFractions:
+    def test_full_fraction_fits_reference(self, micro_model):
+        ref = partition_all(micro_model)
+        caps = storage_capacities_for_fraction(micro_model, ref, 1.0)
+        html = micro_model.html_bytes_by_server()
+        assert np.allclose(caps, html + ref.stored_bytes_all())
+
+    def test_zero_fraction_html_only(self, micro_model):
+        ref = partition_all(micro_model)
+        caps = storage_capacities_for_fraction(micro_model, ref, 0.0)
+        assert np.allclose(caps, micro_model.html_bytes_by_server())
+
+    def test_negative_rejected(self, micro_model):
+        ref = partition_all(micro_model)
+        with pytest.raises(ValueError):
+            storage_capacities_for_fraction(micro_model, ref, -0.1)
+
+
+class TestProcessingFractions:
+    def test_default_reference_is_all_local(self, micro_model):
+        caps = processing_capacities_for_fraction(micro_model, 1.0)
+        all_local = local_processing_load(LocalPolicy().allocate(micro_model))
+        assert np.allclose(caps, all_local)
+
+    def test_zero_fraction_html_load(self, micro_model):
+        caps = processing_capacities_for_fraction(micro_model, 0.0)
+        assert np.allclose(caps, html_request_load(micro_model))
+
+    def test_custom_reference(self, micro_model):
+        ref = partition_all(micro_model)
+        caps = processing_capacities_for_fraction(micro_model, 1.0, ref)
+        assert np.allclose(caps, local_processing_load(ref))
+
+    def test_any_allocation_fits_at_full(self, micro_model):
+        """100% of all-local load upper-bounds every allocation's load."""
+        caps = processing_capacities_for_fraction(micro_model, 1.0)
+        for alloc in (partition_all(micro_model), LocalPolicy().allocate(micro_model)):
+            assert np.all(local_processing_load(alloc) <= caps + 1e-9)
+
+
+class TestRepoFraction:
+    def test_value(self, micro_model):
+        from repro.baselines.remote import RemotePolicy
+
+        alloc = RemotePolicy().allocate(micro_model)
+        assert repo_capacity_for_fraction(alloc, 0.5) == pytest.approx(
+            0.5 * repository_load(alloc)
+        )
+
+    def test_zero_rejected(self, micro_model):
+        from repro.baselines.remote import RemotePolicy
+
+        with pytest.raises(ValueError):
+            repo_capacity_for_fraction(RemotePolicy().allocate(micro_model), 0.0)

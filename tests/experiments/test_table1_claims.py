@@ -1,0 +1,78 @@
+"""Tests for the Table 1 report and the headline-claims harness."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_headline_claims,
+    run_table1,
+)
+from repro.workload.params import WorkloadParams
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_table1(WorkloadParams.small(), seed=0)
+
+    def test_has_all_rows(self, report):
+        labels = [r[0] for r in report.rows]
+        for expected in (
+            "Number of Local Sites (LS)",
+            "Number of MOs in the network",
+            "Processing capacity of LS (req/s)",
+            "Page requests per server",
+            "(alpha1, alpha2)",
+        ):
+            assert expected in labels
+
+    def test_render(self, report):
+        out = report.render()
+        assert "Table 1" in out
+        assert "realised" in out
+
+    def test_realised_matches_nominal_scalars(self, report):
+        by_label = {r[0]: r for r in report.rows}
+        assert by_label["Number of Local Sites (LS)"][1] == by_label[
+            "Number of Local Sites (LS)"
+        ][2]
+        assert by_label["Number of MOs in the network"][1] == by_label[
+            "Number of MOs in the network"
+        ][2]
+
+    def test_paper_defaults(self):
+        report = run_table1(seed=1)
+        by_label = {r[0]: r for r in report.rows}
+        assert by_label["Number of Local Sites (LS)"][2] == "10"
+
+
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        cfg = ExperimentConfig(
+            params=WorkloadParams.small().with_(requests_per_server=500),
+            n_runs=2,
+        )
+        return run_headline_claims(cfg)
+
+    def test_orderings_hold(self, claims):
+        assert claims.orderings_hold
+
+    def test_remote_far_worse(self, claims):
+        assert claims.remote_increase > 1.0
+
+    def test_local_moderately_worse(self, claims):
+        assert 0.0 < claims.local_increase < 0.6
+
+    def test_lru_close_to_local(self, claims):
+        assert claims.lru_full_increase == pytest.approx(
+            claims.local_increase, abs=0.15
+        )
+
+    def test_storage_positive(self, claims):
+        assert claims.avg_storage_gb > 0
+
+    def test_render(self, claims):
+        out = claims.render()
+        assert "+335%" in out  # the paper column
+        assert "measured" in out

@@ -1,0 +1,176 @@
+"""Adversarial structural edge cases across the whole pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.core.types import (
+    ObjectSpec,
+    PageSpec,
+    RepositorySpec,
+    ServerSpec,
+    SystemModel,
+)
+from repro.simulation.engine import simulate_allocation
+from repro.simulation.lru_sim import simulate_lru
+from repro.workload.params import WorkloadParams
+from repro.workload.trace import generate_trace
+
+
+def _server(i, **kw):
+    defaults = dict(
+        storage_capacity=math.inf,
+        processing_capacity=math.inf,
+        rate=10.0,
+        overhead=1.0,
+        repo_rate=2.0,
+        repo_overhead=2.0,
+    )
+    defaults.update(kw)
+    return ServerSpec(server_id=i, **defaults)
+
+
+class TestDegenerateUniverses:
+    def test_html_only_pages(self):
+        """Pages with no MOs at all: policy and simulator must cope."""
+        m = SystemModel(
+            [_server(0)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 500, 1.0), PageSpec(1, 0, 700, 2.0)],
+            [ObjectSpec(0, 100)],
+        )
+        result = RepositoryReplicationPolicy().run(m)
+        assert not result.allocation.comp_local.any()
+        trace = generate_trace(m, WorkloadParams.tiny(), seed=1, requests_per_server=20)
+        sim = simulate_allocation(result.allocation, trace, seed=2)
+        assert np.all(sim.remote_stream_times == 0)
+        assert np.all(sim.page_times > 0)
+
+    def test_optional_only_page(self):
+        m = SystemModel(
+            [_server(0)],
+            RepositorySpec(),
+            [
+                PageSpec(
+                    0, 0, 500, 1.0, optional=(0, 1), optional_prob=0.5
+                )
+            ],
+            [ObjectSpec(0, 100), ObjectSpec(1, 200)],
+        )
+        alloc = partition_all(m)
+        assert alloc.opt_local.all()
+        assert alloc.replicas[0] == {0, 1}
+
+    def test_zero_frequency_pages(self):
+        """f(W_j) = 0 pages contribute nothing to D or constraints but
+        must still partition cleanly."""
+        m = SystemModel(
+            [_server(0)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 500, 0.0, compulsory=(0,))],
+            [ObjectSpec(0, 100)],
+        )
+        cost = CostModel(m)
+        alloc = partition_all(m)
+        assert cost.D(alloc) == 0.0
+        from repro.core.constraints import local_processing_load
+
+        assert local_processing_load(alloc)[0] == 0.0
+
+    def test_single_page_single_object(self):
+        m = SystemModel(
+            [_server(0)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 100, 1.0, compulsory=(0,))],
+            [ObjectSpec(0, 1000)],
+        )
+        result = RepositoryReplicationPolicy().run(m)
+        assert result.feasible
+
+    def test_server_with_no_pages(self):
+        m = SystemModel(
+            [_server(0), _server(1)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 100, 1.0, compulsory=(0,))],
+            [ObjectSpec(0, 1000)],
+        )
+        result = RepositoryReplicationPolicy().run(m)
+        assert result.allocation.replicas[1] == set()
+        from repro.core.constraints import evaluate_constraints
+
+        assert evaluate_constraints(result.allocation).ok
+
+    def test_identical_object_sizes(self):
+        """Ties everywhere: determinism must hold."""
+        m = SystemModel(
+            [_server(0)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 100, 1.0, compulsory=(0, 1, 2, 3))],
+            [ObjectSpec(k, 500) for k in range(4)],
+        )
+        a = partition_all(m)
+        b = partition_all(m)
+        assert a == b
+
+    def test_extreme_rate_asymmetry_local_wins_all(self):
+        """Repository link absurdly slow: everything goes local."""
+        m = SystemModel(
+            [_server(0, rate=1e6, repo_rate=0.001)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 100, 1.0, compulsory=(0, 1))],
+            [ObjectSpec(0, 1000), ObjectSpec(1, 2000)],
+        )
+        alloc = partition_all(m)
+        assert alloc.page_comp_marks(0).all()
+
+    def test_extreme_rate_asymmetry_remote_wins_all(self):
+        """Local link absurdly slow: everything goes remote."""
+        m = SystemModel(
+            [_server(0, rate=0.001, repo_rate=1e6, overhead=0.0, repo_overhead=0.0)],
+            RepositorySpec(),
+            [PageSpec(0, 0, 1, 1.0, compulsory=(0, 1))],
+            [ObjectSpec(0, 1000), ObjectSpec(1, 2000)],
+        )
+        alloc = partition_all(m)
+        assert not alloc.page_comp_marks(0).any()
+
+
+class TestSimulatorEdges:
+    def test_empty_trace(self, micro_model):
+        trace = generate_trace(
+            micro_model,
+            WorkloadParams.tiny(),
+            seed=1,
+            requests_per_server=1,
+        )
+        # single request per server still works end to end
+        alloc = partition_all(micro_model)
+        sim = simulate_allocation(alloc, trace, seed=2)
+        assert sim.n_requests == 2
+
+    def test_lru_with_single_request(self, micro_model):
+        trace = generate_trace(
+            micro_model, WorkloadParams.tiny(), seed=1, requests_per_server=1
+        )
+        sim, stats = simulate_lru(trace, cache_bytes=1e6, seed=2)
+        assert sim.n_requests == 2
+        assert stats.hits == 0  # nothing repeats
+
+    def test_shared_object_across_servers(self):
+        """The same MO replicated on two servers is two replicas."""
+        m = SystemModel(
+            [_server(0), _server(1)],
+            RepositorySpec(),
+            [
+                PageSpec(0, 0, 100, 1.0, compulsory=(0,)),
+                PageSpec(1, 1, 100, 1.0, compulsory=(0,)),
+            ],
+            [ObjectSpec(0, 10_000)],
+        )
+        alloc = partition_all(m)
+        assert 0 in alloc.replicas[0] and 0 in alloc.replicas[1]
+        assert alloc.stored_bytes_all().sum() == 20_000

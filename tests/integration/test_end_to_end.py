@@ -1,0 +1,119 @@
+"""Integration: the full workflow on generated workloads."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    IdealLRUPolicy,
+    LocalPolicy,
+    RemotePolicy,
+    RepositoryReplicationPolicy,
+    WorkloadParams,
+    evaluate_constraints,
+    generate_trace,
+    generate_workload,
+    simulate_allocation,
+)
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    processing_capacities_for_fraction,
+    storage_capacities_for_fraction,
+)
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = WorkloadParams.small()
+        model = generate_workload(params, seed=21)
+        trace = generate_trace(model, params, seed=22)
+        return params, model, trace
+
+    def test_policy_beats_baselines_under_perturbation(self, setup):
+        params, model, trace = setup
+        ours = RepositoryReplicationPolicy().run(model).allocation
+        sims = {
+            "ours": simulate_allocation(ours, trace, seed=23),
+            "remote": simulate_allocation(
+                RemotePolicy().allocate(model), trace, seed=23
+            ),
+            "local": simulate_allocation(
+                LocalPolicy().allocate(model), trace, seed=23
+            ),
+        }
+        lru_sim, _ = IdealLRUPolicy(
+            cache_bytes=ours.stored_bytes_all()
+        ).evaluate(trace, seed=23)
+        assert sims["ours"].mean_page_time < sims["local"].mean_page_time
+        assert sims["ours"].mean_page_time < sims["remote"].mean_page_time
+        assert sims["ours"].mean_page_time < lru_sim.mean_page_time
+
+    def test_constrained_pipeline_feasible_and_close(self, setup):
+        params, model, trace = setup
+        ref = RepositoryReplicationPolicy().run(model).allocation
+        clone = clone_with_capacities(
+            model,
+            storage=storage_capacities_for_fraction(model, ref, 0.8),
+            processing=processing_capacities_for_fraction(model, 0.8),
+        )
+        result = RepositoryReplicationPolicy().run(clone)
+        assert result.feasible
+        base = simulate_allocation(ref, trace, seed=23).mean_page_time
+        trace_c = generate_trace(clone, params, seed=22)
+        constrained = simulate_allocation(
+            result.allocation, trace_c, seed=23
+        ).mean_page_time
+        # at 80/80 capacity the degradation must stay moderate
+        assert constrained < base * 1.6
+
+    def test_offload_pipeline(self, setup):
+        params, model, trace = setup
+        clone = clone_with_capacities(model, repo_capacity=20.0)
+        result = RepositoryReplicationPolicy().run(clone)
+        assert "off-loading" in result.phases_run
+        rep = evaluate_constraints(result.allocation)
+        assert rep.repo_ok
+        assert rep.local_ok
+
+    def test_whole_api_surface_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_example(self):
+        import repro
+
+        model = repro.generate_workload(repro.WorkloadParams.small(), seed=7)
+        result = repro.RepositoryReplicationPolicy().run(model)
+        trace = repro.generate_trace(
+            model, repro.WorkloadParams.small(), seed=1
+        )
+        sim = repro.simulate_allocation(result.allocation, trace)
+        assert sim.n_requests > 0
+
+
+class TestSeedStability:
+    """Regression pin: a fixed seed yields fixed headline numbers.
+
+    If these change, either the generator/simulator changed behaviour
+    (bump intentionally) or nondeterminism crept in (a bug).
+    """
+
+    def test_pinned_model_shape(self):
+        model = generate_workload(WorkloadParams.small(), seed=7)
+        assert model.n_pages == 264
+        assert int(model.sizes.sum()) == 757_648_773
+
+    def test_pinned_policy_objective(self):
+        model = generate_workload(WorkloadParams.small(), seed=7)
+        result = RepositoryReplicationPolicy().run(model)
+        assert result.objective == pytest.approx(59580.56053190694)
+
+    def test_pinned_simulation_mean(self):
+        params = WorkloadParams.small()
+        model = generate_workload(params, seed=7)
+        result = RepositoryReplicationPolicy().run(model)
+        trace = generate_trace(model, params, seed=1)
+        sim = simulate_allocation(result.allocation, trace, seed=2)
+        assert sim.mean_page_time == pytest.approx(2321.8219, rel=1e-4)

@@ -1,0 +1,131 @@
+"""Integration: the paper's qualitative claims on a reduced workload.
+
+These are the acceptance tests for the reproduction: every Section 5.2
+narrative statement, checked on a small-scale workload (paper-scale
+numbers are recorded in EXPERIMENTS.md and exercised by the benchmark
+suite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_headline_claims,
+)
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(
+        params=WorkloadParams.small().with_(requests_per_server=600),
+        n_runs=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig1(cfg):
+    return run_fig1(cfg, fractions=(0.2, 0.5, 0.65, 1.0))
+
+
+class TestFigure1Claims:
+    def test_proposed_outperforms_lru_everywhere(self, fig1):
+        assert all(
+            o <= l + 0.02
+            for o, l in zip(fig1.series["proposed"], fig1.series["ideal-lru"])
+        )
+
+    def test_ours_at_65_matches_lru_at_100(self, fig1):
+        """'our policy with 65% storage is almost the same as LRU with
+        100%'"""
+        ours_65 = fig1.series["proposed"][fig1.x_values.index(0.65)]
+        lru_100 = fig1.series["ideal-lru"][-1]
+        assert ours_65 <= lru_100 + 0.10
+
+    def test_remote_vs_local_ordering(self, fig1):
+        remote = fig1.scalars["remote (all from repository)"]
+        local = fig1.scalars["local (all from local server)"]
+        assert remote > 1.5  # paper: +335%; ordering >> local is the claim
+        assert 0.0 < local < 0.6  # paper: +23.8%
+
+    def test_small_storage_still_beats_remote(self, fig1):
+        remote = fig1.scalars["remote (all from repository)"]
+        assert fig1.series["proposed"][0] < remote
+        assert fig1.series["ideal-lru"][0] < remote
+
+
+class TestFigure2Claims:
+    @pytest.fixture(scope="class")
+    def fig2(self, cfg):
+        return run_fig2(cfg, fractions=(0.0, 0.3, 0.6, 0.8, 1.0))
+
+    def test_endpoint_remote(self, fig2):
+        remote = fig2.scalars["remote (all from repository)"]
+        assert fig2.series["proposed"][0] == pytest.approx(remote, rel=0.05)
+
+    def test_endpoint_optimal(self, fig2):
+        assert fig2.series["proposed"][-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_60pct_marginal(self, fig2):
+        """'even with sites being able to support only 60% of the
+        arriving requests ... the more traffic consuming objects were
+        still able to be downloaded locally'"""
+        remote = fig2.scalars["remote (all from repository)"]
+        at_60 = fig2.series["proposed"][2]
+        assert at_60 < 0.25 * remote
+
+    def test_double_exponential(self, fig2):
+        ys = fig2.series["proposed"]
+        drops = [a - b for a, b in zip(ys, ys[1:])]
+        # losses accelerate toward 0% capacity
+        assert drops[0] > drops[-1]
+
+
+class TestFigure3Claims:
+    @pytest.fixture(scope="class")
+    def fig3(self, cfg):
+        return run_fig3(
+            cfg,
+            local_fractions=(0.5, 0.7, 1.0),
+            central_fractions=(0.9, 0.7, 0.5),
+        )
+
+    def test_high_local_low_central_acceptable(self, fig3):
+        """'With local processing capacities of 70% and more, even ...
+        50% ... the response time of our policy is acceptable (around
+        40% more than the unconstrained one)'"""
+        at_70_50 = fig3.series["central 50%"][1]
+        assert at_70_50 < 1.0  # nowhere near Remote's +300-500%
+
+    def test_low_local_hurts_even_at_90_central(self, fig3):
+        """'when local capacities drop to 50%-60%, even ... 90% central
+        capacity, the rise in response time is significant'"""
+        at_50_90 = fig3.series["central 90%"][0]
+        at_100_90 = fig3.series["central 90%"][-1]
+        assert at_50_90 > at_100_90 + 0.20
+
+    def test_local_dominates_central(self, fig3):
+        """Local capacity matters more than the repository's."""
+        # (local 100%, central 50%) beats (local 50%, central 90%)
+        assert fig3.series["central 50%"][-1] < fig3.series["central 90%"][0]
+
+    def test_central_levels_ordered(self, fig3):
+        for i in range(len(fig3.x_values)):
+            assert (
+                fig3.series["central 90%"][i]
+                <= fig3.series["central 70%"][i] + 0.02
+            )
+            assert (
+                fig3.series["central 70%"][i]
+                <= fig3.series["central 50%"][i] + 0.02
+            )
+
+
+class TestHeadline:
+    def test_orderings(self, cfg):
+        claims = run_headline_claims(cfg)
+        assert claims.orderings_hold

@@ -1,0 +1,111 @@
+"""Tests for repro.network.bus and messages."""
+
+import pytest
+
+from repro.core.offload import ServerStatus
+from repro.network.bus import BusStats, MessageBus
+from repro.network.messages import (
+    Message,
+    NewRequirementMessage,
+    OffloadEndMessage,
+    REPOSITORY_NODE,
+    StatusMessage,
+    WorkloadAnswerMessage,
+    server_node,
+)
+
+
+def _status(sid=0):
+    return ServerStatus(server_id=sid, free_space=1.0, free_capacity=2.0, repo_share=3.0)
+
+
+class TestMessages:
+    def test_server_node_naming(self):
+        assert server_node(3) == "server:3"
+
+    def test_wire_bytes_positive(self):
+        msgs = [
+            Message("a", "b"),
+            StatusMessage("a", "b", status=_status()),
+            NewRequirementMessage("a", "b", amount=1.0),
+            WorkloadAnswerMessage("a", "b", achieved=1.0, status=_status()),
+            OffloadEndMessage("a", "b"),
+        ]
+        for m in msgs:
+            assert m.wire_bytes >= 16
+
+    def test_status_carries_payload(self):
+        m = StatusMessage("a", "b", status=_status(5))
+        assert m.status.server_id == 5
+
+    def test_answer_defaults(self):
+        m = WorkloadAnswerMessage("a", "b", achieved=2.0, status=_status())
+        assert m.exhausted is False
+
+
+class TestMessageBus:
+    def test_register_and_deliver(self):
+        bus = MessageBus()
+        got = []
+        bus.register("x", got.append)
+        bus.register("y", got.append)
+        bus.send(Message("y", "x"))
+        assert bus.pending == 1
+        delivered = bus.run_until_idle()
+        assert delivered == 1
+        assert len(got) == 1
+
+    def test_unknown_recipient(self):
+        bus = MessageBus()
+        with pytest.raises(KeyError, match="unknown"):
+            bus.send(Message("a", "nobody"))
+
+    def test_duplicate_registration(self):
+        bus = MessageBus()
+        bus.register("x", lambda m: None)
+        with pytest.raises(ValueError, match="already"):
+            bus.register("x", lambda m: None)
+
+    def test_fifo_order(self):
+        bus = MessageBus()
+        seen = []
+        bus.register("x", lambda m: seen.append(m.sender))
+        bus.send(Message("1", "x"))
+        bus.send(Message("2", "x"))
+        bus.run_until_idle()
+        assert seen == ["1", "2"]
+
+    def test_cascading_sends(self):
+        bus = MessageBus()
+
+        def ping(msg):
+            if msg.sender != "done":
+                bus.send(Message("done", "pong"))
+
+        got = []
+        bus.register("ping", ping)
+        bus.register("pong", got.append)
+        bus.send(Message("start", "ping"))
+        bus.run_until_idle()
+        assert len(got) == 1
+
+    def test_livelock_guard(self):
+        bus = MessageBus()
+
+        def forever(msg):
+            bus.send(Message("a", "a"))
+
+        bus.register("a", forever)
+        bus.send(Message("start", "a"))
+        with pytest.raises(RuntimeError, match="livelock"):
+            bus.run_until_idle(max_deliveries=100)
+
+    def test_stats_accounting(self):
+        bus = MessageBus()
+        bus.register("x", lambda m: None)
+        bus.send(StatusMessage("a", "x", status=_status()))
+        bus.send(OffloadEndMessage("a", "x"))
+        assert bus.stats.messages == 2
+        assert bus.stats.bytes > 0
+        assert bus.stats.by_kind["StatusMessage"] == 1
+        assert "StatusMessage" in bus.stats.summary()

@@ -1,0 +1,141 @@
+"""Failure injection: the off-loading protocol under loss and crashes.
+
+The guarantee under test is *graceful termination*: whatever messages
+are lost and whichever servers crash, the protocol must end (no hangs,
+no exceptions), the surviving servers' allocations must stay
+constraint-consistent, and the accounting must reflect reality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import evaluate_constraints
+from repro.network import FaultModel, MessageBus, run_distributed_policy
+from repro.network.messages import Message, server_node
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def constrained_model():
+    params = WorkloadParams.small().with_(repository_capacity=25.0)
+    return generate_workload(params, seed=11)
+
+
+class TestFaultModel:
+    def test_drop_probability_validated(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultModel(drop_probability=1.5)
+
+    def test_no_faults_drops_nothing(self):
+        f = FaultModel()
+        assert not f.should_drop(Message("a", "b"))
+        assert f.dropped == 0
+
+    def test_always_drop(self):
+        f = FaultModel(drop_probability=1.0)
+        assert f.should_drop(Message("a", "b"))
+        assert f.dropped == 1
+
+    def test_crashed_node_blackholed(self):
+        f = FaultModel(crashed={"x"})
+        assert f.should_drop(Message("a", "x"))
+        assert f.should_drop(Message("x", "a"))
+        assert not f.should_drop(Message("a", "b"))
+
+    def test_crash_after_construction(self):
+        f = FaultModel()
+        f.crash("y")
+        assert f.should_drop(Message("y", "z"))
+
+    def test_seeded_reproducible(self):
+        a = FaultModel(drop_probability=0.5, seed=3)
+        b = FaultModel(drop_probability=0.5, seed=3)
+        msgs = [Message("a", "b") for _ in range(50)]
+        assert [a.should_drop(m) for m in msgs] == [
+            b.should_drop(m) for m in msgs
+        ]
+
+    def test_bus_integration(self):
+        bus = MessageBus(faults=FaultModel(drop_probability=1.0))
+        got = []
+        bus.register("x", got.append)
+        bus.send(Message("a", "x"))
+        bus.run_until_idle()
+        assert got == []
+        assert bus.stats.messages == 1  # sent is recorded, delivery lost
+
+
+class TestCrashStop:
+    def test_terminates_with_crashed_server(self, constrained_model):
+        faults = FaultModel(crashed={server_node(1)})
+        result = run_distributed_policy(constrained_model, faults=faults)
+        # crashed server's pages were never allocated: everything remote
+        m = constrained_model
+        for j in m.pages_by_server[1]:
+            assert not result.allocation.page_comp_marks(j).any()
+        assert result.allocation.replicas[1] == set()
+
+    def test_survivors_stay_consistent(self, constrained_model):
+        faults = FaultModel(crashed={server_node(0)})
+        result = run_distributed_policy(constrained_model, faults=faults)
+        result.allocation.check_invariants()
+        rep = evaluate_constraints(result.allocation)
+        assert rep.storage_ok and rep.local_ok
+
+    def test_all_servers_crashed(self, constrained_model):
+        faults = FaultModel(
+            crashed={
+                server_node(i) for i in range(constrained_model.n_servers)
+            }
+        )
+        result = run_distributed_policy(constrained_model, faults=faults)
+        assert not result.allocation.comp_local.any()
+
+    def test_coordinator_view_vs_global_truth(self, constrained_model):
+        """The repository can believe Eq. 9 is restored while the global
+        report disagrees — the crashed server's remote traffic is
+        invisible to the coordinator.  Both views must be reported
+        honestly."""
+        faults = FaultModel(crashed={server_node(1)})
+        result = run_distributed_policy(constrained_model, faults=faults)
+        rep = evaluate_constraints(result.allocation)
+        # the crashed server's full traffic hits the repository
+        assert not rep.repo_ok
+
+
+class TestLossyLinks:
+    @pytest.mark.parametrize("p_drop", [0.1, 0.3, 0.7])
+    def test_terminates_under_loss(self, constrained_model, p_drop):
+        faults = FaultModel(drop_probability=p_drop, seed=42)
+        result = run_distributed_policy(constrained_model, faults=faults)
+        result.allocation.check_invariants()
+        rep = evaluate_constraints(result.allocation)
+        assert rep.storage_ok and rep.local_ok
+
+    def test_loss_never_improves_restoration(self, constrained_model):
+        clean = run_distributed_policy(constrained_model)
+        lossy = run_distributed_policy(
+            constrained_model,
+            faults=FaultModel(drop_probability=0.5, seed=1),
+        )
+        from repro.core.constraints import repository_load
+
+        assert repository_load(lossy.allocation) >= repository_load(
+            clean.allocation
+        ) - 1e-9
+
+    def test_zero_loss_identical_to_clean(self, constrained_model):
+        clean = run_distributed_policy(constrained_model)
+        faulted = run_distributed_policy(
+            constrained_model, faults=FaultModel(drop_probability=0.0)
+        )
+        assert np.array_equal(
+            clean.allocation.comp_local, faulted.allocation.comp_local
+        )
+        assert clean.allocation.replicas == faulted.allocation.replicas
+
+    def test_dropped_accounted(self, constrained_model):
+        faults = FaultModel(drop_probability=0.5, seed=9)
+        run_distributed_policy(constrained_model, faults=faults)
+        assert faults.dropped > 0

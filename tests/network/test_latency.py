@@ -1,0 +1,100 @@
+"""Tests for virtual-time delivery and protocol makespan."""
+
+import numpy as np
+import pytest
+
+from repro.network import LatencyModel, MessageBus, run_distributed_policy
+from repro.network.messages import Message
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+
+class TestLatencyModel:
+    def test_default_delay(self):
+        lm = LatencyModel(default_delay=0.2)
+        assert lm.delay("a", "b") == 0.2
+
+    def test_per_link_override(self):
+        lm = LatencyModel(default_delay=0.2, per_link={("a", "b"): 0.05})
+        assert lm.delay("a", "b") == 0.05
+        assert lm.delay("b", "a") == 0.2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(default_delay=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(per_link={("a", "b"): -0.1})
+
+
+class TestVirtualTimeBus:
+    def test_clock_advances(self):
+        bus = MessageBus(latency=LatencyModel(default_delay=0.5))
+        bus.register("x", lambda m: None)
+        bus.send(Message("a", "x"))
+        bus.run_until_idle()
+        assert bus.clock == pytest.approx(0.5)
+
+    def test_reply_chains_add_delay(self):
+        lm = LatencyModel(default_delay=0.5)
+        bus = MessageBus(latency=lm)
+
+        def ponger(msg):
+            if msg.sender != "pong":
+                bus.send(Message("ping", "pong"))
+
+        bus.register("ping", ponger)
+        bus.register("pong", lambda m: None)
+        bus.send(Message("start", "ping"))
+        bus.run_until_idle()
+        assert bus.clock == pytest.approx(1.0)  # two hops
+
+    def test_arrival_order_beats_send_order(self):
+        lm = LatencyModel(
+            default_delay=1.0, per_link={("fast", "x"): 0.1}
+        )
+        bus = MessageBus(latency=lm)
+        seen = []
+        bus.register("x", lambda m: seen.append(m.sender))
+        bus.send(Message("slow", "x"))
+        bus.send(Message("fast", "x"))
+        bus.run_until_idle()
+        assert seen == ["fast", "slow"]
+
+    def test_no_latency_is_fifo(self):
+        bus = MessageBus()
+        seen = []
+        bus.register("x", lambda m: seen.append(m.sender))
+        for s in ("1", "2", "3"):
+            bus.send(Message(s, "x"))
+        bus.run_until_idle()
+        assert seen == ["1", "2", "3"]
+        assert bus.clock == 0.0
+
+
+class TestProtocolMakespan:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return generate_workload(
+            WorkloadParams.small().with_(repository_capacity=25.0), seed=11
+        )
+
+    def test_makespan_counts_hops(self, model):
+        res = run_distributed_policy(
+            model, latency=LatencyModel(default_delay=0.1)
+        )
+        # status + per round (NewReq + answer) + END
+        expected = 0.1 * (1 + 2 * res.offload_rounds + 1)
+        assert res.makespan == pytest.approx(expected)
+
+    def test_uniform_latency_identical_allocation(self, model):
+        base = run_distributed_policy(model)
+        timed = run_distributed_policy(
+            model, latency=LatencyModel(default_delay=0.2)
+        )
+        assert np.array_equal(
+            base.allocation.comp_local, timed.allocation.comp_local
+        )
+        assert base.allocation.replicas == timed.allocation.replicas
+
+    def test_no_latency_zero_makespan(self, model):
+        assert run_distributed_policy(model).makespan == 0.0

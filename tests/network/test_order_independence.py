@@ -1,0 +1,89 @@
+"""Order-independence of the distributed scheme.
+
+The paper's core architectural claim is decentralisation: each server
+decides for its own pages.  That only holds if the outcome does not
+depend on *when* each server runs.  These tests execute the local
+allocation phase in adversarial orders and assert bit-identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.cost_model import CostModel
+from repro.network.bus import MessageBus
+from repro.network.nodes import LocalServerNode, RepositoryNode
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return generate_workload(
+        WorkloadParams.small().with_(
+            repository_capacity=25.0, storage_capacity=2.5e8
+        ),
+        seed=17,
+    )
+
+
+def _run(model, order):
+    cost = CostModel(model)
+    alloc = Allocation(model)
+    bus = MessageBus()
+    repo = RepositoryNode(
+        capacity=model.repository.processing_capacity,
+        n_servers=model.n_servers,
+        bus=bus,
+    )
+    nodes = [LocalServerNode(i, alloc, cost, bus) for i in range(model.n_servers)]
+    for i in order:
+        nodes[i].run_local_allocation()
+    for i in order:
+        nodes[i].send_status()
+    bus.run_until_idle()
+    while not repo.finished:
+        repo.recover_from_stall()
+        bus.run_until_idle()
+    return alloc
+
+
+class TestOrderIndependence:
+    def test_reversed_order(self, model):
+        forward = _run(model, list(range(model.n_servers)))
+        backward = _run(model, list(reversed(range(model.n_servers))))
+        assert np.array_equal(forward.comp_local, backward.comp_local)
+        assert np.array_equal(forward.opt_local, backward.opt_local)
+        assert forward.replicas == backward.replicas
+
+    def test_shuffled_order(self, model):
+        rng = np.random.default_rng(3)
+        order = list(rng.permutation(model.n_servers))
+        shuffled = _run(model, order)
+        forward = _run(model, list(range(model.n_servers)))
+        assert np.array_equal(forward.comp_local, shuffled.comp_local)
+        assert forward.replicas == shuffled.replicas
+
+    def test_interleaved_status_order(self, model):
+        """Status messages arriving in a different order than the local
+        allocations ran must not change the outcome (the plan is a
+        deterministic function of the status *set*)."""
+        cost = CostModel(model)
+        alloc = Allocation(model)
+        bus = MessageBus()
+        repo = RepositoryNode(
+            capacity=model.repository.processing_capacity,
+            n_servers=model.n_servers,
+            bus=bus,
+        )
+        nodes = [
+            LocalServerNode(i, alloc, cost, bus) for i in range(model.n_servers)
+        ]
+        for node in nodes:
+            node.run_local_allocation()
+        for node in reversed(nodes):
+            node.send_status()
+        bus.run_until_idle()
+        forward = _run(model, list(range(model.n_servers)))
+        assert np.array_equal(forward.comp_local, alloc.comp_local)
+        assert forward.replicas == alloc.replicas

@@ -1,0 +1,173 @@
+"""Direct state-machine tests for RepositoryNode (beyond protocol runs)."""
+
+import math
+
+import pytest
+
+from repro.core.offload import ServerStatus
+from repro.network.bus import MessageBus
+from repro.network.messages import (
+    NewRequirementMessage,
+    OffloadEndMessage,
+    REPOSITORY_NODE,
+    StatusMessage,
+    WorkloadAnswerMessage,
+    server_node,
+)
+from repro.network.nodes import RepositoryNode
+
+
+def _status(sid, share, cap=10.0, space=100.0):
+    return ServerStatus(
+        server_id=sid, free_space=space, free_capacity=cap, repo_share=share
+    )
+
+
+class _Sink:
+    """Registers server addresses and records deliveries."""
+
+    def __init__(self, bus: MessageBus, n: int):
+        self.received: list = []
+        for i in range(n):
+            bus.register(server_node(i), self.received.append)
+
+
+class TestRepositoryNode:
+    def test_waits_for_all_statuses(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=5.0, n_servers=2, bus=bus)
+        sink = _Sink(bus, 2)
+        bus.send(
+            StatusMessage(server_node(0), REPOSITORY_NODE, status=_status(0, 10.0))
+        )
+        bus.run_until_idle()
+        assert not repo.finished
+        assert repo.rounds == 0
+
+    def test_finishes_immediately_when_under_capacity(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=50.0, n_servers=2, bus=bus)
+        sink = _Sink(bus, 2)
+        for i in range(2):
+            bus.send(
+                StatusMessage(
+                    server_node(i), REPOSITORY_NODE, status=_status(i, 10.0)
+                )
+            )
+        bus.run_until_idle()
+        assert repo.finished and repo.restored
+        assert repo.rounds == 0
+        ends = [m for m in sink.received if isinstance(m, OffloadEndMessage)]
+        assert len(ends) == 2
+
+    def test_starts_round_when_over_capacity(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=5.0, n_servers=2, bus=bus)
+        sink = _Sink(bus, 2)
+        for i in range(2):
+            bus.send(
+                StatusMessage(
+                    server_node(i), REPOSITORY_NODE, status=_status(i, 10.0)
+                )
+            )
+        bus.run_until_idle()
+        assert repo.rounds == 1
+        reqs = [m for m in sink.received if isinstance(m, NewRequirementMessage)]
+        assert len(reqs) == 2
+        assert sum(r.amount for r in reqs) == pytest.approx(15.0)
+
+    def test_answer_updates_and_finishes(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=5.0, n_servers=1, bus=bus)
+        sink = _Sink(bus, 1)
+        bus.send(
+            StatusMessage(server_node(0), REPOSITORY_NODE, status=_status(0, 10.0))
+        )
+        bus.run_until_idle()
+        assert repo.rounds == 1
+        bus.send(
+            WorkloadAnswerMessage(
+                server_node(0),
+                REPOSITORY_NODE,
+                achieved=5.0,
+                status=_status(0, 5.0, cap=5.0),
+            )
+        )
+        bus.run_until_idle()
+        assert repo.finished and repo.restored
+        assert repo.absorbed_by_server[0] == pytest.approx(5.0)
+
+    def test_exhausted_server_demoted(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=5.0, n_servers=1, bus=bus)
+        sink = _Sink(bus, 1)
+        bus.send(
+            StatusMessage(server_node(0), REPOSITORY_NODE, status=_status(0, 10.0))
+        )
+        bus.run_until_idle()
+        bus.send(
+            WorkloadAnswerMessage(
+                server_node(0),
+                REPOSITORY_NODE,
+                achieved=1.0,
+                exhausted=True,
+                status=_status(0, 9.0),
+            )
+        )
+        bus.run_until_idle()
+        # only server demoted -> plan returns None -> finished, unrestored
+        assert 0 in repo.demoted
+        assert repo.finished and not repo.restored
+
+    def test_max_rounds_guard(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=5.0, n_servers=1, bus=bus, max_rounds=2)
+
+        # a server that always absorbs a little but never enough
+        def echo(msg):
+            if isinstance(msg, NewRequirementMessage):
+                bus.send(
+                    WorkloadAnswerMessage(
+                        server_node(0),
+                        REPOSITORY_NODE,
+                        achieved=msg.amount,  # claims success -> not demoted
+                        status=_status(0, 8.0),  # ...but share barely moves
+                    )
+                )
+
+        bus.register(server_node(0), echo)
+        bus.send(
+            StatusMessage(server_node(0), REPOSITORY_NODE, status=_status(0, 10.0))
+        )
+        bus.run_until_idle()
+        assert repo.finished
+        assert repo.rounds == 2  # stopped by the guard
+
+    def test_recover_from_stall_missing_statuses(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=50.0, n_servers=2, bus=bus)
+        sink = _Sink(bus, 2)
+        bus.send(
+            StatusMessage(server_node(0), REPOSITORY_NODE, status=_status(0, 10.0))
+        )
+        bus.run_until_idle()
+        assert not repo.finished
+        assert repo.recover_from_stall()
+        bus.run_until_idle()
+        assert repo.finished
+        assert 1 in repo.demoted
+
+    def test_recover_from_stall_lost_answers(self):
+        bus = MessageBus()
+        repo = RepositoryNode(capacity=5.0, n_servers=1, bus=bus)
+        sink = _Sink(bus, 1)
+        bus.send(
+            StatusMessage(server_node(0), REPOSITORY_NODE, status=_status(0, 10.0))
+        )
+        bus.run_until_idle()  # round started, answer never arrives
+        assert repo._round.awaiting == {0}
+        assert repo.recover_from_stall()
+        bus.run_until_idle()
+        assert repo.finished
+        assert 0 in repo.demoted
+        assert not repo.restored

@@ -1,0 +1,91 @@
+"""Hypothesis strategies for random system universes and allocations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.allocation import Allocation
+from repro.core.types import (
+    ObjectSpec,
+    PageSpec,
+    RepositorySpec,
+    ServerSpec,
+    SystemModel,
+)
+
+__all__ = ["system_models", "models_with_allocations"]
+
+
+@st.composite
+def system_models(
+    draw,
+    max_servers: int = 3,
+    max_pages: int = 8,
+    max_objects: int = 12,
+) -> SystemModel:
+    """A random small-but-structurally-rich :class:`SystemModel`."""
+    n_servers = draw(st.integers(1, max_servers))
+    n_objects = draw(st.integers(1, max_objects))
+    n_pages = draw(st.integers(1, max_pages))
+
+    objects = [
+        ObjectSpec(k, draw(st.integers(1, 5000))) for k in range(n_objects)
+    ]
+    servers = [
+        ServerSpec(
+            server_id=i,
+            storage_capacity=math.inf,
+            processing_capacity=math.inf,
+            rate=draw(st.floats(0.5, 100.0, allow_nan=False)),
+            overhead=draw(st.floats(0.0, 5.0, allow_nan=False)),
+            repo_rate=draw(st.floats(0.1, 50.0, allow_nan=False)),
+            repo_overhead=draw(st.floats(0.0, 5.0, allow_nan=False)),
+        )
+        for i in range(n_servers)
+    ]
+    pages = []
+    for j in range(n_pages):
+        ids = list(range(n_objects))
+        refs = draw(
+            st.lists(
+                st.sampled_from(ids),
+                min_size=0,
+                max_size=min(6, n_objects),
+                unique=True,
+            )
+        )
+        split = draw(st.integers(0, len(refs)))
+        compulsory = tuple(refs[:split])
+        optional = tuple(refs[split:])
+        pages.append(
+            PageSpec(
+                page_id=j,
+                server=draw(st.integers(0, n_servers - 1)),
+                html_size=draw(st.integers(1, 2000)),
+                frequency=draw(st.floats(0.0, 10.0, allow_nan=False)),
+                compulsory=compulsory,
+                optional=optional,
+                optional_prob=(
+                    draw(st.floats(0.0, 1.0, allow_nan=False)) if optional else 0.0
+                ),
+            )
+        )
+    return SystemModel(servers, RepositorySpec(), pages, objects)
+
+
+@st.composite
+def models_with_allocations(draw) -> tuple[SystemModel, Allocation]:
+    """A model plus a random consistent allocation over it."""
+    model = draw(system_models())
+    ne_c = len(model.comp_objects)
+    ne_o = len(model.opt_objects)
+    comp = np.array(
+        draw(st.lists(st.booleans(), min_size=ne_c, max_size=ne_c)), dtype=bool
+    )
+    opt = np.array(
+        draw(st.lists(st.booleans(), min_size=ne_o, max_size=ne_o)), dtype=bool
+    )
+    return model, Allocation(model, comp, opt)

@@ -1,0 +1,84 @@
+"""Property-based tests: Allocation state-machine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import Allocation
+from tests.properties.strategies import models_with_allocations, system_models
+
+
+@given(models_with_allocations())
+@settings(max_examples=60, deadline=None)
+def test_marks_always_subset_of_replicas(mw):
+    _, alloc = mw
+    alloc.check_invariants()
+
+
+@given(models_with_allocations(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_random_mutation_preserves_invariants(mw, rnd):
+    model, alloc = mw
+    ne_c = len(model.comp_objects)
+    ne_o = len(model.opt_objects)
+    for _ in range(30):
+        op = rnd.random()
+        if op < 0.4 and ne_c:
+            alloc.set_comp_local(rnd.randrange(ne_c), rnd.random() < 0.5)
+        elif op < 0.7 and ne_o:
+            alloc.set_opt_local(rnd.randrange(ne_o), rnd.random() < 0.5)
+        elif op < 0.85:
+            i = rnd.randrange(model.n_servers)
+            alloc.store(i, rnd.randrange(model.n_objects))
+        else:
+            i = rnd.randrange(model.n_servers)
+            if alloc.replicas[i]:
+                k = rnd.choice(sorted(alloc.replicas[i]))
+                alloc.deallocate(i, k)
+    alloc.check_invariants()
+
+
+@given(models_with_allocations())
+@settings(max_examples=40, deadline=None)
+def test_deallocate_clears_all_marks(mw):
+    model, alloc = mw
+    for i in range(model.n_servers):
+        for k in sorted(alloc.replicas[i]):
+            alloc.deallocate(i, k)
+        assert alloc.replicas[i] == set()
+    assert not alloc.comp_local.any()
+    assert not alloc.opt_local.any()
+
+
+@given(models_with_allocations())
+@settings(max_examples=40, deadline=None)
+def test_copy_equality_and_independence(mw):
+    model, alloc = mw
+    dup = alloc.copy()
+    assert dup == alloc
+    ne_c = len(model.comp_objects)
+    if ne_c:
+        dup.set_comp_local(0, not dup.comp_local[0])
+        assert dup != alloc
+
+
+@given(models_with_allocations())
+@settings(max_examples=40, deadline=None)
+def test_stored_bytes_matches_replica_sum(mw):
+    model, alloc = mw
+    for i in range(model.n_servers):
+        expected = sum(model.objects[k].size for k in alloc.replicas[i])
+        assert alloc.stored_bytes(i) == expected
+
+
+@given(system_models())
+@settings(max_examples=40, deadline=None)
+def test_matrix_roundtrip(model):
+    """Allocation -> MatrixSet -> Allocation is the identity on marks."""
+    from repro.core.matrices import MatrixSet
+    from repro.core.partition import partition_all
+
+    alloc = partition_all(model)
+    back = MatrixSet.from_allocation(alloc).to_allocation(model)
+    assert np.array_equal(back.comp_local, alloc.comp_local)
+    assert np.array_equal(back.opt_local, alloc.opt_local)

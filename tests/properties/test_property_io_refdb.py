@@ -1,0 +1,83 @@
+"""Property-based tests: persistence and refdb round-trips on random
+universes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all
+from repro.io import load_model, load_trace, save_model, save_trace
+from repro.refdb import ReferenceDatabase, render_html
+from repro.workload.params import WorkloadParams
+from repro.workload.trace import generate_trace
+from tests.properties.strategies import system_models
+
+
+@given(model=system_models())
+@settings(max_examples=25, deadline=None)
+def test_model_roundtrip_preserves_everything(tmp_path_factory, model):
+    path = tmp_path_factory.mktemp("io") / "m.json"
+    save_model(model, path)
+    back = load_model(path)
+    assert back.n_servers == model.n_servers
+    assert np.array_equal(back.sizes, model.sizes)
+    assert np.array_equal(back.html_sizes, model.html_sizes)
+    assert np.allclose(back.frequencies, model.frequencies)
+    assert np.array_equal(back.comp_objects, model.comp_objects)
+    assert np.array_equal(back.opt_objects, model.opt_objects)
+    assert np.allclose(back.opt_probs, model.opt_probs)
+    assert np.allclose(back.server_rate, model.server_rate)
+    assert np.allclose(back.server_repo_overhead, model.server_repo_overhead)
+    # behavioural equivalence: same partition, same objective
+    a, b = partition_all(model), partition_all(back)
+    assert np.array_equal(a.comp_local, b.comp_local)
+    assert CostModel(model).D(a) == pytest.approx(CostModel(back).D(b))
+
+
+@given(model=system_models())
+@settings(max_examples=20, deadline=None)
+def test_trace_roundtrip(tmp_path_factory, model):
+    trace = generate_trace(
+        model, WorkloadParams.tiny(), seed=1, requests_per_server=25
+    )
+    path = tmp_path_factory.mktemp("io") / "t.npz"
+    save_trace(trace, path)
+    back = load_trace(path, model)
+    assert np.array_equal(back.page_of_request, trace.page_of_request)
+    assert np.array_equal(back.opt_entries, trace.opt_entries)
+
+
+@given(system_models())
+@settings(max_examples=25, deadline=None)
+def test_refdb_indexes_every_reference(model):
+    db = ReferenceDatabase.build(model)
+    for j, page in enumerate(model.pages):
+        entries = db.entries(j)
+        ids = sorted(e.object_id for e in entries)
+        assert ids == sorted(page.compulsory + page.optional)
+
+
+@given(system_models())
+@settings(max_examples=25, deadline=None)
+def test_refdb_serve_roundtrip_consistency(model):
+    """Parsing the *served* document must find local URLs exactly for the
+    marked objects."""
+    import re
+
+    db = ReferenceDatabase.build(model)
+    alloc = partition_all(model)
+    for j, page in enumerate(model.pages):
+        served = db.serve(j, alloc)
+        local_ids = {
+            int(mm)
+            for mm in re.findall(r"ls\d+\.example\.com/mo/(\d{6})\.bin", served)
+        }
+        expected = {
+            k
+            for k, m in zip(page.compulsory, alloc.page_comp_marks(j))
+            if m
+        } | {
+            k for k, m in zip(page.optional, alloc.page_opt_marks(j)) if m
+        }
+        assert local_ids == expected

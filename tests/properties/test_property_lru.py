@@ -1,0 +1,67 @@
+"""Property-based tests: LRU cache invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.lru_sim import LruCache
+
+
+access_sequences = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(1, 50)), max_size=200
+)
+
+
+@given(st.floats(0.0, 500.0), access_sequences)
+@settings(max_examples=80, deadline=None)
+def test_capacity_never_exceeded(capacity, seq):
+    c = LruCache(capacity)
+    for k, size in seq:
+        c.access(k, float(size))
+        assert c.used <= capacity + 1e-9
+
+
+@given(access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_hits_plus_misses_equals_accesses(seq):
+    c = LruCache(1000.0)
+    for k, size in seq:
+        c.access(k, float(size))
+    assert c.hits + c.misses == len(seq)
+
+
+@given(access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_used_equals_sum_of_entries(seq):
+    c = LruCache(300.0)
+    sizes = {}
+    for k, size in seq:
+        c.access(k, float(size))
+        sizes[k] = float(size)
+    assert c.used == sum(sizes[k] for k in sizes if k in c)
+
+
+@given(access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_infinite_cache_second_access_always_hits(seq):
+    c = LruCache(float("inf"))
+    seen = set()
+    for k, size in seq:
+        hit = c.access(k, float(size))
+        assert hit == (k in seen)
+        seen.add(k)
+
+
+@given(st.floats(1.0, 500.0), st.lists(st.integers(0, 20), max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_bigger_cache_at_least_as_many_hits_uniform(capacity, keys):
+    """LRU's inclusion property: for *uniform* object sizes a bigger
+    cache's contents always contain a smaller cache's, so hits are
+    monotone in capacity.  (With heterogeneous sizes this is famously
+    false — admission of a large object can evict what a smaller cache
+    never admitted.)"""
+    small = LruCache(capacity)
+    big = LruCache(capacity * 4)
+    for k in keys:
+        small.access(k, 1.0)
+        big.access(k, 1.0)
+    assert big.hits >= small.hits

@@ -1,0 +1,60 @@
+"""Property-based tests: the protocol terminates under arbitrary faults."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import evaluate_constraints
+from repro.network import FaultModel, LatencyModel, run_distributed_policy
+from repro.network.messages import server_node
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+_PARAMS = WorkloadParams.tiny().with_(repository_capacity=3.0)
+
+
+def _model(seed: int):
+    return generate_workload(_PARAMS, seed=seed)
+
+
+@given(
+    seed=st.integers(0, 50),
+    drop=st.floats(0.0, 0.95),
+    fault_seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_lossy_protocol_always_terminates_consistent(seed, drop, fault_seed):
+    model = _model(seed)
+    result = run_distributed_policy(
+        model, faults=FaultModel(drop_probability=drop, seed=fault_seed)
+    )
+    result.allocation.check_invariants()
+    rep = evaluate_constraints(result.allocation)
+    assert rep.storage_ok and rep.local_ok
+
+
+@given(
+    seed=st.integers(0, 50),
+    crashed=st.sets(st.integers(0, 1), max_size=2),
+)
+@settings(max_examples=30, deadline=None)
+def test_crash_stop_always_terminates(seed, crashed):
+    model = _model(seed)
+    faults = FaultModel(crashed={server_node(i) for i in crashed})
+    result = run_distributed_policy(model, faults=faults)
+    result.allocation.check_invariants()
+    for i in crashed:
+        assert result.allocation.replicas[i] == set()
+
+
+@given(seed=st.integers(0, 30), delay=st.floats(0.01, 2.0))
+@settings(max_examples=20, deadline=None)
+def test_uniform_latency_never_changes_outcome(seed, delay):
+    model = _model(seed)
+    base = run_distributed_policy(model)
+    timed = run_distributed_policy(
+        model, latency=LatencyModel(default_delay=delay)
+    )
+    assert np.array_equal(base.allocation.comp_local, timed.allocation.comp_local)
+    assert base.allocation.replicas == timed.allocation.replicas
+    assert timed.makespan > 0.0

@@ -1,0 +1,102 @@
+"""Property-based tests: off-loading invariants on random universes."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import (
+    local_processing_load,
+    repository_load,
+    storage_used,
+)
+from repro.core.cost_model import CostModel
+from repro.core.offload import (
+    OffloadConfig,
+    ServerStatus,
+    absorb_extra_workload,
+    offload_repository,
+    plan_offload_round,
+)
+from repro.core.partition import partition_all
+from tests.properties.strategies import system_models
+
+
+statuses_strategy = st.lists(
+    st.builds(
+        ServerStatus,
+        server_id=st.integers(0, 9),
+        free_space=st.floats(0, 1e6, allow_nan=False),
+        free_capacity=st.floats(0, 1e3, allow_nan=False),
+        repo_share=st.floats(0, 1e3, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda s: s.server_id,
+)
+
+
+@given(statuses_strategy, st.floats(0.1, 1e3))
+@settings(max_examples=80, deadline=None)
+def test_plan_never_exceeds_server_capacity(statuses, cap):
+    plan = plan_offload_round(statuses, cap)
+    if plan is None:
+        return
+    by_id = {s.server_id: s for s in statuses}
+    for sid, req in plan.items():
+        assert req <= by_id[sid].free_capacity + 1e-6
+        assert req >= -1e-12
+
+
+@given(statuses_strategy, st.floats(0.1, 1e3))
+@settings(max_examples=80, deadline=None)
+def test_plan_total_bounded_by_excess(statuses, cap):
+    plan = plan_offload_round(statuses, cap)
+    if not plan:
+        return
+    excess = sum(s.repo_share for s in statuses) - cap
+    assert sum(plan.values()) <= excess + 1e-6
+
+
+@given(statuses_strategy, st.floats(0.1, 1e3))
+@settings(max_examples=80, deadline=None)
+def test_plan_targets_only_l1_l2(statuses, cap):
+    plan = plan_offload_round(statuses, cap)
+    if not plan:
+        return
+    by_id = {s.server_id: s for s in statuses}
+    for sid in plan:
+        assert by_id[sid].classification in ("L1", "L2")
+
+
+@given(system_models(), st.floats(0.1, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_offload_final_load_monotone(model, frac):
+    """Off-loading never increases the repository load."""
+    alloc = partition_all(model, optional_policy="none")
+    cost = CostModel(model)
+    before = repository_load(alloc)
+    if before <= 0:
+        return
+    out = offload_repository(
+        alloc, cost, OffloadConfig(), capacity=frac * before
+    )
+    after = repository_load(alloc)
+    assert after <= before + 1e-9
+    assert out.final_repo_load == after or abs(out.final_repo_load - after) < 1e-6
+
+
+@given(system_models(), st.floats(0.0, 50.0))
+@settings(max_examples=25, deadline=None)
+def test_absorb_respects_all_constraints(model, target):
+    """Absorption never violates Eq. 8 or Eq. 10 on the absorbing server."""
+    alloc = partition_all(model, optional_policy="none")
+    cost = CostModel(model)
+    for i in range(model.n_servers):
+        absorb_extra_workload(alloc, cost, i, target)
+        if math.isfinite(model.server_capacity[i]):
+            assert local_processing_load(alloc)[i] <= model.server_capacity[i] + 1e-6
+        if math.isfinite(model.server_storage[i]):
+            assert storage_used(alloc)[i] <= model.server_storage[i] + 1e-6
+    alloc.check_invariants()

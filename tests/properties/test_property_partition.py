@@ -1,0 +1,91 @@
+"""Property-based tests: PARTITION invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all, partition_page
+from tests.properties.strategies import system_models
+
+
+@given(system_models())
+@settings(max_examples=60, deadline=None)
+def test_partition_times_match_cost_model(model):
+    """The stream times PARTITION reports equal Eq. 3/4 for its marks."""
+    alloc = partition_all(model, optional_policy="none")
+    cost = CostModel(model)
+    times = cost.page_times(alloc)
+    for j in range(model.n_pages):
+        _, lt, rt = partition_page(model, j)
+        assert np.isclose(lt, times.local[j])
+        assert np.isclose(rt, times.remote[j])
+
+
+@given(system_models())
+@settings(max_examples=60, deadline=None)
+def test_partition_marks_within_compulsory(model):
+    alloc = partition_all(model, optional_policy="none")
+    # optional part untouched
+    assert not alloc.opt_local.any()
+
+
+@given(system_models())
+@settings(max_examples=50, deadline=None)
+def test_allowed_none_is_unrestricted(model):
+    for j in range(model.n_pages):
+        a, lt_a, rt_a = partition_page(model, j, allowed=None)
+        universe = set(range(model.n_objects))
+        b, lt_b, rt_b = partition_page(model, j, allowed=universe)
+        assert np.array_equal(a, b)
+        assert np.isclose(lt_a, lt_b) and np.isclose(rt_a, rt_b)
+
+
+@given(system_models())
+@settings(max_examples=50, deadline=None)
+def test_allowed_empty_forces_remote(model):
+    for j in range(model.n_pages):
+        marks, lt, rt = partition_page(model, j, allowed=set())
+        assert not marks.any()
+        page = model.pages[j]
+        srv = model.servers[page.server]
+        total = sum(model.objects[k].size for k in page.compulsory)
+        assert np.isclose(rt, srv.repo_overhead + srv.repo_spb * total)
+        assert np.isclose(lt, srv.overhead + srv.spb * page.html_size)
+
+
+@given(system_models())
+@settings(max_examples=50, deadline=None)
+def test_restricting_allowed_never_improves(model):
+    """Removing options can only (weakly) worsen the balanced max."""
+    rng = np.random.default_rng(0)
+    for j in range(model.n_pages):
+        _, lt, rt = partition_page(model, j)
+        page = model.pages[j]
+        if not page.compulsory:
+            continue
+        subset = {k for k in page.compulsory if rng.random() < 0.5}
+        _, lt2, rt2 = partition_page(model, j, allowed=subset)
+        assert max(lt2, rt2) >= max(lt, rt) - 1e-9
+
+
+@given(system_models())
+@settings(max_examples=50, deadline=None)
+def test_greedy_local_improvement(model):
+    """No single object flip strictly improves the page max under the
+    sorted greedy *for the last object placed*.
+
+    Full 1-flip optimality is not guaranteed by the greedy, but the
+    balanced max must never exceed the all-on-one-stream bound.
+    """
+    for j in range(model.n_pages):
+        marks, lt, rt = partition_page(model, j)
+        page = model.pages[j]
+        srv = model.servers[page.server]
+        total = sum(model.objects[k].size for k in page.compulsory)
+        bound = max(
+            srv.overhead + srv.spb * (page.html_size + total),
+            srv.repo_overhead + srv.repo_spb * total,
+            srv.overhead + srv.spb * page.html_size,
+        )
+        assert max(lt, rt) <= bound + 1e-9

@@ -1,0 +1,154 @@
+"""Tests for repro.refdb — documents, parsing, URL rewriting."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.partition import partition_all
+from repro.refdb import (
+    LOCAL_BASE,
+    REPO_BASE,
+    ReferenceDatabase,
+    render_html,
+)
+from repro.refdb.documents import object_url
+
+
+class TestRenderHtml:
+    def test_size_matches_model_when_achievable(self, tiny_model):
+        # micro-model pages are smaller than the markup skeleton (the
+        # documented unpadded fallback); generated pages are >= 1 KB and
+        # must match Size(H_j) exactly
+        for j in range(tiny_model.n_pages):
+            doc = render_html(tiny_model, j)
+            assert len(doc) == tiny_model.pages[j].html_size
+
+    def test_contains_all_urls(self, micro_model):
+        doc = render_html(micro_model, 0)
+        page = micro_model.pages[0]
+        for k in page.compulsory + page.optional:
+            assert object_url(k) in doc
+
+    def test_compulsory_as_img_optional_as_link(self, micro_model):
+        doc = render_html(micro_model, 0)
+        assert f'<img src="{object_url(0)}"' in doc
+        assert f'<a href="{object_url(4)}"' in doc
+
+    def test_deterministic(self, micro_model):
+        assert render_html(micro_model, 2) == render_html(micro_model, 2)
+
+    def test_generated_pages(self, tiny_model):
+        for j in range(tiny_model.n_pages):
+            doc = render_html(tiny_model, j)
+            assert len(doc) == tiny_model.pages[j].html_size
+
+
+class TestIndexing:
+    def test_entry_count(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        page = micro_model.pages[0]
+        assert len(db.entries(0)) == page.n_compulsory + page.n_optional
+
+    def test_spans_point_at_urls(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        doc = db.document(0)
+        for e in db.entries(0):
+            assert doc[e.start : e.end] == object_url(e.object_id)
+
+    def test_kinds(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        kinds = {e.object_id: e.kind for e in db.entries(0)}
+        assert kinds[0] == "compulsory" and kinds[1] == "compulsory"
+        assert kinds[4] == "optional"
+
+    def test_undeclared_object_rejected(self, micro_model):
+        db = ReferenceDatabase(micro_model)
+        rogue = f'<img src="{object_url(3)}">'  # page 0 does not use M_3
+        with pytest.raises(ValueError, match="does not declare"):
+            db.index_page(0, document=rogue)
+
+    def test_reindex_updated_document(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        updated = f'<html><img src="{object_url(0)}"></html>'
+        db.index_page(0, document=updated)
+        assert len(db.entries(0)) == 1
+        assert db.document(0) == updated
+
+
+class TestServe:
+    def test_local_marks_rewritten(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        alloc = partition_all(micro_model)
+        served = db.serve(0, alloc)
+        page = micro_model.pages[0]
+        local_base = LOCAL_BASE.format(server_id=page.server)
+        marks = dict(zip(page.compulsory, alloc.page_comp_marks(0)))
+        for k, local in marks.items():
+            if local:
+                assert object_url(k, local_base) in served
+                assert object_url(k) not in served or served.count(
+                    object_url(k)
+                ) < db.document(0).count(object_url(k))
+            else:
+                assert object_url(k) in served
+
+    def test_remote_allocation_serves_original(self, micro_model):
+        from repro.baselines.remote import RemotePolicy
+
+        db = ReferenceDatabase.build(micro_model)
+        served = db.serve(0, RemotePolicy().allocate(micro_model))
+        assert served == db.document(0)
+
+    def test_local_allocation_rewrites_everything(self, micro_model):
+        from repro.baselines.local import LocalPolicy
+
+        db = ReferenceDatabase.build(micro_model)
+        served = db.serve(0, LocalPolicy().allocate(micro_model))
+        assert REPO_BASE not in served
+
+    def test_length_preserved(self, micro_model):
+        """Local and repository URLs are equal-length by construction,
+        so rewriting never changes Size(H_j)... unless server ids grow
+        digits — assert the invariant that matters: non-URL bytes are
+        untouched."""
+        from repro.baselines.local import LocalPolicy
+
+        db = ReferenceDatabase.build(micro_model)
+        original = db.document(0)
+        served = db.serve(0, LocalPolicy().allocate(micro_model))
+        stripped_o = re.sub(r"http://\S+?\.bin", "URL", original)
+        stripped_s = re.sub(r"http://\S+?\.bin", "URL", served)
+        assert stripped_o == stripped_s
+
+    def test_split_matches_marks(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        alloc = partition_all(micro_model)
+        local, remote = db.split_for(3, alloc)
+        assert set(local) == {2, 3}
+        assert set(remote) == {0}
+
+    def test_model_mismatch_rejected(self, micro_model, tiny_model):
+        db = ReferenceDatabase.build(micro_model)
+        with pytest.raises(ValueError, match="share the model"):
+            db.serve(0, partition_all(tiny_model))
+
+    def test_serve_counter(self, micro_model):
+        db = ReferenceDatabase.build(micro_model)
+        alloc = partition_all(micro_model)
+        db.serve(0, alloc)
+        db.serve(1, alloc)
+        assert db.rewrites_served == 2
+
+    def test_served_consistent_with_simulator_masks(self, tiny_model):
+        """The HTML split and the simulator's mask split agree page-wise."""
+        db = ReferenceDatabase.build(tiny_model)
+        alloc = partition_all(tiny_model)
+        for j in range(tiny_model.n_pages):
+            local, remote = db.split_for(j, alloc)
+            marks = alloc.page_comp_marks(j)
+            page = tiny_model.pages[j]
+            assert local == [k for k, m in zip(page.compulsory, marks) if m]
+            assert remote == [
+                k for k, m in zip(page.compulsory, marks) if not m
+            ]

@@ -1,0 +1,80 @@
+"""Tests for repro.simulation.metrics — response-time aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import SimulationResult
+
+
+def make_result(page_times, optional_times=(), servers=None):
+    page_times = np.asarray(page_times, dtype=float)
+    optional_times = np.asarray(optional_times, dtype=float)
+    servers = (
+        np.zeros(len(page_times), dtype=np.intp)
+        if servers is None
+        else np.asarray(servers, dtype=np.intp)
+    )
+    local = page_times.copy()
+    remote = np.zeros_like(page_times)
+    return SimulationResult(
+        page_times=page_times,
+        local_stream_times=local,
+        remote_stream_times=remote,
+        optional_times=optional_times,
+        server_of_request=servers,
+    )
+
+
+class TestMeans:
+    def test_mean_page_time(self):
+        assert make_result([1.0, 3.0]).mean_page_time == pytest.approx(2.0)
+
+    def test_empty(self):
+        r = make_result([])
+        assert r.mean_page_time == 0.0
+        assert r.mean_optional_time == 0.0
+
+    def test_mean_optional(self):
+        r = make_result([1.0], optional_times=[2.0, 4.0])
+        assert r.mean_optional_time == pytest.approx(3.0)
+
+
+class TestComposite:
+    def test_weighted(self):
+        r = make_result([10.0], optional_times=[4.0])
+        # (2*10 + 1*4) / (2*1 + 1*1) = 8
+        assert r.composite_time(2.0, 1.0) == pytest.approx(8.0)
+
+    def test_no_optional_reduces_to_mean(self):
+        r = make_result([1.0, 3.0])
+        assert r.composite_time() == pytest.approx(2.0)
+
+    def test_empty_zero(self):
+        assert make_result([]).composite_time() == 0.0
+
+
+class TestPercentilesAndBreakdowns:
+    def test_percentile(self):
+        r = make_result(np.arange(101, dtype=float))
+        assert r.percentile_page_time(50) == pytest.approx(50.0)
+        assert r.percentile_page_time(95) == pytest.approx(95.0)
+
+    def test_by_server(self):
+        r = make_result([1.0, 3.0, 10.0], servers=[0, 0, 1])
+        by = r.mean_page_time_by_server(3)
+        assert by.tolist() == [2.0, 10.0, 0.0]
+
+    def test_bottleneck_fraction(self):
+        page = np.array([5.0, 5.0])
+        r = SimulationResult(
+            page_times=page,
+            local_stream_times=np.array([5.0, 2.0]),
+            remote_stream_times=np.array([1.0, 5.0]),
+            optional_times=np.empty(0),
+            server_of_request=np.zeros(2, dtype=np.intp),
+        )
+        assert r.bottleneck_fraction_remote() == pytest.approx(0.5)
+
+    def test_summary_runs(self):
+        s = make_result([1.0, 2.0], optional_times=[0.5]).summary()
+        assert "page requests" in s

@@ -1,0 +1,118 @@
+"""Tests for repro.simulation.perturbation — the Section 5.1 mixture."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.perturbation import (
+    IDENTITY_PERTURBATION,
+    PAPER_PERTURBATION,
+    FactorMixture,
+    PerturbationModel,
+    UniformFactor,
+)
+
+
+class TestUniformFactor:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        f = UniformFactor(0.5, 0.8)
+        s = f.sample(rng, 1000)
+        assert s.min() >= 0.5 and s.max() <= 0.8
+
+    def test_degenerate(self):
+        rng = np.random.default_rng(0)
+        s = UniformFactor(1.0, 1.0).sample(rng, 10)
+        assert np.all(s == 1.0)
+
+    def test_mean(self):
+        assert UniformFactor(0.5, 1.5).mean() == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformFactor(0.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformFactor(2.0, 1.0)
+
+
+class TestFactorMixture:
+    def test_weights_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            FactorMixture(weights=(0.5,), components=(UniformFactor(1, 1),))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            FactorMixture(
+                weights=(0.5, 0.5), components=(UniformFactor(1, 1),)
+            )
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FactorMixture(weights=(), components=())
+
+    def test_sample_from_components(self):
+        rng = np.random.default_rng(0)
+        mix = FactorMixture(
+            weights=(0.5, 0.5),
+            components=(UniformFactor(0.1, 0.2), UniformFactor(0.8, 0.9)),
+        )
+        s = mix.sample(rng, 4000)
+        in_low = ((s >= 0.1) & (s <= 0.2)).mean()
+        in_high = ((s >= 0.8) & (s <= 0.9)).mean()
+        assert in_low == pytest.approx(0.5, abs=0.05)
+        assert in_high == pytest.approx(0.5, abs=0.05)
+
+    def test_mean(self):
+        mix = FactorMixture(
+            weights=(0.25, 0.75),
+            components=(UniformFactor(1.0, 1.0), UniformFactor(2.0, 2.0)),
+        )
+        assert mix.mean() == pytest.approx(1.75)
+
+
+class TestPaperMixture:
+    def test_local_rate_classes(self):
+        rng = np.random.default_rng(1)
+        s = PAPER_PERTURBATION.sample_local_rate(rng, 30_000)
+        near = ((s >= 0.9) & (s <= 1.1)).mean()
+        half = ((s >= 1 / 3) & (s <= 1 / 2)).mean()
+        cong = ((s >= 1 / 6) & (s <= 1 / 4)).mean()
+        assert near == pytest.approx(0.60, abs=0.02)
+        assert half == pytest.approx(0.30, abs=0.02)
+        assert cong == pytest.approx(0.10, abs=0.02)
+
+    def test_repo_rate_pm20(self):
+        rng = np.random.default_rng(1)
+        s = PAPER_PERTURBATION.sample_repo_rate(rng, 5000)
+        assert s.min() >= 0.8 and s.max() <= 1.2
+
+    def test_local_overhead_range(self):
+        rng = np.random.default_rng(1)
+        s = PAPER_PERTURBATION.sample_local_overhead(rng, 5000)
+        assert s.min() >= 0.9 and s.max() <= 1.5
+
+    def test_repo_overhead_range(self):
+        rng = np.random.default_rng(1)
+        s = PAPER_PERTURBATION.sample_repo_overhead(rng, 5000)
+        assert s.min() >= 0.8 and s.max() <= 1.2
+
+    def test_local_rates_degrade_on_average(self):
+        """The paper's asymmetric design: local service is ~1.8x slower
+        in expectation while the repository stays near its estimate."""
+        rng = np.random.default_rng(2)
+        local = PAPER_PERTURBATION.sample_local_rate(rng, 50_000)
+        slowdown = (1.0 / local).mean()
+        assert 1.6 < slowdown < 2.1
+        repo = PAPER_PERTURBATION.sample_repo_rate(rng, 50_000)
+        assert (1.0 / repo).mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestIdentity:
+    def test_all_ones(self):
+        rng = np.random.default_rng(0)
+        for fn in (
+            IDENTITY_PERTURBATION.sample_local_rate,
+            IDENTITY_PERTURBATION.sample_repo_rate,
+            IDENTITY_PERTURBATION.sample_local_overhead,
+            IDENTITY_PERTURBATION.sample_repo_overhead,
+        ):
+            assert np.all(fn(rng, 100) == 1.0)

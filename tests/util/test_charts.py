@@ -1,0 +1,70 @@
+"""Tests for repro.util.charts — terminal bar charts."""
+
+import pytest
+
+from repro.util.charts import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        out = bar_chart(["a", "b"], [0.5, 1.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_negative_values(self):
+        out = bar_chart(["x"], [-0.5], width=10)
+        assert "-" * 5 in out
+        assert "#" not in out
+
+    def test_zero_values(self):
+        out = bar_chart(["x", "y"], [0.0, 0.0], width=10)
+        assert "#" not in out
+
+    def test_value_labels(self):
+        out = bar_chart(["x"], [0.123], width=5)
+        assert "+12.3%" in out
+
+    def test_custom_format(self):
+        out = bar_chart(["x"], [3.0], value_format="{:.1f}")
+        assert "3.0" in out
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="My Chart")
+        assert out.startswith("My Chart")
+
+    def test_label_alignment(self):
+        out = bar_chart(["a", "long-label"], [1.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+
+class TestSeriesChart:
+    def test_blocks_per_series(self):
+        out = series_chart([1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]})
+        assert "[a]" in out and "[b]" in out
+
+    def test_shared_scale(self):
+        out = series_chart([1], {"a": [0.5], "b": [1.0]}, width=10)
+        blocks = out.split("\n\n")
+        assert blocks[0].count("#") == 5
+        assert blocks[1].count("#") == 10
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            series_chart([1, 2], {"a": [0.1]})
+
+    def test_title(self):
+        out = series_chart([1], {"a": [1.0]}, title="T")
+        assert out.startswith("T")

@@ -1,0 +1,52 @@
+"""Tests for repro.util.tables — ASCII rendering."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "bb"], [[1, "x"], [2, "y"]])
+        assert "a" in out and "bb" in out
+        assert "x" in out and "y" in out
+
+    def test_title_included(self):
+        out = format_table(["c"], [[1]], title="My Title")
+        assert out.startswith("My Title")
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all rows same width
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("x", [1, 2], {"s": [0.1, 0.2]})
+        assert "+10.0%" in out and "+20.0%" in out
+
+    def test_multiple_series(self):
+        out = format_series("x", [1], {"a": [0.5], "b": [-0.25]})
+        assert "+50.0%" in out and "-25.0%" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("x", [1, 2], {"s": [0.1]})
+
+    def test_custom_format(self):
+        out = format_series("x", [1], {"s": [3.14159]}, y_format="{:.2f}")
+        assert "3.14" in out

@@ -1,0 +1,60 @@
+"""Tests for repro.util.units — rate/size conversions."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import GB, KB, MB, kbps_to_bps, rate_to_spb, spb_to_rate
+
+
+class TestConstants:
+    def test_kb(self):
+        assert KB == 1024
+
+    def test_mb(self):
+        assert MB == 1024 * 1024
+
+    def test_gb(self):
+        assert GB == 1024**3
+
+
+class TestKbpsToBps:
+    def test_scalar(self):
+        assert kbps_to_bps(3.0) == 3.0 * 1024
+
+    def test_array(self):
+        out = kbps_to_bps(np.array([1.0, 2.0]))
+        assert np.allclose(out, [1024.0, 2048.0])
+
+
+class TestRateToSpb:
+    def test_scalar_roundtrip(self):
+        rate = 6500.0
+        assert spb_to_rate(rate_to_spb(rate)) == pytest.approx(rate)
+
+    def test_scalar_value(self):
+        assert rate_to_spb(2.0) == pytest.approx(0.5)
+
+    def test_returns_float_for_scalar(self):
+        assert isinstance(rate_to_spb(4.0), float)
+
+    def test_array(self):
+        out = rate_to_spb(np.array([2.0, 4.0]))
+        assert np.allclose(out, [0.5, 0.25])
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            rate_to_spb(0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            rate_to_spb(np.array([1.0, -2.0]))
+
+    def test_spb_zero_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            spb_to_rate(0.0)
+
+    def test_paper_units_example(self):
+        # A 300 KB object at 3 KB/s should take 100 seconds.
+        rate = kbps_to_bps(3.0)
+        size = 300 * KB
+        assert size * rate_to_spb(rate) == pytest.approx(100.0)

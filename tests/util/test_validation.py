@@ -1,0 +1,70 @@
+"""Tests for repro.util.validation — argument validators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan, math.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, math.nan, math.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_nonnegative("x", bad)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="f"):
+            check_fraction("f", bad)
+
+    def test_disallow_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, allow_zero=False)
+        assert check_fraction("f", 0.5, allow_zero=False) == 0.5
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_valid(self):
+        arr = check_probability_matrix("p", np.array([[0.0, 0.5], [1.0, 0.3]]))
+        assert arr.shape == (2, 2)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError, match="p"):
+            check_probability_matrix("p", np.array([1.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="p"):
+            check_probability_matrix("p", np.array([-0.2]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="p"):
+            check_probability_matrix("p", np.array([math.nan]))
+
+    def test_empty_ok(self):
+        assert check_probability_matrix("p", np.array([])).size == 0

@@ -1,0 +1,114 @@
+"""Tests for repro.workload.clf — Common Log Format import."""
+
+import numpy as np
+import pytest
+
+from repro.workload.clf import parse_clf
+
+
+def clf(host, path, status=200):
+    return (
+        f'{host} - - [05/Jul/2026:10:00:00 +0000] '
+        f'"GET {path} HTTP/1.0" {status} 1234'
+    )
+
+
+class TestParseClf:
+    def test_page_requests(self, micro_model):
+        lines = [clf("1.2.3.4", "/page/0"), clf("1.2.3.4", "/page/1")]
+        result = parse_clf(lines, micro_model)
+        assert result.page_requests == 2
+        assert result.trace.page_of_request.tolist() == [0, 1]
+        assert result.trace.server_of_request.tolist() == [0, 0]
+
+    def test_w_alias(self, micro_model):
+        result = parse_clf([clf("h", "/w/2")], micro_model)
+        assert result.trace.page_of_request.tolist() == [2]
+
+    def test_optional_attributed_to_last_page(self, micro_model):
+        # page 0's optional object is 4
+        lines = [clf("h", "/page/0"), clf("h", "/mo/4.bin")]
+        result = parse_clf(lines, micro_model)
+        assert result.optional_downloads == 1
+        assert result.trace.opt_owner.tolist() == [0]
+        result.trace.validate()
+
+    def test_optional_per_host_attribution(self, micro_model):
+        lines = [
+            clf("alice", "/page/0"),
+            clf("bob", "/page/2"),
+            clf("alice", "/mo/4.bin"),   # page 0's optional
+            clf("bob", "/mo/5.bin"),     # page 2's optional
+        ]
+        result = parse_clf(lines, micro_model)
+        assert result.optional_downloads == 2
+        owners = result.trace.page_of_request[result.trace.opt_owner]
+        assert sorted(owners.tolist()) == [0, 2]
+
+    def test_orphan_optional_counted(self, micro_model):
+        result = parse_clf([clf("h", "/mo/4.bin")], micro_model)
+        assert result.orphan_optionals == 1
+        assert result.optional_downloads == 0
+
+    def test_compulsory_mo_not_a_separate_download(self, micro_model):
+        # object 0 is compulsory for page 0: rides the pipeline, ignored
+        lines = [clf("h", "/page/0"), clf("h", "/mo/0.bin")]
+        result = parse_clf(lines, micro_model)
+        assert result.optional_downloads == 0
+        assert result.orphan_optionals == 1
+
+    def test_malformed_lines_skipped(self, micro_model):
+        result = parse_clf(
+            ["garbage", clf("h", "/page/0"), "also garbage"], micro_model
+        )
+        assert result.malformed_lines == 2
+        assert result.page_requests == 1
+
+    def test_non_success_skipped(self, micro_model):
+        result = parse_clf(
+            [clf("h", "/page/0", status=404), clf("h", "/page/0")], micro_model
+        )
+        assert result.non_success == 1
+        assert result.page_requests == 1
+
+    def test_unknown_path_counted(self, micro_model):
+        result = parse_clf([clf("h", "/favicon.ico")], micro_model)
+        assert result.unresolved_paths == 1
+
+    def test_out_of_range_page(self, micro_model):
+        result = parse_clf([clf("h", "/page/99")], micro_model)
+        assert result.unresolved_paths == 1
+        assert result.page_requests == 0
+
+    def test_custom_resolver(self, micro_model):
+        def resolver(path):
+            return 3 if path == "/news/today.html" else None
+
+        result = parse_clf(
+            [clf("h", "/news/today.html")], micro_model, page_resolver=resolver
+        )
+        assert result.trace.page_of_request.tolist() == [3]
+
+    def test_empty_input(self, micro_model):
+        result = parse_clf([], micro_model)
+        assert result.trace.n_requests == 0
+
+    def test_parsed_trace_simulates(self, micro_model):
+        from repro.core.partition import partition_all
+        from repro.simulation.engine import simulate_allocation
+
+        lines = [clf("h", f"/page/{j % 4}") for j in range(40)]
+        lines.append(clf("h", "/mo/5.bin"))  # page 3 was last; not its opt
+        result = parse_clf(lines, micro_model)
+        sim = simulate_allocation(
+            partition_all(micro_model), result.trace, seed=2
+        )
+        assert sim.n_requests == 40
+
+    def test_estimator_consumes_parsed_trace(self, micro_model):
+        from repro.dynamic.estimator import estimate_frequencies
+
+        lines = [clf("h", "/page/0")] * 30 + [clf("h", "/page/1")] * 10
+        result = parse_clf(lines, micro_model)
+        est = estimate_frequencies(result.trace, observation_window=10.0)
+        assert est[0] > est[1] > 0

@@ -1,0 +1,122 @@
+"""Tests for repro.workload.generator — Table 1 synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import KB, kbps_to_bps
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return generate_workload(WorkloadParams.small(), seed=3)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return WorkloadParams.small()
+
+
+class TestStructure:
+    def test_server_count(self, model, params):
+        assert model.n_servers == params.n_servers
+
+    def test_page_counts_in_range(self, model, params):
+        lo, hi = params.pages_per_server
+        for i in range(model.n_servers):
+            assert lo <= len(model.pages_by_server[i]) <= hi
+
+    def test_object_count(self, model, params):
+        assert model.n_objects == params.n_objects
+
+    def test_compulsory_counts_in_range(self, model, params):
+        lo, hi = params.compulsory_per_page
+        counts = np.diff(model.comp_indptr)
+        assert counts.min() >= lo
+        assert counts.max() <= hi
+
+    def test_optional_counts_in_range(self, model, params):
+        lo, hi = params.optional_per_page
+        counts = np.diff(model.opt_indptr)
+        nz = counts[counts > 0]
+        if len(nz):
+            assert nz.min() >= lo
+            assert nz.max() <= hi
+
+    def test_optional_page_share(self, params):
+        model = generate_workload(
+            WorkloadParams.paper().with_(n_servers=2), seed=0
+        )
+        counts = np.diff(model.opt_indptr)
+        share = (counts > 0).mean()
+        assert share == pytest.approx(0.10, abs=0.04)
+
+    def test_page_objects_from_server_pool(self, model, params):
+        lo, hi = params.objects_per_server
+        for i in range(model.n_servers):
+            refs = model.objects_referenced_by_server(i)
+            assert len(refs) <= hi  # can't reference more than the pool
+
+
+class TestAttributes:
+    def test_rates_in_range(self, model, params):
+        lo, hi = params.local_rate_range_kbps
+        assert model.server_rate.min() >= kbps_to_bps(lo)
+        assert model.server_rate.max() <= kbps_to_bps(hi)
+        lo, hi = params.repo_rate_range_kbps
+        assert model.server_repo_rate.min() >= kbps_to_bps(lo)
+        assert model.server_repo_rate.max() <= kbps_to_bps(hi)
+
+    def test_overheads_in_range(self, model, params):
+        lo, hi = params.local_overhead_range
+        assert model.server_overhead.min() >= lo
+        assert model.server_overhead.max() <= hi
+        lo, hi = params.repo_overhead_range
+        assert model.server_repo_overhead.min() >= lo
+        assert model.server_repo_overhead.max() <= hi
+
+    def test_frequencies_sum_per_server(self, model, params):
+        for i in range(model.n_servers):
+            ids = np.asarray(model.pages_by_server[i], dtype=np.intp)
+            assert model.frequencies[ids].sum() == pytest.approx(
+                params.page_rate_per_server
+            )
+
+    def test_optional_prob_set(self, model, params):
+        for p in model.pages:
+            if p.optional:
+                assert p.optional_prob == pytest.approx(
+                    params.optional_prob_per_object
+                )
+            else:
+                assert p.optional_prob == 0.0
+
+    def test_capacities_from_params(self, model, params):
+        assert np.all(model.server_capacity == params.processing_capacity)
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self, params):
+        a = generate_workload(params, seed=9)
+        b = generate_workload(params, seed=9)
+        assert a.n_pages == b.n_pages
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.comp_objects, b.comp_objects)
+        assert np.array_equal(a.frequencies, b.frequencies)
+        assert np.array_equal(a.server_rate, b.server_rate)
+
+    def test_different_seeds_differ(self, params):
+        a = generate_workload(params, seed=1)
+        b = generate_workload(params, seed=2)
+        assert not np.array_equal(a.sizes, b.sizes)
+
+    def test_object_catalogue_stable_across_shape_params(self, params):
+        """Changing server count must not reshuffle object sizes."""
+        a = generate_workload(params, seed=4)
+        b = generate_workload(params.with_(n_servers=2), seed=4)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_default_params_is_paper(self):
+        m = generate_workload(WorkloadParams.paper().with_(n_servers=1), seed=0)
+        assert m.n_objects == 15_000

@@ -1,0 +1,75 @@
+"""Tests for the mirrored (globally shared) page feature."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def mirrored_model():
+    params = WorkloadParams.small().with_(mirrored_page_fraction=0.2)
+    return generate_workload(params, seed=4)
+
+
+class TestMirroredPages:
+    def test_default_no_mirroring(self, small_model):
+        """With the default 0 fraction, no two servers share an exact
+        compulsory set (overwhelmingly likely for random pools)."""
+        seen: dict[tuple, int] = {}
+        collisions = 0
+        for p in small_model.pages:
+            key = p.compulsory
+            if key in seen and seen[key] != p.server:
+                collisions += 1
+            seen[key] = p.server
+        assert collisions == 0
+
+    def test_templates_copied_to_every_server(self, mirrored_model):
+        m = mirrored_model
+        # the first pages of each server follow the same templates
+        first_sets = []
+        for i in range(m.n_servers):
+            j = m.pages_by_server[i][0]
+            first_sets.append(
+                (m.pages[j].compulsory, m.pages[j].optional, m.pages[j].html_size)
+            )
+        assert all(s == first_sets[0] for s in first_sets)
+
+    def test_copies_are_distinct_pages(self, mirrored_model):
+        """The paper: each copy is a different page (own id/frequency)."""
+        m = mirrored_model
+        ids = [m.pages_by_server[i][0] for i in range(m.n_servers)]
+        assert len(set(ids)) == m.n_servers
+
+    def test_mirrored_share_approximate(self, mirrored_model):
+        m = mirrored_model
+        # count pages whose compulsory set appears on >1 server
+        by_key: dict[tuple, set[int]] = {}
+        for p in m.pages:
+            by_key.setdefault(p.compulsory, set()).add(p.server)
+        shared = sum(
+            1 for p in m.pages if len(by_key[p.compulsory]) == m.n_servers
+        )
+        share = shared / m.n_pages
+        assert 0.1 < share < 0.35  # nominal 0.2 of the average page count
+
+    def test_policy_handles_mirrored_model(self, mirrored_model):
+        from repro.core.policy import RepositoryReplicationPolicy
+
+        result = RepositoryReplicationPolicy().run(mirrored_model)
+        assert result.feasible
+        result.allocation.check_invariants()
+
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError, match="mirrored_page_fraction"):
+            WorkloadParams(mirrored_page_fraction=1.5)
+
+    def test_deterministic(self):
+        params = WorkloadParams.tiny().with_(mirrored_page_fraction=0.3)
+        a = generate_workload(params, seed=9)
+        b = generate_workload(params, seed=9)
+        assert all(
+            pa.compulsory == pb.compulsory for pa, pb in zip(a.pages, b.pages)
+        )

@@ -1,0 +1,98 @@
+"""Tests for repro.workload.params — Table 1 configuration."""
+
+import math
+
+import pytest
+
+from repro.workload.params import WorkloadParams
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        p = WorkloadParams.paper()
+        assert p.n_servers == 10
+        assert p.pages_per_server == (400, 800)
+        assert p.hot_page_fraction == 0.10
+        assert p.hot_traffic_fraction == 0.60
+        assert p.compulsory_per_page == (5, 45)
+        assert p.optional_per_page == (10, 85)
+        assert p.optional_page_fraction == 0.10
+        assert p.n_objects == 15_000
+        assert p.objects_per_server == (1500, 4500)
+        assert p.optional_interest_prob == 0.10
+        assert p.optional_request_fraction == 0.30
+        assert p.processing_capacity == 150.0
+        assert math.isinf(p.repository_capacity)
+        assert p.local_overhead_range == (1.275, 1.775)
+        assert p.repo_overhead_range == (1.975, 2.475)
+        assert p.local_rate_range_kbps == (3.0, 10.0)
+        assert p.repo_rate_range_kbps == (0.3, 2.0)
+        assert p.requests_per_server == 10_000
+        assert (p.alpha1, p.alpha2) == (2.0, 1.0)
+
+    def test_optional_prob_per_object(self):
+        assert WorkloadParams.paper().optional_prob_per_object == pytest.approx(
+            0.03
+        )
+
+
+class TestPresets:
+    def test_small_preserves_shape(self):
+        p = WorkloadParams.small()
+        assert p.hot_page_fraction == 0.10
+        assert p.hot_traffic_fraction == 0.60
+        assert p.n_servers < 10
+        assert p.n_objects < 15_000
+
+    def test_tiny_valid(self):
+        WorkloadParams.tiny()  # __post_init__ validates
+
+
+class TestWith:
+    def test_override(self):
+        p = WorkloadParams.paper().with_(n_servers=3)
+        assert p.n_servers == 3
+        assert p.n_objects == 15_000
+
+    def test_original_unchanged(self):
+        base = WorkloadParams.paper()
+        base.with_(n_servers=3)
+        assert base.n_servers == 10
+
+
+class TestValidation:
+    def test_bad_server_count(self):
+        with pytest.raises(ValueError, match="n_servers"):
+            WorkloadParams(n_servers=0)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError, match="pages_per_server"):
+            WorkloadParams(pages_per_server=(800, 400))
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError, match="hot_page_fraction"):
+            WorkloadParams(hot_page_fraction=1.2)
+
+    def test_pool_exceeds_catalogue(self):
+        with pytest.raises(ValueError, match="objects_per_server"):
+            WorkloadParams(n_objects=100, objects_per_server=(50, 200))
+
+    def test_page_could_exceed_pool(self):
+        with pytest.raises(ValueError, match="pool"):
+            WorkloadParams(
+                compulsory_per_page=(5, 1200),
+                optional_per_page=(10, 800),
+                objects_per_server=(1500, 4500),
+            )
+
+    def test_bad_alphas(self):
+        with pytest.raises(ValueError, match="alpha"):
+            WorkloadParams(alpha1=0.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="page_rate"):
+            WorkloadParams(page_rate_per_server=0.0)
+
+    def test_bad_requests(self):
+        with pytest.raises(ValueError, match="requests_per_server"):
+            WorkloadParams(requests_per_server=0)

@@ -1,0 +1,79 @@
+"""Tests for repro.workload.popularity — hot/cold and Zipf models."""
+
+import numpy as np
+import pytest
+
+from repro.workload.popularity import hot_cold_frequencies, zipf_frequencies
+
+
+class TestHotCold:
+    def test_sums_to_total(self):
+        f, _ = hot_cold_frequencies(100, 5.0)
+        assert f.sum() == pytest.approx(5.0)
+
+    def test_hot_share(self):
+        f, hot = hot_cold_frequencies(100, 10.0, 0.10, 0.60)
+        assert hot.sum() == 10
+        assert f[hot].sum() == pytest.approx(6.0)
+        assert f[~hot].sum() == pytest.approx(4.0)
+
+    def test_hot_pages_hotter(self):
+        f, hot = hot_cold_frequencies(100, 10.0)
+        assert f[hot].min() > f[~hot].max()
+
+    def test_deterministic_layout_without_rng(self):
+        f, hot = hot_cold_frequencies(50, 1.0)
+        assert hot[:5].all() and not hot[5:].any()
+
+    def test_random_layout_with_rng(self):
+        _, hot1 = hot_cold_frequencies(200, 1.0, rng=np.random.default_rng(1))
+        _, hot2 = hot_cold_frequencies(200, 1.0, rng=np.random.default_rng(2))
+        assert hot1.sum() == hot2.sum() == 20
+        assert not np.array_equal(hot1, hot2)
+
+    def test_ceil_of_hot_count(self):
+        _, hot = hot_cold_frequencies(15, 1.0, hot_fraction=0.10)
+        assert hot.sum() == 2  # ceil(1.5)
+
+    def test_single_page(self):
+        f, _ = hot_cold_frequencies(1, 3.0)
+        assert f.tolist() == [3.0]
+
+    def test_all_hot(self):
+        f, hot = hot_cold_frequencies(10, 5.0, hot_fraction=1.0)
+        assert hot.all()
+        assert np.allclose(f, 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hot_cold_frequencies(0, 1.0)
+        with pytest.raises(ValueError):
+            hot_cold_frequencies(10, -1.0)
+        with pytest.raises(ValueError):
+            hot_cold_frequencies(10, 1.0, hot_fraction=1.5)
+
+
+class TestZipf:
+    def test_sums_to_total(self):
+        f = zipf_frequencies(100, 7.0)
+        assert f.sum() == pytest.approx(7.0)
+
+    def test_monotone_without_rng(self):
+        f = zipf_frequencies(50, 1.0)
+        assert np.all(np.diff(f) <= 0)
+
+    def test_exponent_effect(self):
+        flat = zipf_frequencies(100, 1.0, exponent=0.1)
+        steep = zipf_frequencies(100, 1.0, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_shuffled_with_rng(self):
+        f = zipf_frequencies(100, 1.0, rng=np.random.default_rng(0))
+        assert f.sum() == pytest.approx(1.0)
+        assert not np.all(np.diff(f) <= 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_frequencies(10, 1.0, exponent=0.0)

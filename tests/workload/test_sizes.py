@@ -1,0 +1,82 @@
+"""Tests for repro.workload.sizes — size mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import KB, MB
+from repro.workload.sizes import (
+    DEFAULT_HTML_SIZES,
+    DEFAULT_MO_SIZES,
+    SizeClass,
+    SizeMixture,
+)
+
+
+class TestSizeClass:
+    def test_valid(self):
+        c = SizeClass(0.5, 10, 20)
+        assert c.low == 10
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            SizeClass(0.0, 10, 20)
+        with pytest.raises(ValueError, match="fraction"):
+            SizeClass(1.5, 10, 20)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError, match="low"):
+            SizeClass(0.5, 20, 10)
+        with pytest.raises(ValueError, match="low"):
+            SizeClass(0.5, 0, 10)
+
+
+class TestSizeMixture:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SizeMixture(classes=(SizeClass(0.5, 1, 2),))
+
+    def test_sample_within_bounds(self):
+        rng = np.random.default_rng(0)
+        sizes = DEFAULT_MO_SIZES.sample(rng, 2000)
+        lo, hi = DEFAULT_MO_SIZES.bounds()
+        assert sizes.min() >= lo
+        assert sizes.max() <= hi
+
+    def test_sample_count(self):
+        rng = np.random.default_rng(0)
+        assert len(DEFAULT_HTML_SIZES.sample(rng, 17)) == 17
+
+    def test_sample_zero(self):
+        rng = np.random.default_rng(0)
+        assert len(DEFAULT_HTML_SIZES.sample(rng, 0)) == 0
+
+    def test_sample_negative_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="negative"):
+            DEFAULT_HTML_SIZES.sample(rng, -1)
+
+    def test_class_shares_approximate(self):
+        rng = np.random.default_rng(1)
+        sizes = DEFAULT_MO_SIZES.sample(rng, 30_000)
+        small = ((sizes >= 40 * KB) & (sizes <= 300 * KB)).mean()
+        medium = ((sizes > 300 * KB) & (sizes <= 800 * KB)).mean()
+        large = (sizes > 800 * KB).mean()
+        assert small == pytest.approx(0.30, abs=0.02)
+        assert medium == pytest.approx(0.60, abs=0.02)
+        assert large == pytest.approx(0.10, abs=0.02)
+
+    def test_mean(self):
+        # 0.35*(3.5K) + 0.60*(13K) + 0.05*(35K) in KB-units
+        expected = (
+            0.35 * (1 + 6) / 2 + 0.60 * (6 + 20) / 2 + 0.05 * (20 + 50) / 2
+        ) * KB
+        assert DEFAULT_HTML_SIZES.mean() == pytest.approx(expected)
+
+    def test_reproducible(self):
+        a = DEFAULT_MO_SIZES.sample(np.random.default_rng(3), 100)
+        b = DEFAULT_MO_SIZES.sample(np.random.default_rng(3), 100)
+        assert np.array_equal(a, b)
+
+    def test_paper_bounds(self):
+        assert DEFAULT_HTML_SIZES.bounds() == (1 * KB, 50 * KB)
+        assert DEFAULT_MO_SIZES.bounds() == (40 * KB, 4 * MB)

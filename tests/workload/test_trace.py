@@ -1,0 +1,117 @@
+"""Tests for repro.workload.trace — request trace sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import generate_trace
+from repro.workload.params import WorkloadParams
+
+
+class TestShape:
+    def test_requests_per_server(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=1)
+        assert tr.n_requests == small_params.requests_per_server * small_model.n_servers
+        for i in range(small_model.n_servers):
+            assert len(tr.requests_for_server(i)) == small_params.requests_per_server
+
+    def test_override_requests(self, small_model, small_params):
+        tr = generate_trace(
+            small_model, small_params, seed=1, requests_per_server=50
+        )
+        assert tr.n_requests == 50 * small_model.n_servers
+
+    def test_validates(self, small_model, small_params):
+        generate_trace(small_model, small_params, seed=2).validate()
+
+    def test_pages_hosted_by_server(self, small_trace):
+        m = small_trace.model
+        assert np.array_equal(
+            m.page_server[small_trace.page_of_request],
+            small_trace.server_of_request,
+        )
+
+
+class TestPopularity:
+    def test_hot_pages_dominate(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=3)
+        counts = np.bincount(tr.page_of_request, minlength=small_model.n_pages)
+        # correlation between frequency and realised count must be strong
+        f = small_model.frequencies
+        corr = np.corrcoef(f, counts)[0, 1]
+        assert corr > 0.9
+
+    def test_hot_traffic_share(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=3)
+        counts = np.bincount(tr.page_of_request, minlength=small_model.n_pages)
+        for i in range(small_model.n_servers):
+            ids = np.asarray(small_model.pages_by_server[i], dtype=np.intp)
+            n_hot = int(np.ceil(0.10 * len(ids)))
+            f = small_model.frequencies[ids]
+            hot_ids = ids[np.argsort(f)[::-1][:n_hot]]
+            share = counts[hot_ids].sum() / counts[ids].sum()
+            assert share == pytest.approx(0.60, abs=0.06)
+
+
+class TestOptionalDownloads:
+    def test_interest_rate(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=4)
+        n_links = np.diff(small_model.opt_indptr)
+        eligible = int((n_links[tr.page_of_request] > 0).sum())
+        interested = len(np.unique(tr.opt_owner))
+        if eligible > 50:
+            assert interested / eligible == pytest.approx(
+                small_params.optional_interest_prob, abs=0.05
+            )
+
+    def test_requested_fraction(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=4)
+        if tr.n_optional_downloads == 0:
+            pytest.skip("no optional downloads sampled")
+        n_links = np.diff(small_model.opt_indptr)
+        per_owner = {}
+        for owner in tr.opt_owner:
+            per_owner[int(owner)] = per_owner.get(int(owner), 0) + 1
+        for owner, cnt in per_owner.items():
+            links = int(n_links[tr.page_of_request[owner]])
+            expected = max(1, round(small_params.optional_request_fraction * links))
+            assert cnt == expected
+
+    def test_optional_entries_belong_to_owner_page(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=5)
+        if tr.n_optional_downloads:
+            owner_pages = tr.page_of_request[tr.opt_owner]
+            assert np.array_equal(
+                small_model.opt_pages[tr.opt_entries], owner_pages
+            )
+
+    def test_no_duplicate_optionals_per_request(self, small_model, small_params):
+        tr = generate_trace(small_model, small_params, seed=6)
+        seen = set()
+        for owner, entry in zip(tr.opt_owner, tr.opt_entries):
+            key = (int(owner), int(entry))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, small_model, small_params):
+        a = generate_trace(small_model, small_params, seed=8)
+        b = generate_trace(small_model, small_params, seed=8)
+        assert np.array_equal(a.page_of_request, b.page_of_request)
+        assert np.array_equal(a.opt_entries, b.opt_entries)
+
+    def test_different_seeds_differ(self, small_model, small_params):
+        a = generate_trace(small_model, small_params, seed=8)
+        b = generate_trace(small_model, small_params, seed=9)
+        assert not np.array_equal(a.page_of_request, b.page_of_request)
+
+    def test_clone_same_trace(self, small_model, small_params):
+        """A capacity clone yields the identical trace (pairing)."""
+        from repro.experiments.scaling import clone_with_capacities
+
+        clone = clone_with_capacities(small_model, storage=1e9)
+        a = generate_trace(small_model, small_params, seed=8)
+        b = generate_trace(clone, small_params, seed=8)
+        assert np.array_equal(a.page_of_request, b.page_of_request)
+        assert np.array_equal(a.opt_entries, b.opt_entries)
+        assert b.model is clone
