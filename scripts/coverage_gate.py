@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Coverage gate: fail the build if line coverage drops below the floor.
+
+Runs ``pytest --cov=repro --cov-fail-under=<floor>`` with the floor taken
+from ``[tool.coverage.report] fail_under`` in ``pyproject.toml`` (the
+seed's measured line-coverage floor — raise it when coverage legitimately
+rises, never lower it to make a PR pass).
+
+Usage:
+
+    python scripts/coverage_gate.py            # full suite + coverage
+    python scripts/coverage_gate.py --fast     # -m "not slow" split
+    python scripts/coverage_gate.py --strict   # missing pytest-cov fails
+
+``pytest-cov`` is an optional dev dependency (``pip install -e .[dev]``).
+When it is absent — e.g. in the minimal runtime container — the gate
+SKIPS with exit code 0 (or fails with exit code 3 under ``--strict``)
+instead of crashing, so the functional suite can still run everywhere.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str]) -> int:
+    strict = "--strict" in argv
+    fast = "--fast" in argv
+    if importlib.util.find_spec("pytest_cov") is None:
+        msg = (
+            "coverage gate: pytest-cov is not installed "
+            "(pip install -e .[dev]); "
+        )
+        if strict:
+            print(msg + "failing (--strict).", file=sys.stderr)
+            return 3
+        print(msg + "skipping gate, running plain test suite instead.")
+        cmd = [sys.executable, "-m", "pytest", "-q"]
+    else:
+        # --cov-fail-under is left to [tool.coverage.report] fail_under
+        cmd = [sys.executable, "-m", "pytest", "-q", "--cov=repro"]
+    if fast:
+        cmd += ["-m", "not slow"]
+    env_src = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    print("coverage gate:", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,6 +16,7 @@ benchmark suite's quick settings; ``--scale paper`` is Table 1).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -57,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace length per server (defaults to the scale's setting)",
     )
     parser.add_argument("--seed", type=int, default=2000, help="root seed")
+    parser.add_argument(
+        "--kernel",
+        choices=("batched", "scalar"),
+        default=os.environ.get("REPRO_KERNEL", "batched").lower(),
+        help="PARTITION kernel (default: $REPRO_KERNEL or 'batched'; "
+        "both produce bit-identical allocations)",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="Table 1: nominal vs realised workload")
@@ -87,7 +95,12 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     params = _SCALES[args.scale]()
     if args.requests:
         params = params.with_(requests_per_server=args.requests)
-    return ExperimentConfig(params=params, n_runs=args.runs, base_seed=args.seed)
+    return ExperimentConfig(
+        params=params,
+        n_runs=args.runs,
+        base_seed=args.seed,
+        kernel=args.kernel,
+    )
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -140,7 +153,7 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     if args.requests:
         params = params.with_(requests_per_server=args.requests)
     model = generate_workload(params, seed=args.seed)
-    result = RepositoryReplicationPolicy().run(model)
+    result = RepositoryReplicationPolicy(kernel=args.kernel).run(model)
     trace = generate_trace(model, params, seed=args.seed + 1)
     sims = {
         "proposed": simulate_allocation(result.allocation, trace, seed=2),
@@ -174,8 +187,8 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
 
     params = _SCALES[args.scale]()
     model = generate_workload(params, seed=args.seed)
-    result = RepositoryReplicationPolicy().run(model)
-    cost = RepositoryReplicationPolicy().cost_model(model)
+    result = RepositoryReplicationPolicy(kernel=args.kernel).run(model)
+    cost = RepositoryReplicationPolicy(kernel=args.kernel).cost_model(model)
     report = describe_allocation(result.allocation, cost)
     return f"{result.summary()}\n\n{report.render()}"
 
@@ -208,7 +221,13 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.kernel not in ("batched", "scalar"):
+        # argparse only validates explicit values, not the env default
+        parser.error(
+            f"REPRO_KERNEL must be 'batched' or 'scalar', got {args.kernel!r}"
+        )
     print(_COMMANDS[args.command](args))
     return 0
 

@@ -25,6 +25,10 @@ from repro.core.constraints import (
 from repro.core.cost_model import CostModel, PageTimes
 from repro.core.matrices import MatrixSet
 from repro.core.offload import OffloadConfig, OffloadOutcome, offload_repository
+from repro.core.fast_partition import (
+    partition_all_batched,
+    partition_pages_batched,
+)
 from repro.core.partition import partition_page, partition_all
 from repro.core.policy import PolicyResult, RepositoryReplicationPolicy
 from repro.core.restoration import (
@@ -58,7 +62,9 @@ __all__ = [
     "local_processing_load",
     "offload_repository",
     "partition_all",
+    "partition_all_batched",
     "partition_page",
+    "partition_pages_batched",
     "repository_load",
     "restore_processing_capacity",
     "restore_storage_capacity",

@@ -26,7 +26,7 @@ the greedy loops can find fully-unmarked (deallocatable) objects in O(1).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -182,19 +182,56 @@ class Allocation:
     # bookkeeping
     # ------------------------------------------------------------------
     def _rebuild_mark_counts(self) -> None:
-        """Recompute the per-server ``{object: #marking entries}`` maps."""
+        """Recompute the per-server ``{object: #marking entries}`` maps.
+
+        Vectorized: marked entries are reduced to unique
+        ``(server, object)`` pairs with their multiplicities in NumPy, so
+        Python-level work is one dict write per *replica*, not per mark.
+        """
         m = self.model
         self._mark_counts: list[dict[int, int]] = [dict() for _ in range(m.n_servers)]
-        srv_c = m.page_server[m.comp_pages]
-        for e in np.flatnonzero(self.comp_local):
-            d = self._mark_counts[int(srv_c[e])]
-            k = int(m.comp_objects[e])
-            d[k] = d.get(k, 0) + 1
-        srv_o = m.page_server[m.opt_pages]
-        for e in np.flatnonzero(self.opt_local):
-            d = self._mark_counts[int(srv_o[e])]
-            k = int(m.opt_objects[e])
-            d[k] = d.get(k, 0) + 1
+        comp_e = np.flatnonzero(self.comp_local)
+        opt_e = np.flatnonzero(self.opt_local)
+        srv = np.concatenate(
+            [
+                m.page_server[m.comp_pages[comp_e]],
+                m.page_server[m.opt_pages[opt_e]],
+            ]
+        )
+        obj = np.concatenate([m.comp_objects[comp_e], m.opt_objects[opt_e]])
+        for i, objs, counts in self._pair_groups(srv, obj):
+            self._mark_counts[i] = dict(zip(objs, counts))
+
+    def _pair_groups(
+        self, srv: np.ndarray, obj: np.ndarray
+    ) -> Iterator[tuple[int, list[int], list[int]]]:
+        """Group ``(server, object)`` pairs: yield per-server unique
+        object ids with their multiplicities, as plain lists (dict/set
+        construction from lists runs at C speed)."""
+        if len(srv) == 0:
+            return
+        pairs = srv * self.model.n_objects + obj
+        # sort-based unique-with-counts (NumPy's hash-based np.unique is
+        # several times slower on these integer keys)
+        pairs.sort(kind="stable")
+        edge = np.empty(len(pairs), dtype=bool)
+        edge[0] = True
+        np.not_equal(pairs[1:], pairs[:-1], out=edge[1:])
+        firsts = np.flatnonzero(edge)
+        uniq = pairs[firsts]
+        counts = np.diff(np.append(firsts, len(pairs)))
+        usrv = uniq // self.model.n_objects
+        uobj = uniq % self.model.n_objects
+        # uniq is sorted, so each server's pairs are contiguous
+        bounds = np.flatnonzero(np.diff(usrv)) + 1
+        for lo, hi in zip(
+            np.concatenate(([0], bounds)), np.concatenate((bounds, [len(uniq)]))
+        ):
+            yield (
+                int(usrv[lo]),
+                uobj[lo:hi].tolist(),
+                counts[lo:hi].tolist(),
+            )
 
     def _required_replicas(self) -> list[set[int]]:
         return [set(d.keys()) for d in self._mark_counts]
@@ -227,6 +264,67 @@ class Allocation:
         k = int(m.opt_objects[entry])
         self.opt_local[entry] = value
         self._bump(i, k, +1 if value else -1)
+
+    def set_comp_local_bulk(self, entries: np.ndarray, value: bool) -> None:
+        """Set ``X`` for many flat compulsory entries in one batch.
+
+        Equivalent to ``for e in entries: set_comp_local(e, value)`` but
+        with the replica/mark-count bookkeeping grouped per unique
+        ``(server, object)`` pair instead of per entry.  Duplicate
+        entries are collapsed (setting is idempotent).
+        """
+        m = self.model
+        changed = self._changed_entries(entries, self.comp_local, value)
+        if len(changed) == 0:
+            return
+        self.comp_local[changed] = value
+        self._bump_bulk(
+            m.page_server[m.comp_pages[changed]],
+            m.comp_objects[changed],
+            +1 if value else -1,
+        )
+
+    def set_opt_local_bulk(self, entries: np.ndarray, value: bool) -> None:
+        """Batched :meth:`set_opt_local` (see :meth:`set_comp_local_bulk`)."""
+        m = self.model
+        changed = self._changed_entries(entries, self.opt_local, value)
+        if len(changed) == 0:
+            return
+        self.opt_local[changed] = value
+        self._bump_bulk(
+            m.page_server[m.opt_pages[changed]],
+            m.opt_objects[changed],
+            +1 if value else -1,
+        )
+
+    @staticmethod
+    def _changed_entries(
+        entries: np.ndarray, marks: np.ndarray, value: bool
+    ) -> np.ndarray:
+        """Deduplicated subset of ``entries`` whose mark actually flips."""
+        entries = np.asarray(entries, dtype=np.intp)
+        changed = entries[marks[entries] != bool(value)]
+        if len(changed) > 1 and not (changed[1:] > changed[:-1]).all():
+            changed = np.unique(changed)
+        return changed
+
+    def _bump_bulk(self, srv: np.ndarray, obj: np.ndarray, delta: int) -> None:
+        for i, objs, counts in self._pair_groups(srv, obj):
+            d = self._mark_counts[i]
+            if delta > 0 and not d:
+                self._mark_counts[i] = dict(zip(objs, counts))
+                self.replicas[i].update(objs)
+                continue
+            for k, c in zip(objs, counts):
+                new = d.get(k, 0) + delta * c
+                if new < 0:  # pragma: no cover - defensive
+                    raise RuntimeError("mark count underflow")
+                if new == 0:
+                    d.pop(k, None)
+                else:
+                    d[k] = new
+            if delta > 0:
+                self.replicas[i].update(objs)
 
     def _bump(self, server_id: int, object_id: int, delta: int) -> None:
         d = self._mark_counts[server_id]

@@ -1,0 +1,256 @@
+"""Batched PARTITION kernel (Section 4.2, all pages at once).
+
+:func:`partition_page` runs the paper's greedy stream balancing one page
+at a time; on Table 1-scale workloads the experiment sweeps spend most of
+their wall-clock inside that Python loop.  This module re-implements the
+greedy as a **pad-and-mask batch kernel** over the flat CSR layout that
+:class:`~repro.core.types.SystemModel` already maintains
+(``comp_sorted`` / ``comp_indptr``): pages are sorted by descending
+compulsory count, padded to a conceptual ``(n_pages, max_k)`` tile, and
+each greedy step ``t`` becomes one vectorized compare-and-select over
+every page whose ``t``-th object exists.  Because the pages are rank
+sorted, the active set at step ``t`` is a prefix — the kernel never
+touches exhausted pages, so total work is ``O(sum_j k_j)`` element ops in
+``max_k`` NumPy dispatches instead of ``sum_j k_j`` Python iterations.
+
+Bit-exactness contract
+----------------------
+The kernel performs *the same IEEE-754 double operations in the same
+order* as the scalar greedy for every page:
+
+* ``local = Ovhd(S_i) + Size(H_j)/B(S_i)`` seed, ``remote = Ovhd(R, S_i)``,
+* per object ``cand_remote = remote + size/B(R,S_i)`` and
+  ``cand_local = local + size/B(S_i)``,
+* the tie rule ``cand_remote < cand_local`` — **equal candidates go
+  local** (only a strictly shorter repository stream wins an object).
+
+Hence marks and stream times are **bit-identical** to
+:func:`~repro.core.partition.partition_page`, which the differential
+property suite (``tests/properties/test_property_fast_partition.py``)
+asserts with exact ``==`` comparisons.  The scalar implementation stays
+in the tree as the reference oracle.
+
+Entry points
+------------
+* :func:`partition_pages_batched` — marks + stream times for a set of
+  pages (the restoration re-partition path batches the pages affected by
+  an eviction).
+* :func:`partition_all_batched` — full :class:`Allocation` assembly via
+  the bulk mark APIs (:meth:`Allocation.set_comp_local_bulk`).
+* :func:`comp_allowed_mask` / :func:`optional_marks_batched` — vectorised
+  ``allowed`` whitelists and optional-object marking.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = [
+    "partition_pages_batched",
+    "partition_all_batched",
+    "comp_allowed_mask",
+    "optional_marks_batched",
+]
+
+
+def comp_allowed_mask(
+    model: SystemModel,
+    allowed_per_server: dict[int, Collection[int]] | None,
+) -> np.ndarray | None:
+    """Per-compulsory-entry ``allowed`` mask from per-server whitelists.
+
+    ``None`` whitelists mean "unrestricted"; a missing server key means
+    "nothing allowed" for that server's pages (matching
+    :func:`~repro.core.partition.partition_all`'s ``.get(server, ())``).
+    """
+    if allowed_per_server is None:
+        return None
+    ne = len(model.comp_objects)
+    mask = np.zeros(ne, dtype=bool)
+    entry_server = model.page_server[model.comp_pages]
+    for i in range(model.n_servers):
+        allowed = allowed_per_server.get(i, ())
+        if not allowed:
+            continue
+        rows = entry_server == i
+        allowed_arr = np.fromiter(allowed, dtype=np.intp, count=len(allowed))
+        mask[rows] = np.isin(model.comp_objects[rows], allowed_arr)
+    return mask
+
+
+def _entry_tile_column(
+    model: SystemModel,
+    pages: np.ndarray,
+    counts: np.ndarray,
+    t: int,
+    order: str,
+) -> np.ndarray:
+    """Flat entry index of each page's ``t``-th object in ``order``.
+
+    Only called with pages whose count exceeds ``t`` (the rank-sorted
+    active prefix), so no padding is needed.
+    """
+    starts = model.comp_indptr[pages]
+    if order == "decreasing":
+        return model.comp_sorted[starts + t]
+    if order == "increasing":
+        return model.comp_sorted[starts + counts - 1 - t]
+    if order == "document":
+        return starts + t
+    raise ValueError(f"unknown sort order {order!r}")
+
+
+def partition_pages_batched(
+    model: SystemModel,
+    page_ids: np.ndarray | Collection[int] | None = None,
+    allowed_mask: np.ndarray | None = None,
+    order: str = "decreasing",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run PARTITION for many pages in one vectorized pass.
+
+    Parameters
+    ----------
+    model:
+        The system universe.
+    page_ids:
+        Pages to partition (default: all pages).
+    allowed_mask:
+        Optional boolean array over the model's **flat compulsory
+        entries**: ``False`` entries are forced onto the repository
+        stream (build it with :func:`comp_allowed_mask`, or slice-assign
+        for a single server's replica set).  ``None`` = unrestricted.
+    order:
+        Same iteration orders as :func:`~repro.core.partition.partition_page`.
+
+    Returns
+    -------
+    (marks, local_times, remote_times):
+        ``marks`` is a flat boolean array over **all** of the model's
+        compulsory entries (entries of unselected pages stay ``False``);
+        the time arrays are aligned with ``page_ids``.
+    """
+    if page_ids is None:
+        pages = np.arange(model.n_pages, dtype=np.intp)
+    else:
+        pages = np.asarray(page_ids, dtype=np.intp)
+        if pages.ndim != 1:
+            raise ValueError("page_ids must be one-dimensional")
+    if order not in ("decreasing", "increasing", "document"):
+        raise ValueError(f"unknown sort order {order!r}")
+
+    ne = len(model.comp_objects)
+    marks = np.zeros(ne, dtype=bool)
+
+    srv = model.page_server[pages]
+    spb_local = 1.0 / model.server_rate[srv]
+    spb_repo = 1.0 / model.server_repo_rate[srv]
+    local = model.server_overhead[srv] + spb_local * model.html_sizes[pages]
+    remote = model.server_repo_overhead[srv].copy()
+
+    counts = model.comp_indptr[pages + 1] - model.comp_indptr[pages]
+    if len(pages) == 0 or counts.max(initial=0) == 0:
+        return marks, local, remote
+
+    # Rank pages by descending compulsory count so the pages still
+    # holding a t-th object always form a prefix of the batch; undo the
+    # permutation on return.
+    rank = np.argsort(-counts, kind="stable")
+    pages_r = pages[rank]
+    counts_r = counts[rank]
+    local_r = local[rank]
+    remote_r = remote[rank]
+    spb_local_r = spb_local[rank]
+    spb_repo_r = spb_repo[rank]
+
+    entry_sizes = model.comp_entry_sizes
+    max_k = int(counts_r[0])
+    # Number of active pages at each step: counts_r is descending, so
+    # pages with counts_r > t occupy [0, active_at[t]).
+    active_at = np.searchsorted(-counts_r, -np.arange(max_k), side="left")
+
+    for t in range(max_k):
+        a = int(active_at[t])
+        e_t = _entry_tile_column(model, pages_r[:a], counts_r[:a], t, order)
+        size = entry_sizes[e_t]
+        cand_remote = remote_r[:a] + spb_repo_r[:a] * size
+        cand_local = local_r[:a] + spb_local_r[:a] * size
+        # Paper tie rule: the repository wins an object only when its
+        # stream ends up STRICTLY shorter; equal candidates go local.
+        go_local = ~(cand_remote < cand_local)
+        if allowed_mask is not None:
+            go_local &= allowed_mask[e_t]
+        remote_r[:a] = np.where(go_local, remote_r[:a], cand_remote)
+        local_r[:a] = np.where(go_local, cand_local, local_r[:a])
+        marks[e_t[go_local]] = True
+
+    inv = np.empty_like(rank)
+    inv[rank] = np.arange(len(rank))
+    return marks, local_r[inv], remote_r[inv]
+
+
+def optional_marks_batched(
+    model: SystemModel,
+    policy: str = "all",
+    allowed_per_server: dict[int, Collection[int]] | None = None,
+) -> np.ndarray:
+    """Flat optional-entry marks for every page under ``policy``.
+
+    Vectorized equivalent of the scalar ``_optional_marks`` loop: the
+    ``"beneficial"`` predicate ``Ovhd(S_i) + size/B(S_i) <= Ovhd(R, S_i)
+    + size/B(R, S_i)`` is evaluated with the identical arithmetic.
+    """
+    ne = len(model.opt_objects)
+    if ne == 0 or policy == "none":
+        return np.zeros(ne, dtype=bool)
+    srv = model.page_server[model.opt_pages]
+    if policy == "all":
+        marks = np.ones(ne, dtype=bool)
+    elif policy == "beneficial":
+        size = model.sizes[model.opt_objects]
+        t_local = model.server_overhead[srv] + (1.0 / model.server_rate[srv]) * size
+        t_repo = (
+            model.server_repo_overhead[srv]
+            + (1.0 / model.server_repo_rate[srv]) * size
+        )
+        marks = t_local <= t_repo
+    else:
+        raise ValueError(f"unknown optional policy {policy!r}")
+    if allowed_per_server is not None:
+        allowed = np.zeros(ne, dtype=bool)
+        for i in range(model.n_servers):
+            wl = allowed_per_server.get(i, ())
+            if not wl:
+                continue
+            rows = srv == i
+            wl_arr = np.fromiter(wl, dtype=np.intp, count=len(wl))
+            allowed[rows] = np.isin(model.opt_objects[rows], wl_arr)
+        marks &= allowed
+    return marks
+
+
+def partition_all_batched(
+    model: SystemModel,
+    optional_policy: str = "all",
+    allowed_per_server: dict[int, Collection[int]] | None = None,
+    order: str = "decreasing",
+) -> Allocation:
+    """Batched :func:`~repro.core.partition.partition_all`.
+
+    Produces an :class:`Allocation` equal (marks, replicas and all) to
+    the scalar assembly, but computes every page's greedy in the batch
+    kernel and installs the marks through the bulk APIs.
+    """
+    mask = comp_allowed_mask(model, allowed_per_server)
+    comp_marks, _, _ = partition_pages_batched(
+        model, page_ids=None, allowed_mask=mask, order=order
+    )
+    opt_marks = optional_marks_batched(model, optional_policy, allowed_per_server)
+    alloc = Allocation(model)
+    alloc.set_comp_local_bulk(np.flatnonzero(comp_marks), True)
+    alloc.set_opt_local_bulk(np.flatnonzero(opt_marks), True)
+    return alloc

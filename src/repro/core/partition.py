@@ -35,10 +35,17 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.types import SystemModel
 
-__all__ = ["partition_page", "partition_all", "OptionalPolicy", "SortOrder"]
+__all__ = [
+    "partition_page",
+    "partition_all",
+    "OptionalPolicy",
+    "SortOrder",
+    "Kernel",
+]
 
 OptionalPolicy = Literal["all", "beneficial", "none"]
 SortOrder = Literal["decreasing", "increasing", "document"]
+Kernel = Literal["batched", "scalar"]
 
 
 def partition_page(
@@ -158,6 +165,7 @@ def partition_all(
     optional_policy: OptionalPolicy = "all",
     allowed_per_server: dict[int, Collection[int]] | None = None,
     order: SortOrder = "decreasing",
+    kernel: Kernel = "batched",
 ) -> Allocation:
     """Run PARTITION over every page and assemble an :class:`Allocation`.
 
@@ -175,7 +183,26 @@ def partition_all(
     allowed_per_server:
         Optional per-server whitelists restricting which objects may be
         replicated (used by constrained re-partitioning).
+    order:
+        Greedy iteration order (see :func:`partition_page`).
+    kernel:
+        ``"batched"`` (default) runs the vectorized pad-and-mask kernel
+        of :mod:`repro.core.fast_partition`; ``"scalar"`` runs the
+        reference per-page greedy.  Both produce **bit-identical**
+        allocations — the scalar path is kept as the differential-testing
+        oracle (see ``tests/properties/test_property_fast_partition.py``).
     """
+    if kernel == "batched":
+        from repro.core.fast_partition import partition_all_batched
+
+        return partition_all_batched(
+            model,
+            optional_policy=optional_policy,
+            allowed_per_server=allowed_per_server,
+            order=order,
+        )
+    if kernel != "scalar":
+        raise ValueError(f"unknown kernel {kernel!r}")
     alloc = Allocation(model)
     for j in range(model.n_pages):
         page = model.pages[j]

@@ -22,7 +22,7 @@ from repro.core.allocation import Allocation
 from repro.core.constraints import ConstraintReport, evaluate_constraints
 from repro.core.cost_model import CostModel
 from repro.core.offload import OffloadConfig, OffloadOutcome, offload_repository
-from repro.core.partition import OptionalPolicy, partition_all
+from repro.core.partition import Kernel, OptionalPolicy, partition_all
 from repro.core.restoration import (
     ProcessingRestorationStats,
     StorageRestorationStats,
@@ -95,6 +95,10 @@ class RepositoryReplicationPolicy:
         :mod:`repro.core.partition`.
     offload_config:
         Tunables for the Eq. 9 negotiation.
+    kernel:
+        PARTITION kernel: ``"batched"`` (default, vectorized) or
+        ``"scalar"`` (the reference oracle).  Bit-identical results; see
+        :mod:`repro.core.fast_partition`.
 
     Examples
     --------
@@ -113,11 +117,13 @@ class RepositoryReplicationPolicy:
         alpha2: float = 1.0,
         optional_policy: OptionalPolicy = "all",
         offload_config: OffloadConfig | None = None,
+        kernel: Kernel = "batched",
     ):
         self.alpha1 = alpha1
         self.alpha2 = alpha2
         self.optional_policy: OptionalPolicy = optional_policy
         self.offload_config = offload_config or OffloadConfig()
+        self.kernel: Kernel = kernel
 
     def cost_model(self, model: SystemModel) -> CostModel:
         """The cost model this policy optimises against."""
@@ -126,14 +132,16 @@ class RepositoryReplicationPolicy:
     def run(self, model: SystemModel) -> PolicyResult:
         """Execute the full pipeline on ``model``."""
         cost = self.cost_model(model)
-        alloc = partition_all(model, optional_policy=self.optional_policy)
+        alloc = partition_all(
+            model, optional_policy=self.optional_policy, kernel=self.kernel
+        )
         unconstrained_d = cost.D(alloc)
         phases: list[str] = ["partition"]
 
         report = evaluate_constraints(alloc)
         storage_stats = StorageRestorationStats()
         if not report.storage_ok:
-            storage_stats = restore_storage_capacity(alloc, cost)
+            storage_stats = restore_storage_capacity(alloc, cost, kernel=self.kernel)
             phases.append("storage-restoration")
             report = evaluate_constraints(alloc)
 

@@ -39,7 +39,8 @@ import numpy as np
 from repro.core.allocation import Allocation, ReverseIndex
 from repro.core.constraints import local_processing_load
 from repro.core.cost_model import CostModel
-from repro.core.partition import partition_page
+from repro.core.fast_partition import partition_pages_batched
+from repro.core.partition import Kernel, partition_page
 
 __all__ = [
     "restore_storage_capacity",
@@ -50,6 +51,11 @@ __all__ = [
 ]
 
 _TOL = 1e-9
+
+#: Minimum flip-set size for the batched re-partition kernel; below this
+#: the scalar greedy wins on fixed dispatch overhead (results are
+#: bit-identical either way).
+_BATCH_MIN_PAGES = 8
 
 
 class InfeasibleError(RuntimeError):
@@ -214,6 +220,7 @@ def _restore_storage_one_server(
     state: _PageState,
     server_id: int,
     amortise: bool = True,
+    kernel: Kernel = "batched",
 ) -> StorageRestorationStats:
     m = alloc.model
     stats = StorageRestorationStats()
@@ -243,9 +250,42 @@ def _restore_storage_one_server(
     for k in alloc.replicas[server_id]:
         heap.push(score(k), k)
 
-    def repartition(j: int) -> None:
-        """Re-run PARTITION for page ``j`` restricted to stored objects."""
-        marks, _, _ = partition_page(m, j, allowed=alloc.replicas[server_id])
+    # The batched kernel takes ``allowed`` as a flat per-entry mask;
+    # maintain it incrementally (replicas only shrink during restoration,
+    # so clearing the victim's entries after each eviction keeps it
+    # exact).
+    allowed_mask: np.ndarray | None = None
+    if kernel == "batched":
+        allowed_mask = np.zeros(len(m.comp_objects), dtype=bool)
+        rows = np.flatnonzero(m.page_server[m.comp_pages] == server_id)
+        stored = alloc.replicas[server_id]
+        replica_arr = np.fromiter(stored, dtype=np.intp, count=len(stored))
+        allowed_mask[rows] = np.isin(m.comp_objects[rows], replica_arr)
+
+    def repartition_flipped(pages: list[int]) -> None:
+        """Re-run PARTITION for the pages an eviction touched, restricted
+        to the server's remaining replica set.
+
+        Both branches produce bit-identical marks (differential property
+        suite); the batch kernel only pays off once the flip set is large
+        enough to amortize its fixed NumPy dispatch cost, so small sets
+        take the scalar greedy even under ``kernel="batched"``.
+        """
+        if kernel == "batched" and len(pages) >= _BATCH_MIN_PAGES:
+            batch_marks, _, _ = partition_pages_batched(
+                m, page_ids=pages, allowed_mask=allowed_mask
+            )
+            for j in pages:
+                apply_repartition(j, batch_marks[m.comp_slice(j)])
+        else:
+            for j in pages:
+                marks, _, _ = partition_page(
+                    m, j, allowed=alloc.replicas[server_id]
+                )
+                apply_repartition(j, marks)
+
+    def apply_repartition(j: int, marks: np.ndarray) -> None:
+        """Install page ``j``'s re-partitioned marks, refreshing state."""
         sl = m.comp_slice(j)
         stale: set[int] = set()
         changed = False
@@ -300,6 +340,8 @@ def _restore_storage_one_server(
             if alloc.opt_local[e]:
                 alloc.set_opt_local(e, False)
         alloc.replicas[server_id].discard(k)
+        if allowed_mask is not None and comp_e:
+            allowed_mask[list(comp_e)] = False
         used -= size
         stats.evictions += 1
         stats.bytes_freed += size
@@ -307,8 +349,8 @@ def _restore_storage_one_server(
         stats.evicted_objects.append((server_id, k))
         # Paper: after each deallocation, try to reduce the retrieval time
         # of the affected pages using objects that are stored but unmarked.
-        for j in flipped_pages:
-            repartition(j)
+        if flipped_pages:
+            repartition_flipped(flipped_pages)
     return stats
 
 
@@ -317,6 +359,7 @@ def restore_storage_capacity(
     cost: CostModel,
     server_id: int | None = None,
     amortise: bool = True,
+    kernel: Kernel = "batched",
 ) -> StorageRestorationStats:
     """Restore Eq. 10 in place; return accounting statistics.
 
@@ -332,12 +375,19 @@ def restore_storage_capacity(
         Divide each candidate's objective damage by its size (the paper's
         criterion, "more judicious over large ... objects").  ``False``
         ranks by raw damage — the ablation baseline.
+    kernel:
+        PARTITION kernel used by the post-eviction re-partitioning:
+        ``"batched"`` (default) re-partitions every affected page in one
+        vectorized pass, ``"scalar"`` keeps the per-page reference greedy.
+        Results are bit-identical either way.
 
     Raises
     ------
     InfeasibleError
         If a server's HTML alone exceeds its storage capacity.
     """
+    if kernel not in ("batched", "scalar"):
+        raise ValueError(f"unknown kernel {kernel!r}")
     state = _PageState(cost, alloc)
     stats = StorageRestorationStats()
     servers = (
@@ -345,7 +395,9 @@ def restore_storage_capacity(
     )
     for i in servers:
         stats.merge(
-            _restore_storage_one_server(alloc, cost, state, i, amortise=amortise)
+            _restore_storage_one_server(
+                alloc, cost, state, i, amortise=amortise, kernel=kernel
+            )
         )
     return stats
 

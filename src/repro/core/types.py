@@ -237,6 +237,8 @@ class SystemModel:
     * :attr:`comp_pages` / :attr:`comp_objects` — COO-style flattening of
       the compulsory matrix ``U`` (one entry per ``U_jk = 1``),
     * :attr:`comp_indptr` — CSR row pointers into the two arrays above,
+    * :attr:`comp_entry_sizes` — per-compulsory-entry object sizes
+      (``sizes[comp_objects]``, the batch kernel's gather source),
     * the analogous ``opt_*`` arrays for the optional matrix ``U'`` with
       :attr:`opt_probs` holding the per-entry probabilities.
 
@@ -371,10 +373,10 @@ class SystemModel:
         # (PARTITION's iteration order), as a global permutation: page j's
         # sorted entries are comp_sorted[comp_indptr[j]:comp_indptr[j+1]].
         ne = len(self.comp_objects)
+        self.comp_entry_sizes = self.sizes[self.comp_objects]
         if ne:
-            entry_sizes = self.sizes[self.comp_objects]
             self.comp_sorted = np.lexsort(
-                (np.arange(ne), -entry_sizes, self.comp_pages)
+                (np.arange(ne), -self.comp_entry_sizes, self.comp_pages)
             )
         else:
             self.comp_sorted = np.empty(0, dtype=np.intp)

@@ -129,7 +129,7 @@ def run_headline_claims(
         caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 0.65)
         clone = clone_with_capacities(ctx.model, storage=caps)
         result = RepositoryReplicationPolicy(
-            alpha1=params.alpha1, alpha2=params.alpha2
+            alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
         ).run(clone)
         sim = ctx.simulate(result.allocation, ctx.retrace(clone))
         ours65_vals.append(ctx.relative_increase(sim))

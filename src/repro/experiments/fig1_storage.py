@@ -76,7 +76,7 @@ def run_fig1(
             )
             clone = clone_with_capacities(ctx.model, storage=caps)
             result = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2
+                alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
             ).run(clone)
             trace_c = ctx.retrace(clone)
             sim = ctx.simulate(result.allocation, trace_c)

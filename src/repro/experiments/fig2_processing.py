@@ -75,7 +75,7 @@ def run_fig2(
                 ctx.model, storage=storage_caps, processing=proc_caps
             )
             result = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2
+                alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
             ).run(clone)
             sim = ctx.simulate(result.allocation, ctx.retrace(clone))
             row.append(ctx.relative_increase(sim))

@@ -70,7 +70,7 @@ def run_fig3(
             )
             # phases 1-3 (repository unconstrained here)
             policy = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2
+                alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
             )
             pre = policy.run(clone)
             trace_c = ctx.retrace(clone)

@@ -17,7 +17,8 @@ Environment overrides honoured by the benchmark suite:
 
 * ``REPRO_BENCH_RUNS``  — number of runs per experiment,
 * ``REPRO_BENCH_SCALE`` — ``paper`` | ``small`` | ``tiny`` workload size,
-* ``REPRO_BENCH_REQUESTS`` — trace length per server.
+* ``REPRO_BENCH_REQUESTS`` — trace length per server,
+* ``REPRO_KERNEL`` — ``batched`` | ``scalar`` PARTITION kernel.
 """
 
 from __future__ import annotations
@@ -56,6 +57,9 @@ class ExperimentConfig:
     """Root seed; run ``r`` derives workload/trace/simulation streams."""
     perturbation: PerturbationModel = PAPER_PERTURBATION
     """Actual-vs-estimated deviation model."""
+    kernel: str = "batched"
+    """PARTITION kernel (``"batched"`` | ``"scalar"``); both are
+    bit-identical, the scalar path is the differential-testing oracle."""
 
     @classmethod
     def quick(cls, n_runs: int = 3) -> "ExperimentConfig":
@@ -88,7 +92,12 @@ class ExperimentConfig:
         if requests:
             params = params.with_(requests_per_server=int(requests))
         n_runs = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
-        return cls(params=params, n_runs=n_runs)
+        kernel = os.environ.get("REPRO_KERNEL", "batched").lower()
+        if kernel not in ("batched", "scalar"):
+            raise ValueError(
+                f"REPRO_KERNEL must be 'batched' or 'scalar', got {kernel!r}"
+            )
+        return cls(params=params, n_runs=n_runs, kernel=kernel)
 
 
 @dataclass
@@ -168,7 +177,7 @@ def iter_runs(
         model = generate_workload(params, seed=model_seed)
         trace = generate_trace(model, params, seed=trace_seed)
         policy = RepositoryReplicationPolicy(
-            alpha1=params.alpha1, alpha2=params.alpha2
+            alpha1=params.alpha1, alpha2=params.alpha2, kernel=config.kernel
         )
         result = policy.run(model)
         cost = policy.cost_model(model)

@@ -181,3 +181,75 @@ class TestReverseIndex:
         assert ReverseIndex.for_model(micro_model) is ReverseIndex.for_model(
             micro_model
         )
+
+
+class TestBulkMutation:
+    """set_comp_local_bulk / set_opt_local_bulk must be indistinguishable
+    from the equivalent sequence of scalar setters."""
+
+    def test_bulk_equals_scalar_loop(self, micro_model):
+        bulk = Allocation(micro_model)
+        loop = Allocation(micro_model)
+        entries = [0, 2, 3, 5]
+        bulk.set_comp_local_bulk(np.array(entries), True)
+        for e in entries:
+            loop.set_comp_local(e, True)
+        assert bulk == loop
+        assert bulk._mark_counts == loop._mark_counts
+        bulk.check_invariants()
+
+    def test_bulk_unset_updates_counts_not_replicas(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.arange(len(a.comp_local)), True)
+        a.set_comp_local_bulk(np.array([0, 1]), False)
+        # replicas keep the stored-but-unmarked objects (marks ⊆ stored)
+        assert a.mark_count(0, 0) == 0
+        assert 0 in a.replicas[0]
+        a.check_invariants()
+
+    def test_bulk_opt(self, micro_model):
+        bulk = Allocation(micro_model)
+        loop = Allocation(micro_model)
+        bulk.set_opt_local_bulk(np.array([0, 1]), True)
+        for e in (0, 1):
+            loop.set_opt_local(e, True)
+        assert bulk == loop
+        assert bulk._mark_counts == loop._mark_counts
+
+    def test_bulk_tolerates_duplicates_and_noops(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(0, True)
+        # entry 0 is already set (no-op), entry 2 appears twice
+        a.set_comp_local_bulk(np.array([0, 2, 2]), True)
+        b = Allocation(micro_model)
+        for e in (0, 2):
+            b.set_comp_local(e, True)
+        assert a == b
+        assert a._mark_counts == b._mark_counts
+        a.check_invariants()
+
+    def test_bulk_unsorted_entries(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.array([5, 0, 3]), True)
+        b = Allocation(micro_model)
+        for e in (0, 3, 5):
+            b.set_comp_local(e, True)
+        assert a == b
+        assert a._mark_counts == b._mark_counts
+
+    def test_bulk_empty(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.array([], dtype=np.intp), True)
+        a.set_opt_local_bulk(np.array([], dtype=np.intp), False)
+        assert not a.comp_local.any()
+
+    def test_bulk_shared_object_count_across_pages(self, micro_model):
+        # object 3 is compulsory for pages 2 and 3, both hosted on
+        # server 1 (flat entries 4 and 7) — the per-server count must
+        # aggregate across pages.
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.array([4, 7]), True)
+        assert a.mark_count(1, 3) == 2
+        a.set_comp_local_bulk(np.array([4]), False)
+        assert a.mark_count(1, 3) == 1
+        assert 3 in a.replicas[1]

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # full-figure / subprocess suites; excluded by -m "not slow"
+
 from repro.experiments.report import ReproductionReport, reproduce_all
 from repro.experiments.runner import ExperimentConfig
 from repro.workload.params import WorkloadParams

@@ -9,6 +9,8 @@ suite).
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # full-figure / subprocess suites; excluded by -m "not slow"
+
 from repro.experiments import (
     ExperimentConfig,
     run_fig1,

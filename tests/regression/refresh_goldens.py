@@ -1,0 +1,105 @@
+"""Compute (and optionally refresh) the golden regression snapshots.
+
+The goldens pin the *numerical results* of the replication pipeline on
+seeded workloads so performance PRs cannot silently change allocations:
+
+* ``table1_unconstrained`` — pure PARTITION on the seeded Table 1
+  workload (all capacities relaxed): objective values ``D``/``D1``/``D2``
+  and the per-server replica-set sizes.
+* ``small_constrained_frac50`` — the full policy on the seeded ``small``
+  workload with per-server storage clamped to 50% of the unconstrained
+  need, exercising storage restoration and the re-partition path.
+
+Refreshing (ONLY after an intentional algorithmic change, never to make
+a perf PR pass):
+
+    PYTHONPATH=src python -m tests.regression.refresh_goldens
+
+then commit the updated ``goldens.json`` together with an explanation of
+why the numbers legitimately moved.  ``test_golden_table1.py`` recomputes
+the same quantities under **both** kernels and compares against the
+snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "goldens.json"
+
+#: Workload seed shared by snapshot and test.
+SEED = 123
+
+
+def _relaxed(params: WorkloadParams) -> WorkloadParams:
+    return params.with_(
+        storage_capacity=float("inf"),
+        processing_capacity=float("inf"),
+        repository_capacity=float("inf"),
+    )
+
+
+def compute_table1_unconstrained(kernel: str = "batched") -> dict:
+    """Pure PARTITION on the relaxed Table 1 workload."""
+    model = generate_workload(_relaxed(WorkloadParams.paper()), seed=SEED)
+    policy = RepositoryReplicationPolicy(kernel=kernel)
+    cost = policy.cost_model(model)
+    alloc = partition_all(model, kernel=kernel)
+    return {
+        "D": cost.D(alloc),
+        "D1": cost.D1(alloc),
+        "D2": cost.D2(alloc),
+        "replica_sizes": [len(r) for r in alloc.replicas],
+        "comp_local": int(alloc.comp_local.sum()),
+        "opt_local": int(alloc.opt_local.sum()),
+    }
+
+
+def compute_small_constrained(kernel: str = "batched") -> dict:
+    """Full policy on the small workload at 50% storage."""
+    model = generate_workload(_relaxed(WorkloadParams.small()), seed=SEED)
+    reference = partition_all(model, kernel=kernel)
+    caps = storage_capacities_for_fraction(model, reference, 0.5)
+    clone = clone_with_capacities(model, storage=caps)
+    result = RepositoryReplicationPolicy(kernel=kernel).run(clone)
+    cost = RepositoryReplicationPolicy(kernel=kernel).cost_model(clone)
+    alloc = result.allocation
+    return {
+        "D": cost.D(alloc),
+        "D1": cost.D1(alloc),
+        "D2": cost.D2(alloc),
+        "replica_sizes": [len(r) for r in alloc.replicas],
+        "comp_local": int(alloc.comp_local.sum()),
+        "opt_local": int(alloc.opt_local.sum()),
+        "evictions": result.storage_stats.evictions,
+        "repartitioned_pages": result.storage_stats.repartitioned_pages,
+    }
+
+
+def compute_goldens(kernel: str = "batched") -> dict:
+    return {
+        "seed": SEED,
+        "table1_unconstrained": compute_table1_unconstrained(kernel),
+        "small_constrained_frac50": compute_small_constrained(kernel),
+    }
+
+
+def main() -> None:
+    goldens = compute_goldens()
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    print(json.dumps(goldens, indent=2))
+
+
+if __name__ == "__main__":
+    main()

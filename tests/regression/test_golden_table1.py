@@ -1,0 +1,56 @@
+"""Golden regression tests: seeded Table 1 results are pinned.
+
+The snapshots in ``goldens.json`` record ``D``, ``D1``, ``D2`` and the
+per-server replica-set sizes for the seeded workloads, computed once and
+committed.  Every run recomputes them under **both** PARTITION kernels:
+a future perf PR that changes any allocation — even one that leaves the
+balanced page max intact — fails here instead of silently shifting the
+paper's figures.
+
+To refresh after an *intentional* algorithmic change, see
+``tests/regression/refresh_goldens.py``.
+"""
+
+import json
+
+import pytest
+
+from tests.regression.refresh_goldens import (
+    GOLDEN_PATH,
+    compute_small_constrained,
+    compute_table1_unconstrained,
+)
+
+KERNELS = ("batched", "scalar")
+
+#: Objective values are deterministic given the seed; the loose relative
+#: tolerance only absorbs float-summation differences across NumPy
+#: versions, not algorithmic drift.
+REL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def assert_matches_golden(observed: dict, golden: dict) -> None:
+    for key, want in golden.items():
+        got = observed[key]
+        if isinstance(want, float):
+            assert got == pytest.approx(want, rel=REL), key
+        else:
+            assert got == want, key
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_table1_unconstrained_golden(goldens, kernel):
+    observed = compute_table1_unconstrained(kernel)
+    assert_matches_golden(observed, goldens["table1_unconstrained"])
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_small_constrained_golden(goldens, kernel):
+    observed = compute_small_constrained(kernel)
+    assert_matches_golden(observed, goldens["small_constrained_frac50"])

@@ -11,6 +11,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow  # full-figure / subprocess suites; excluded by -m "not slow"
+
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 CASES = [
