@@ -8,6 +8,13 @@ The regenerated artifact is
 * written to ``benchmarks/out/<name>.txt`` so results persist without
   capturing flags.
 
+The whole suite runs with the :mod:`repro.obs` observability layer
+enabled: alongside each ``.txt`` artifact a structured **run manifest**
+(``benchmarks/out/<scale>/manifests/<name>.json``) records per-phase
+wall-clock spans, restoration/simulation counters, and provenance
+(seed, scale, kernel, git SHA), so the performance trajectory stays
+diffable across PRs.
+
 Scale knobs (environment):
 
 * ``REPRO_BENCH_SCALE``    — ``paper`` | ``small`` (default) | ``tiny``
@@ -15,7 +22,8 @@ Scale knobs (environment):
 * ``REPRO_BENCH_REQUESTS`` — trace length per server
 
 The defaults finish the whole suite in a few minutes; EXPERIMENTS.md
-records a ``paper``-scale run.
+records a ``paper``-scale run.  Ad-hoc paper-scale console logs belong
+under ``benchmarks/out/`` (gitignored), not in the repository root.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.experiments.runner import ExperimentConfig
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -35,13 +44,24 @@ def bench_config() -> ExperimentConfig:
     return ExperimentConfig.from_env()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_metrics() -> obs.MetricsRegistry:
+    """Session-wide recording registry feeding the run manifests."""
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        yield registry
+
+
 @pytest.fixture(scope="session")
-def save_artifact(bench_config):
-    """Persist + print a regenerated table/figure.
+def save_artifact(bench_config, bench_metrics):
+    """Persist + print a regenerated table/figure, plus its manifest.
 
     Artifacts are namespaced by workload scale (``out/<scale>/…``) so a
     quick small-scale run never clobbers a paper-scale record, and each
-    file carries a provenance header.
+    file carries a provenance header.  The metrics collected since the
+    previous artifact are snapshotted into
+    ``out/<scale>/manifests/<name>.json`` and the registry is cleared, so
+    each manifest accounts for exactly one regenerated artifact.
     """
     import os
 
@@ -56,6 +76,20 @@ def save_artifact(bench_config):
             f"requests/server={bench_config.params.requests_per_server}\n"
         )
         path.write_text(header + text + "\n")
+        manifest = obs.build_manifest(
+            bench_metrics,
+            run={
+                "entry": "benchmarks",
+                "artifact": name,
+                "scale": scale,
+                "runs": bench_config.n_runs,
+                "requests_per_server": bench_config.params.requests_per_server,
+                "kernel": bench_config.kernel,
+                "seed": bench_config.base_seed,
+            },
+        )
+        obs.write_manifest(out / "manifests" / f"{name}.json", manifest)
+        bench_metrics.clear()
         print(f"\n{text}\n[saved to {path}]")
         return path
 

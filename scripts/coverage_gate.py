@@ -42,8 +42,17 @@ def main(argv: list[str]) -> int:
         print(msg + "skipping gate, running plain test suite instead.")
         cmd = [sys.executable, "-m", "pytest", "-q"]
     else:
-        # --cov-fail-under is left to [tool.coverage.report] fail_under
-        cmd = [sys.executable, "-m", "pytest", "-q", "--cov=repro"]
+        # --cov-fail-under is left to [tool.coverage.report] fail_under.
+        # repro.obs is named explicitly so the observability layer stays
+        # in the measured set even if the source tree is ever split.
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--cov=repro",
+            "--cov=repro.obs",
+        ]
     if fast:
         cmd += ["-m", "not slow"]
     env_src = str(REPO_ROOT / "src")

@@ -11,6 +11,12 @@ Commands map one-to-one onto the experiment harnesses:
 All commands print ASCII artifacts to stdout.  ``--scale`` and
 ``--runs`` control workload size and averaging (defaults match the
 benchmark suite's quick settings; ``--scale paper`` is Table 1).
+
+``--metrics-out PATH`` (or the ``REPRO_METRICS`` environment variable)
+enables the :mod:`repro.obs` observability layer for the command and
+writes a JSON run manifest — per-phase wall-clock spans, restoration and
+simulation counters, seed/scale/kernel/git-SHA provenance — to ``PATH``
+(a ``.json`` file, or a directory receiving a timestamped file).
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ import os
 import sys
 from typing import Sequence
 
+from repro import obs
+from repro.core.partition import resolve_kernel
 from repro.experiments.runner import ExperimentConfig
 from repro.workload.params import WorkloadParams
 
@@ -64,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.environ.get("REPRO_KERNEL", "batched").lower(),
         help="PARTITION kernel (default: $REPRO_KERNEL or 'batched'; "
         "both produce bit-identical allocations)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect metrics and write a JSON run manifest to PATH "
+        "(default: $REPRO_METRICS if set, else disabled)",
     )
 
     sub = parser.add_subparsers(dest="command", required=True)
@@ -223,12 +238,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.kernel not in ("batched", "scalar"):
+    try:
         # argparse only validates explicit values, not the env default
-        parser.error(
-            f"REPRO_KERNEL must be 'batched' or 'scalar', got {args.kernel!r}"
-        )
-    print(_COMMANDS[args.command](args))
+        args.kernel = resolve_kernel(args.kernel)
+    except ValueError as exc:
+        parser.error(f"--kernel/$REPRO_KERNEL: {exc}")
+    metrics_out = args.metrics_out or obs.env_metrics_path()
+    if metrics_out:
+        run_info = {
+            "entry": "cli",
+            "command": args.command,
+            "scale": args.scale,
+            "seed": args.seed,
+            "runs": args.runs,
+            "kernel": args.kernel,
+        }
+        with obs.collect(run=run_info, out=metrics_out, name=args.command):
+            output = _COMMANDS[args.command](args)
+    else:
+        output = _COMMANDS[args.command](args)
+    print(output)
     return 0
 
 

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.types import SystemModel
+from repro.obs.registry import get_registry
 
 __all__ = [
     "partition_pages_batched",
@@ -142,6 +143,11 @@ def partition_pages_batched(
             raise ValueError("page_ids must be one-dimensional")
     if order not in ("decreasing", "increasing", "document"):
         raise ValueError(f"unknown sort order {order!r}")
+
+    reg = get_registry()
+    if reg.enabled:
+        reg.count("partition.batched_calls")
+        reg.count("partition.batched_pages", len(pages))
 
     ne = len(model.comp_objects)
     marks = np.zeros(ne, dtype=bool)

@@ -52,6 +52,7 @@ from repro.core.constraints import (
     storage_used,
 )
 from repro.core.cost_model import CostModel
+from repro.obs.registry import get_registry
 
 __all__ = [
     "OffloadConfig",
@@ -224,6 +225,10 @@ def absorb_extra_workload(
             raw = cost.optional_entry_delta(e, to_local=True)
         return raw / w
 
+    # one cached O(E) reverse-index lookup shared by every swap attempt
+    # (previously rebuilt/fetched per victim inside try_make_room)
+    rev = ReverseIndex.for_model(m)
+
     counter = itertools.count()
     heap: list[tuple[float, int, tuple[str, int]]] = []
     srv_c = m.page_server[m.comp_pages]
@@ -246,7 +251,6 @@ def absorb_extra_workload(
             marks = alloc.mark_count(server_id, k)
             if marks:
                 # workload carried by this object's local marks
-                rev = ReverseIndex.for_model(m)
                 comp_e, opt_e = rev.entries_for(server_id, k)
                 for e2 in comp_e:
                     if alloc.comp_local[e2]:
@@ -266,7 +270,6 @@ def absorb_extra_workload(
         if freed < need or lost >= gain:
             return False
         nonlocal space
-        rev = ReverseIndex.for_model(m)
         for k, size, _ in chosen:
             comp_e, opt_e = rev.entries_for(server_id, k)
             for e2 in comp_e:
@@ -394,35 +397,45 @@ def offload_repository(
     if np.isinf(repo_cap) or initial <= repo_cap + _TOL:
         return outcome
 
+    reg = get_registry()
     demoted: set[int] = set()
     load = initial
-    for _ in range(cfg.max_rounds):
-        if load <= repo_cap + _TOL:
-            break
-        statuses = [compute_server_status(alloc, i) for i in range(m.n_servers)]
-        plan = plan_offload_round(statuses, repo_cap, demoted)
-        if plan is None or not plan:
-            break
-        outcome.rounds += 1
-        outcome.messages += len(plan)  # NewReq messages
-        for i, req in plan.items():
-            st = compute_server_status(alloc, i)
-            achieved = absorb_extra_workload(
-                alloc,
-                cost,
-                i,
-                req,
-                allow_new_replicas=st.free_space > _TOL,
-                allow_swap=cfg.allow_swap,
-            )
-            outcome.absorbed_by_server[i] = (
-                outcome.absorbed_by_server.get(i, 0.0) + achieved
-            )
-            if achieved < req - _TOL:
-                demoted.add(i)  # joins L3 for subsequent rounds
-        outcome.messages += len(plan)  # answers
-        load = repository_load(alloc)
+    with reg.span("off-loading"):
+        for _ in range(cfg.max_rounds):
+            if load <= repo_cap + _TOL:
+                break
+            statuses = [
+                compute_server_status(alloc, i) for i in range(m.n_servers)
+            ]
+            plan = plan_offload_round(statuses, repo_cap, demoted)
+            if plan is None or not plan:
+                break
+            outcome.rounds += 1
+            outcome.messages += len(plan)  # NewReq messages
+            for i, req in plan.items():
+                st = compute_server_status(alloc, i)
+                achieved = absorb_extra_workload(
+                    alloc,
+                    cost,
+                    i,
+                    req,
+                    allow_new_replicas=st.free_space > _TOL,
+                    allow_swap=cfg.allow_swap,
+                )
+                outcome.absorbed_by_server[i] = (
+                    outcome.absorbed_by_server.get(i, 0.0) + achieved
+                )
+                if achieved < req - _TOL:
+                    demoted.add(i)  # joins L3 for subsequent rounds
+            outcome.messages += len(plan)  # answers
+            load = repository_load(alloc)
     outcome.messages += m.n_servers  # Off_Loading_END broadcast
     outcome.final_repo_load = float(load)
     outcome.restored = bool(load <= repo_cap + _TOL)
+    if reg.enabled:
+        reg.count("offload.negotiations")
+        reg.count("offload.rounds", outcome.rounds)
+        reg.count("offload.messages", outcome.messages)
+        reg.count("offload.absorbed_load", outcome.total_absorbed)
+        reg.gauge("offload.restored", float(outcome.restored))
     return outcome

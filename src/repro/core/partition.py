@@ -34,10 +34,12 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.types import SystemModel
+from repro.obs.registry import get_registry
 
 __all__ = [
     "partition_page",
     "partition_all",
+    "resolve_kernel",
     "OptionalPolicy",
     "SortOrder",
     "Kernel",
@@ -46,6 +48,39 @@ __all__ = [
 OptionalPolicy = Literal["all", "beneficial", "none"]
 SortOrder = Literal["decreasing", "increasing", "document"]
 Kernel = Literal["batched", "scalar"]
+
+_KERNELS = ("batched", "scalar")
+
+
+def resolve_kernel(value: str | None, default: Kernel = "batched") -> Kernel:
+    """Validate a PARTITION kernel name from CLI / env / API callers.
+
+    The single source of truth for kernel validation — the CLI
+    ``--kernel`` flag, the ``REPRO_KERNEL`` environment override, and the
+    restoration/partition entry points all funnel through here, so the
+    accepted values and the error text cannot diverge.
+
+    Parameters
+    ----------
+    value:
+        Raw kernel name; surrounding whitespace and case are ignored.
+        ``None`` or ``""`` selects ``default``.
+    default:
+        Kernel returned for unset values.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` names neither ``"batched"`` nor ``"scalar"``.
+    """
+    if value is None or value == "":
+        return default
+    kernel = str(value).strip().lower()
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"kernel must be one of {'|'.join(_KERNELS)}, got {value!r}"
+        )
+    return kernel  # type: ignore[return-value]
 
 
 def partition_page(
@@ -192,33 +227,39 @@ def partition_all(
         allocations — the scalar path is kept as the differential-testing
         oracle (see ``tests/properties/test_property_fast_partition.py``).
     """
-    if kernel == "batched":
-        from repro.core.fast_partition import partition_all_batched
+    kernel = resolve_kernel(kernel)
+    reg = get_registry()
+    with reg.span("partition-all"):
+        if kernel == "batched":
+            from repro.core.fast_partition import partition_all_batched
 
-        return partition_all_batched(
-            model,
-            optional_policy=optional_policy,
-            allowed_per_server=allowed_per_server,
-            order=order,
-        )
-    if kernel != "scalar":
-        raise ValueError(f"unknown kernel {kernel!r}")
-    alloc = Allocation(model)
-    for j in range(model.n_pages):
-        page = model.pages[j]
-        allowed = (
-            None
-            if allowed_per_server is None
-            else allowed_per_server.get(page.server, ())
-        )
-        comp_marks, _, _ = partition_page(model, j, allowed, order=order)
-        sl = model.comp_slice(j)
-        for off, val in enumerate(comp_marks):
-            if val:
-                alloc.set_comp_local(sl.start + off, True)
-        opt_marks = _optional_marks(model, j, optional_policy, allowed)
-        slo = model.opt_slice(j)
-        for off, val in enumerate(opt_marks):
-            if val:
-                alloc.set_opt_local(slo.start + off, True)
+            alloc = partition_all_batched(
+                model,
+                optional_policy=optional_policy,
+                allowed_per_server=allowed_per_server,
+                order=order,
+            )
+        else:
+            alloc = Allocation(model)
+            for j in range(model.n_pages):
+                page = model.pages[j]
+                allowed = (
+                    None
+                    if allowed_per_server is None
+                    else allowed_per_server.get(page.server, ())
+                )
+                comp_marks, _, _ = partition_page(model, j, allowed, order=order)
+                sl = model.comp_slice(j)
+                for off, val in enumerate(comp_marks):
+                    if val:
+                        alloc.set_comp_local(sl.start + off, True)
+                opt_marks = _optional_marks(model, j, optional_policy, allowed)
+                slo = model.opt_slice(j)
+                for off, val in enumerate(opt_marks):
+                    if val:
+                        alloc.set_opt_local(slo.start + off, True)
+    if reg.enabled:
+        reg.count("partition.runs")
+        reg.count(f"partition.kernel.{kernel}")
+        reg.count("partition.pages", model.n_pages)
     return alloc

@@ -12,12 +12,20 @@ with full accounting (:class:`PolicyResult`).  Steps 2-4 are skipped
 automatically when the respective constraint already holds, so running
 the policy on an unconstrained model reduces to pure PARTITION — the
 paper's "optimised" reference point in Figure 1.
+
+Observability: each phase runs inside a :mod:`repro.obs` span and the
+result feeds phase-level counters/gauges into the active registry.  With
+observability disabled (the default) every hook is a no-op and results
+are bit-identical to the uninstrumented pipeline; with ``REPRO_METRICS``
+set (and no registry already collecting), each ``run`` writes its own
+JSON run manifest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.allocation import Allocation
 from repro.core.constraints import ConstraintReport, evaluate_constraints
 from repro.core.cost_model import CostModel
@@ -48,6 +56,9 @@ class PolicyResult:
     unconstrained_objective: float = 0.0
     """``D`` right after PARTITION, before any restoration."""
     phases_run: list[str] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per executed phase.  Populated only when a
+    recording :mod:`repro.obs` registry was active during the run."""
 
     @property
     def feasible(self) -> bool:
@@ -130,40 +141,94 @@ class RepositoryReplicationPolicy:
         return CostModel(model, self.alpha1, self.alpha2)
 
     def run(self, model: SystemModel) -> PolicyResult:
-        """Execute the full pipeline on ``model``."""
+        """Execute the full pipeline on ``model``.
+
+        When ``REPRO_METRICS`` is set and no registry is already
+        collecting (e.g. a bare library call outside the CLI or the
+        benchmark suite), the run collects its own metrics and writes a
+        manifest to the path the variable names.
+        """
+        out = obs.env_metrics_path()
+        if out is None or obs.metrics_enabled():
+            return self._run(model)
+        run_info = {
+            "entry": "RepositoryReplicationPolicy.run",
+            "kernel": self.kernel,
+            "alpha1": self.alpha1,
+            "alpha2": self.alpha2,
+            "optional_policy": self.optional_policy,
+            "n_servers": model.n_servers,
+            "n_pages": model.n_pages,
+            "n_objects": model.n_objects,
+        }
+        holder: dict = {}
+        with obs.collect(run=run_info, out=out, name="policy", policy=holder):
+            holder["result"] = self._run(model)
+        return holder["result"]
+
+    def _run(self, model: SystemModel) -> PolicyResult:
+        reg = obs.get_registry()
         cost = self.cost_model(model)
-        alloc = partition_all(
-            model, optional_policy=self.optional_policy, kernel=self.kernel
-        )
-        unconstrained_d = cost.D(alloc)
-        phases: list[str] = ["partition"]
+        spans: dict[str, obs.SpanRecord] = {}
+        with reg.span("policy"):
+            with reg.span("partition") as sp:
+                spans["partition"] = sp
+                alloc = partition_all(
+                    model,
+                    optional_policy=self.optional_policy,
+                    kernel=self.kernel,
+                )
+            unconstrained_d = cost.D(alloc)
+            phases: list[str] = ["partition"]
 
-        report = evaluate_constraints(alloc)
-        storage_stats = StorageRestorationStats()
-        if not report.storage_ok:
-            storage_stats = restore_storage_capacity(alloc, cost, kernel=self.kernel)
-            phases.append("storage-restoration")
             report = evaluate_constraints(alloc)
+            storage_stats = StorageRestorationStats()
+            if not report.storage_ok:
+                with reg.span("storage-restoration") as sp:
+                    spans["storage-restoration"] = sp
+                    storage_stats = restore_storage_capacity(
+                        alloc, cost, kernel=self.kernel
+                    )
+                phases.append("storage-restoration")
+                report = evaluate_constraints(alloc)
 
-        processing_stats = ProcessingRestorationStats()
-        if not report.local_ok:
-            processing_stats = restore_processing_capacity(alloc, cost)
-            phases.append("processing-restoration")
-            report = evaluate_constraints(alloc)
+            processing_stats = ProcessingRestorationStats()
+            if not report.local_ok:
+                with reg.span("processing-restoration") as sp:
+                    spans["processing-restoration"] = sp
+                    processing_stats = restore_processing_capacity(alloc, cost)
+                phases.append("processing-restoration")
+                report = evaluate_constraints(alloc)
 
-        offload_outcome: OffloadOutcome | None = None
-        if not report.repo_ok:
-            offload_outcome = offload_repository(alloc, cost, self.offload_config)
-            phases.append("off-loading")
-            report = evaluate_constraints(alloc)
+            offload_outcome: OffloadOutcome | None = None
+            if not report.repo_ok:
+                with reg.span("off-loading") as sp:
+                    spans["off-loading"] = sp
+                    offload_outcome = offload_repository(
+                        alloc, cost, self.offload_config
+                    )
+                phases.append("off-loading")
+                report = evaluate_constraints(alloc)
+
+            objective = cost.D(alloc)
+
+        phase_seconds: dict[str, float] = {}
+        if reg.enabled:
+            phase_seconds = {name: sp.seconds for name, sp in spans.items()}
+            reg.count("policy.runs")
+            reg.gauge("policy.objective", objective)
+            reg.gauge("policy.unconstrained_objective", unconstrained_d)
+            reg.gauge("policy.feasible", float(report.ok))
+            reg.gauge("policy.phases_run", float(len(phases)))
 
         return PolicyResult(
             allocation=alloc,
-            objective=cost.D(alloc),
+            objective=objective,
             constraints=report,
             storage_stats=storage_stats,
             processing_stats=processing_stats,
             offload_outcome=offload_outcome,
             unconstrained_objective=unconstrained_d,
             phases_run=phases,
+            phase_seconds=phase_seconds,
         )

@@ -40,7 +40,8 @@ from repro.core.allocation import Allocation, ReverseIndex
 from repro.core.constraints import local_processing_load
 from repro.core.cost_model import CostModel
 from repro.core.fast_partition import partition_pages_batched
-from repro.core.partition import Kernel, partition_page
+from repro.core.partition import Kernel, partition_page, resolve_kernel
+from repro.obs.registry import get_registry
 
 __all__ = [
     "restore_storage_capacity",
@@ -219,12 +220,12 @@ def _restore_storage_one_server(
     cost: CostModel,
     state: _PageState,
     server_id: int,
+    rev: ReverseIndex,
     amortise: bool = True,
     kernel: Kernel = "batched",
 ) -> StorageRestorationStats:
     m = alloc.model
     stats = StorageRestorationStats()
-    rev = ReverseIndex.for_model(m)
 
     capacity = m.server_storage[server_id]
     html_bytes = float(
@@ -386,18 +387,32 @@ def restore_storage_capacity(
     InfeasibleError
         If a server's HTML alone exceeds its storage capacity.
     """
-    if kernel not in ("batched", "scalar"):
-        raise ValueError(f"unknown kernel {kernel!r}")
+    kernel = resolve_kernel(kernel)
+    reg = get_registry()
     state = _PageState(cost, alloc)
     stats = StorageRestorationStats()
+    # one O(E) reverse-index build (cached per model) shared by every
+    # per-server sweep instead of one lookup per server
+    rev = ReverseIndex.for_model(alloc.model)
     servers = (
         range(alloc.model.n_servers) if server_id is None else [server_id]
     )
-    for i in servers:
-        stats.merge(
-            _restore_storage_one_server(
-                alloc, cost, state, i, amortise=amortise, kernel=kernel
+    with reg.span("restore-storage"):
+        for i in servers:
+            stats.merge(
+                _restore_storage_one_server(
+                    alloc, cost, state, i, rev, amortise=amortise, kernel=kernel
+                )
             )
+    if reg.enabled:
+        reg.count("restoration.storage.runs")
+        reg.count("restoration.storage.evictions", stats.evictions)
+        reg.count(
+            "restoration.storage.repartitioned_pages", stats.repartitioned_pages
+        )
+        reg.count("restoration.storage.bytes_freed", stats.bytes_freed)
+        reg.count(
+            "restoration.storage.objective_delta", stats.objective_delta
         )
     return stats
 
@@ -425,7 +440,6 @@ def _restore_processing_one_server(
 ) -> ProcessingRestorationStats:
     m = alloc.model
     stats = ProcessingRestorationStats()
-    rev = ReverseIndex.for_model(m)
     capacity = float(m.server_capacity[server_id])
     if np.isinf(capacity):
         return stats
@@ -475,15 +489,27 @@ def _restore_processing_one_server(
     # accumulates one floating subtraction per switch, and a fraction-0
     # sweep must terminate exactly when only HTML requests remain.
     tol = max(_TOL, 1e-9 * max(capacity, html_load, 1.0))
-    resync = 0
-    while load > capacity + tol:
-        resync += 1
-        if resync % 4096 == 0:
+    switches_since_resync = 0
+    while True:
+        if switches_since_resync >= 4096:
+            # periodic mid-loop resync bounds accumulated drift
+            load = float(local_processing_load(alloc)[server_id])
+            switches_since_resync = 0
+        if load <= capacity + tol:
+            # The running accumulator says Eq. 8 holds — but it drifts by
+            # one floating subtraction per switch, so near-tolerance
+            # capacities could otherwise terminate one switch early or
+            # late.  Trust only an exact recomputation to declare done.
             load = float(local_processing_load(alloc)[server_id])
             if load <= capacity + tol:
                 break
         popped = heap.pop_valid(rescore=score, alive=alive)
         if popped is None:
+            # no candidates left: re-verify against the exact load before
+            # declaring infeasibility (the accumulator may overestimate)
+            load = float(local_processing_load(alloc)[server_id])
+            if load <= capacity + tol:
+                break
             raise InfeasibleError(
                 f"server {server_id}: processing constraint unrestorable "
                 f"(load {load:.2f} req/s > capacity {capacity:.2f} req/s "
@@ -512,11 +538,17 @@ def _restore_processing_one_server(
         stats.load_shed += shed
         stats.objective_delta += amortised * shed
         load -= shed
+        switches_since_resync += 1
         # Paper: an object no longer marked local by any page on the
         # server is deallocated, freeing storage as a bonus.
         if alloc.mark_count(server_id, k) == 0 and k in alloc.replicas[server_id]:
             alloc.replicas[server_id].discard(k)
             stats.deallocations += 1
+    # the break above recomputed ``load`` exactly, so Eq. 8 provably holds
+    assert load <= capacity + tol, (
+        f"server {server_id}: Eq. 8 violated on exit "
+        f"({load:.6f} > {capacity:.6f} + tol)"
+    )
     return stats
 
 
@@ -532,11 +564,21 @@ def restore_processing_capacity(
     InfeasibleError
         If a server's HTML request load alone exceeds ``C(S_i)``.
     """
+    reg = get_registry()
     state = _PageState(cost, alloc)
     stats = ProcessingRestorationStats()
     servers = (
         range(alloc.model.n_servers) if server_id is None else [server_id]
     )
-    for i in servers:
-        stats.merge(_restore_processing_one_server(alloc, cost, state, i))
+    with reg.span("restore-processing"):
+        for i in servers:
+            stats.merge(_restore_processing_one_server(alloc, cost, state, i))
+    if reg.enabled:
+        reg.count("restoration.processing.runs")
+        reg.count("restoration.processing.switches", stats.switches)
+        reg.count("restoration.processing.deallocations", stats.deallocations)
+        reg.count("restoration.processing.load_shed", stats.load_shed)
+        reg.count(
+            "restoration.processing.objective_delta", stats.objective_delta
+        )
     return stats

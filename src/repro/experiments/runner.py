@@ -18,7 +18,8 @@ Environment overrides honoured by the benchmark suite:
 * ``REPRO_BENCH_RUNS``  — number of runs per experiment,
 * ``REPRO_BENCH_SCALE`` — ``paper`` | ``small`` | ``tiny`` workload size,
 * ``REPRO_BENCH_REQUESTS`` — trace length per server,
-* ``REPRO_KERNEL`` — ``batched`` | ``scalar`` PARTITION kernel.
+* ``REPRO_KERNEL`` — ``batched`` | ``scalar`` PARTITION kernel,
+* ``REPRO_METRICS`` — run-manifest output path (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -31,8 +32,10 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.cost_model import CostModel
+from repro.core.partition import resolve_kernel
 from repro.core.policy import RepositoryReplicationPolicy
 from repro.core.types import SystemModel
+from repro.obs.registry import get_registry
 from repro.simulation.engine import simulate_allocation
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.perturbation import PAPER_PERTURBATION, PerturbationModel
@@ -92,11 +95,10 @@ class ExperimentConfig:
         if requests:
             params = params.with_(requests_per_server=int(requests))
         n_runs = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
-        kernel = os.environ.get("REPRO_KERNEL", "batched").lower()
-        if kernel not in ("batched", "scalar"):
-            raise ValueError(
-                f"REPRO_KERNEL must be 'batched' or 'scalar', got {kernel!r}"
-            )
+        try:
+            kernel = resolve_kernel(os.environ.get("REPRO_KERNEL"))
+        except ValueError as exc:
+            raise ValueError(f"REPRO_KERNEL: {exc}") from None
         return cls(params=params, n_runs=n_runs, kernel=kernel)
 
 
@@ -163,6 +165,7 @@ def iter_runs(
     storage/processing/repository so the reference policy reduces to
     pure PARTITION; per-figure code then clones constrained variants.
     """
+    reg = get_registry()
     factory = RngFactory(config.base_seed)
     params = config.params
     if relaxed:
@@ -174,19 +177,23 @@ def iter_runs(
     for r in range(config.n_runs):
         seeds = factory.generator(f"run/{r}").integers(0, 2**31 - 1, size=3)
         model_seed, trace_seed, sim_seed = (int(s) for s in seeds)
-        model = generate_workload(params, seed=model_seed)
-        trace = generate_trace(model, params, seed=trace_seed)
-        policy = RepositoryReplicationPolicy(
-            alpha1=params.alpha1, alpha2=params.alpha2, kernel=config.kernel
-        )
-        result = policy.run(model)
-        cost = policy.cost_model(model)
-        ref_sim = simulate_allocation(
-            result.allocation,
-            trace,
-            perturbation=config.perturbation,
-            seed=sim_seed,
-        )
+        with reg.span("experiment-run"):
+            model = generate_workload(params, seed=model_seed)
+            trace = generate_trace(model, params, seed=trace_seed)
+            policy = RepositoryReplicationPolicy(
+                alpha1=params.alpha1, alpha2=params.alpha2, kernel=config.kernel
+            )
+            result = policy.run(model)
+            cost = policy.cost_model(model)
+            ref_sim = simulate_allocation(
+                result.allocation,
+                trace,
+                perturbation=config.perturbation,
+                seed=sim_seed,
+            )
+        if reg.enabled:
+            reg.count("experiment.runs")
+            reg.count("experiment.trace_requests", trace.n_requests)
         yield RunContext(
             run_index=r,
             config=config,

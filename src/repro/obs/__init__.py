@@ -1,0 +1,121 @@
+"""repro.obs — observability: metrics registry + structured run manifests.
+
+Lightweight, zero-dependency instrumentation for the replication
+pipeline.  Disabled by default: the active registry is a
+:class:`~repro.obs.registry.NullRegistry` whose every operation is a
+no-op, so the instrumented hot paths (and the golden-pinned numerical
+results) are untouched until a caller opts in.
+
+Opting in
+---------
+* **Library**: wrap any block in :func:`collect` —
+
+  >>> import repro, repro.obs
+  >>> model = repro.generate_workload(repro.WorkloadParams.tiny(), seed=3)
+  >>> with repro.obs.collect() as reg:
+  ...     result = repro.RepositoryReplicationPolicy().run(model)
+  >>> reg.counters["policy.runs"]
+  1.0
+
+  Pass ``out="path/to.json"`` (or a directory) and :func:`collect` writes
+  a run manifest on exit.
+* **CLI**: ``python -m repro --metrics-out PATH <command>``.
+* **Environment**: set ``REPRO_METRICS=PATH`` — honoured by the CLI, the
+  benchmark suite, and bare :meth:`RepositoryReplicationPolicy.run`
+  calls (each policy run then writes its own manifest).
+
+See :mod:`repro.obs.registry` for the metric primitives and
+:mod:`repro.obs.manifest` for the manifest schema.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.manifest import (
+    ENV_VAR,
+    SCHEMA,
+    build_manifest,
+    git_revision,
+    policy_section,
+    resolve_manifest_path,
+    simulation_section,
+    write_manifest,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecord,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "SCHEMA",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanRecord",
+    "build_manifest",
+    "collect",
+    "env_metrics_path",
+    "get_registry",
+    "git_revision",
+    "metrics_enabled",
+    "policy_section",
+    "resolve_manifest_path",
+    "set_registry",
+    "simulation_section",
+    "use_registry",
+    "write_manifest",
+]
+
+
+def env_metrics_path() -> str | None:
+    """The ``REPRO_METRICS`` output spec, or ``None`` when unset/empty."""
+    value = os.environ.get(ENV_VAR, "").strip()
+    return value or None
+
+
+@contextmanager
+def collect(
+    run: dict | None = None,
+    out: str | os.PathLike | None = None,
+    name: str = "run",
+    policy: Any | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable metrics for a block; optionally write a manifest on exit.
+
+    Parameters
+    ----------
+    run:
+        Identity fields recorded under the manifest's ``"run"`` key.
+    out:
+        Manifest destination (see
+        :func:`~repro.obs.manifest.resolve_manifest_path`).  ``None``
+        collects without writing — read the yielded registry instead.
+    name:
+        Manifest filename stem when ``out`` is a directory.
+    policy:
+        Optional mutable mapping; if it holds a ``"result"``
+        :class:`~repro.core.policy.PolicyResult` (or ``"simulation"``
+        result) at exit, the corresponding manifest sections are filled.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry
+    if out is not None:
+        extras = policy or {}
+        write_manifest(
+            resolve_manifest_path(out, name=name),
+            build_manifest(
+                registry,
+                run=run,
+                policy=extras.get("result"),
+                simulation=extras.get("simulation"),
+            ),
+        )

@@ -1,0 +1,186 @@
+"""Zero-dependency metrics registry: counters, gauges, phase spans.
+
+The policy pipeline (PARTITION → restoration → OFF_LOADING) and the
+simulation replay report into whatever registry is *active*:
+
+* :class:`MetricsRegistry` — records everything: monotonically increasing
+  **counters** (``count``), last-write-wins **gauges** (``gauge``), and
+  nestable wall-clock **spans** (``span``) whose slash-joined paths mirror
+  the call nesting (``policy/storage-restoration``).
+* :class:`NullRegistry` — the default.  Every method is a no-op and
+  ``span`` hands back one shared reusable null context manager, so
+  instrumented call sites cost a dict-free attribute lookup and an empty
+  call when observability is off.  Golden regressions and the
+  bit-identical kernel guarantee are therefore untouched by default.
+
+Call sites always go through :func:`get_registry` — swapping the active
+registry (:func:`set_registry`, :func:`use_registry`, or the higher-level
+:func:`repro.obs.collect`) flips the whole library between the two modes
+without any plumbing through function signatures.
+
+Instrumentation is deliberately *phase-grained*: spans and counters wrap
+entry points (one policy phase, one restoration sweep, one simulation
+replay), never the greedy inner loops, so the enabled-mode overhead is
+also negligible.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanRecord",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "metrics_enabled",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) wall-clock span."""
+
+    name: str
+    path: str
+    """Slash-joined nesting path, e.g. ``policy/partition``."""
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "path": self.path, "seconds": self.seconds}
+
+
+class MetricsRegistry:
+    """Recording registry (see module docstring).
+
+    Not thread-safe by design — one registry per run/process, matching the
+    single-threaded pipeline.  All state is plain dicts/lists so a
+    snapshot is trivially JSON-serialisable.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.spans: list[SpanRecord] = []
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanRecord]:
+        """Time a block; spans nest and their paths record the nesting."""
+        self._stack.append(name)
+        rec = SpanRecord(name=name, path="/".join(self._stack))
+        start = time.perf_counter()
+        try:
+            yield rec
+        finally:
+            rec.seconds = time.perf_counter() - start
+            self._stack.pop()
+            self.spans.append(rec)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[SpanRecord]:
+        """Alias of :meth:`span` for non-phase one-off timings."""
+        with self.span(name) as rec:
+            yield rec
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def phase_seconds(self) -> dict[str, float]:
+        """Total recorded seconds per span path."""
+        out: dict[str, float] = {}
+        for rec in self.spans:
+            out[rec.path] = out.get(rec.path, 0.0) + rec.seconds
+        return out
+
+    def span_seconds(self, path: str) -> float:
+        """Total seconds of spans whose path equals ``path``."""
+        return sum(r.seconds for r in self.spans if r.path == path)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of all recorded metrics."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": [r.as_dict() for r in self.spans],
+            "phase_seconds": self.phase_seconds(),
+        }
+
+    def clear(self) -> None:
+        """Forget everything recorded so far (open spans survive)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.spans.clear()
+
+
+#: One reusable, reentrant no-op context manager shared by every
+#: ``NullRegistry.span`` call (``contextlib.nullcontext`` keeps no state).
+_NULL_SPAN = contextlib.nullcontext(SpanRecord(name="", path=""))
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry — the default when observability is disabled."""
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def gauge(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
+    def span(self, name: str):  # noqa: D102 - returns shared nullcontext
+        return _NULL_SPAN
+
+    timer = span
+
+
+_NULL_REGISTRY = NullRegistry()
+_active: MetricsRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented call sites report into."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` as the active one (``None`` disables)."""
+    global _active
+    _active = registry if registry is not None else _NULL_REGISTRY
+    return _active
+
+
+def metrics_enabled() -> bool:
+    """Whether a recording registry is currently active."""
+    return _active.enabled
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry]:
+    """Swap the active registry for the duration of a block."""
+    previous = _active
+    installed = set_registry(registry)
+    try:
+        yield installed
+    finally:
+        set_registry(previous)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.obs.registry import get_registry
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.perturbation import PAPER_PERTURBATION, PerturbationModel
 from repro.util.rng import as_generator
@@ -102,6 +103,41 @@ def simulate_partition_masks(
         :mod:`repro.simulation.queueing`).  ``None`` keeps the paper's
         constant-processing-time assumption.
     """
+    reg = get_registry()
+    with reg.span("simulate-replay"):
+        result = _simulate_partition_masks(
+            trace,
+            pair_local,
+            opt_local,
+            perturbation=perturbation,
+            seed=seed,
+            extra_remote_overhead=extra_remote_overhead,
+            repo_slowdown=repo_slowdown,
+            local_overhead_scale=local_overhead_scale,
+        )
+    if reg.enabled:
+        reg.count("simulation.replays")
+        reg.count("simulation.page_requests", result.n_requests)
+        reg.count("simulation.optional_downloads", len(result.optional_times))
+        reg.gauge("simulation.mean_page_time", result.mean_page_time)
+        for q in (50, 90, 95, 99):
+            reg.gauge(
+                f"simulation.p{q}_page_time", result.percentile_page_time(q)
+            )
+    return result
+
+
+def _simulate_partition_masks(
+    trace: RequestTrace,
+    pair_local: np.ndarray,
+    opt_local: np.ndarray,
+    perturbation: PerturbationModel = PAPER_PERTURBATION,
+    seed: int | np.random.Generator | None = 2,
+    extra_remote_overhead: float = 0.0,
+    repo_slowdown: float = 1.0,
+    local_overhead_scale: np.ndarray | None = None,
+) -> SimulationResult:
+    """Uninstrumented measurement core of :func:`simulate_partition_masks`."""
     if repo_slowdown < 1.0:
         raise ValueError(f"repo_slowdown must be >= 1, got {repo_slowdown}")
     m = trace.model

@@ -1,0 +1,198 @@
+"""Unit tests for the repro.obs metrics registry primitives."""
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecord,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    use_registry,
+)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 2.5)
+        reg.count("b", 0.0)
+        assert reg.counters == {"a": 3.5, "b": 0.0}
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("x", 1.0)
+        reg.gauge("x", -2.0)
+        assert reg.gauges == {"x": -2.0}
+
+    def test_span_records_wall_clock(self):
+        reg = MetricsRegistry()
+        with reg.span("work") as rec:
+            assert rec.path == "work"
+        assert len(reg.spans) == 1
+        assert reg.spans[0].seconds >= 0.0
+        assert reg.span_seconds("work") == reg.spans[0].seconds
+
+    def test_spans_nest_and_record_paths(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+            with reg.span("inner"):
+                pass
+        # inner spans complete (and append) before the outer one
+        assert [r.path for r in reg.spans] == [
+            "outer/inner",
+            "outer/inner",
+            "outer",
+        ]
+        phase = reg.phase_seconds()
+        assert set(phase) == {"outer", "outer/inner"}
+        assert phase["outer/inner"] == pytest.approx(
+            reg.span_seconds("outer/inner")
+        )
+        # the outer span contains both inner ones
+        assert phase["outer"] >= phase["outer/inner"]
+
+    def test_span_pops_stack_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("boom"):
+                raise RuntimeError("x")
+        # the failed span still closed; the next one nests at top level
+        with reg.span("after"):
+            pass
+        assert reg.spans[-1].path == "after"
+
+    def test_timer_is_span_alias(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        assert reg.spans[0].path == "t"
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.count("c", 2)
+        reg.gauge("g", 1.5)
+        with reg.span("s"):
+            pass
+        snap = reg.snapshot()
+        round_trip = json.loads(json.dumps(snap))
+        assert round_trip["counters"] == {"c": 2.0}
+        assert round_trip["gauges"] == {"g": 1.5}
+        assert round_trip["spans"][0]["path"] == "s"
+        assert "s" in round_trip["phase_seconds"]
+
+    def test_clear_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.count("c")
+        reg.gauge("g", 1.0)
+        with reg.span("s"):
+            pass
+        reg.clear()
+        assert reg.counters == {} and reg.gauges == {} and reg.spans == []
+
+
+class TestNullRegistry:
+    def test_everything_is_noop(self):
+        reg = NullRegistry()
+        reg.count("a", 5)
+        reg.gauge("b", 1.0)
+        with reg.span("s") as rec:
+            assert isinstance(rec, SpanRecord)
+        with reg.timer("t"):
+            pass
+        assert reg.counters == {}
+        assert reg.gauges == {}
+        assert reg.spans == []
+        assert not reg.enabled
+
+    def test_null_span_is_reentrant(self):
+        reg = NullRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        assert reg.spans == []
+
+
+class TestActiveRegistry:
+    def test_default_is_disabled(self):
+        assert not metrics_enabled()
+        assert not get_registry().enabled
+
+    def test_use_registry_swaps_and_restores(self):
+        before = get_registry()
+        reg = MetricsRegistry()
+        with use_registry(reg) as installed:
+            assert installed is reg
+            assert get_registry() is reg
+            assert metrics_enabled()
+        assert get_registry() is before
+        assert not metrics_enabled()
+
+    def test_use_registry_restores_on_exception(self):
+        before = get_registry()
+        with pytest.raises(ValueError):
+            with use_registry(MetricsRegistry()):
+                raise ValueError("x")
+        assert get_registry() is before
+
+    def test_set_registry_none_disables(self):
+        reg = MetricsRegistry()
+        set_registry(reg)
+        try:
+            assert metrics_enabled()
+        finally:
+            set_registry(None)
+        assert not metrics_enabled()
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_nested_use_registry(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                get_registry().count("c")
+            assert get_registry() is outer
+        assert inner.counters == {"c": 1.0}
+        assert outer.counters == {}
+
+
+class TestInstrumentedCallSites:
+    """The pipeline reports into the active registry, and only then."""
+
+    def test_policy_reports_when_enabled(self, tiny_model):
+        from repro.core.policy import RepositoryReplicationPolicy
+
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            RepositoryReplicationPolicy().run(tiny_model)
+        assert reg.counters["policy.runs"] == 1.0
+        assert reg.counters["partition.runs"] == 1.0
+        paths = {r.path for r in reg.spans}
+        assert "policy" in paths
+        assert "policy/partition/partition-all" in paths
+
+    def test_policy_result_identical_with_metrics(self, tiny_model):
+        """Instrumentation must not perturb the numerical results."""
+        from repro.core.policy import RepositoryReplicationPolicy
+
+        plain = RepositoryReplicationPolicy().run(tiny_model)
+        with use_registry(MetricsRegistry()):
+            observed = RepositoryReplicationPolicy().run(tiny_model)
+        assert observed.objective == plain.objective
+        assert observed.allocation == plain.allocation
+        # phase_seconds is the only divergence: populated only when
+        # a recording registry was active
+        assert plain.phase_seconds == {}
+        assert set(observed.phase_seconds) >= {"partition"}
+
+    def test_disabled_by_default_records_nothing(self, tiny_model):
+        from repro.core.policy import RepositoryReplicationPolicy
+
+        result = RepositoryReplicationPolicy().run(tiny_model)
+        assert result.phase_seconds == {}
+        assert not get_registry().enabled

@@ -5,12 +5,14 @@ import doctest
 import pytest
 
 import repro
+import repro.obs
 import repro.util.rng
 import repro.util.tables
 import repro.util.units
 
 MODULES = [
     repro,
+    repro.obs,
     repro.util.rng,
     repro.util.tables,
     repro.util.units,
