@@ -1,89 +1,28 @@
 """Ablation A5 — where does the win come from: replication or balancing?
 
-At equal storage budgets, four strategies are compared:
-
-* the proposed policy (D-aware replica set + PARTITION marking),
-* popularity-per-byte replicas with *all-stored-local* marking (a
-  conventional push cache),
-* the same popularity replicas with *balanced* marking (PARTITION
-  restricted to the stored set),
-* ideal LRU with the same cache bytes.
-
-The headline is two-sided: with generous storage, balanced marking
-alone recovers essentially the whole gap (the two-parallel-connections
-insight carries the paper there); at tight budgets the *replica
-selection* dominates — popularity-per-byte hoards small popular objects
-while the balanced split needs the right large objects on disk, which is
-exactly what the policy's size-amortised D-aware eviction provides.
+The measurement core lives in
+:mod:`repro.experiments.ablation_popularity` (shared with the CLI and
+the executor determinism tests); this module runs it at benchmark scale,
+asserts the paper-facing claims, and records the artifact table.
 """
 
 import numpy as np
 import pytest
 
 from repro.baselines.popularity import PopularityPolicy
-from repro.core.policy import RepositoryReplicationPolicy
-from repro.experiments.runner import iter_runs
-from repro.experiments.scaling import (
-    clone_with_capacities,
-    storage_capacities_for_fraction,
+from repro.experiments.ablation_popularity import (
+    DEFAULT_FRACTIONS as FRACTIONS,
+    STRATEGIES,
+    run_ablation_popularity,
 )
-from repro.simulation.lru_sim import simulate_lru
-from repro.util.tables import format_table
-
-FRACTIONS = (0.5, 1.0)
-STRATEGIES = ("proposed", "popularity all-stored", "popularity balanced", "ideal-lru")
+from repro.experiments.runner import iter_runs
 
 
 @pytest.fixture(scope="module")
 def ablation(bench_config, save_artifact):
-    rows: dict[tuple[float, str], list[float]] = {
-        (f, s): [] for f in FRACTIONS for s in STRATEGIES
-    }
-    for ctx in iter_runs(bench_config):
-        for frac in FRACTIONS:
-            budget = frac * ctx.reference.stored_bytes_all()
-            caps = storage_capacities_for_fraction(ctx.model, ctx.reference, frac)
-            clone = clone_with_capacities(ctx.model, storage=caps)
-            trace_c = ctx.retrace(clone)
-
-            ours = RepositoryReplicationPolicy().run(clone).allocation
-            rows[(frac, "proposed")].append(
-                ctx.relative_increase(ctx.simulate(ours, trace_c))
-            )
-            for marking, label in (
-                ("all-stored", "popularity all-stored"),
-                ("balanced", "popularity balanced"),
-            ):
-                alloc = PopularityPolicy(
-                    storage_bytes=budget, marking=marking
-                ).allocate(ctx.model)
-                rows[(frac, label)].append(
-                    ctx.relative_increase(ctx.simulate(alloc))
-                )
-            lru_sim, _ = simulate_lru(
-                ctx.trace,
-                cache_bytes=budget,
-                perturbation=bench_config.perturbation,
-                seed=ctx.sim_seed,
-            )
-            rows[(frac, "ideal-lru")].append(ctx.relative_increase(lru_sim))
-
-    table = format_table(
-        ["storage"] + list(STRATEGIES),
-        [
-            tuple(
-                [f"{frac:.0%}"]
-                + [f"{np.mean(rows[(frac, s)]):+.1%}" for s in STRATEGIES]
-            )
-            for frac in FRACTIONS
-        ],
-        title=(
-            "Ablation A5: replica selection vs stream balancing "
-            "(% increase over unconstrained proposed)"
-        ),
-    )
-    save_artifact("ablation_popularity", table)
-    return rows
+    result = run_ablation_popularity(bench_config, FRACTIONS)
+    save_artifact("ablation_popularity", result.render())
+    return result.per_run
 
 
 def test_bench_balanced_marking_never_hurts(ablation):

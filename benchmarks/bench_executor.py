@@ -1,0 +1,139 @@
+"""Benchmark the parallel experiment executor (wall-clock + identity).
+
+Times one representative sweep — Figure 2 over a fraction subset —
+serially and with four workers, each from a **cold start** (artifact
+cache dropped, worker pool recycled) so neither phase inherits the
+other's warm artifacts.  The benchmark asserts two things:
+
+* the parallel result is **bit-identical** to the serial one (always),
+* at four workers the sweep is at least 2x faster (only on machines
+  with >= 4 CPU cores — on smaller hosts the speedup is recorded in the
+  artifact but not asserted, since four workers time-slicing one core
+  cannot beat the serial loop).
+
+The artifact table also records the warm-cache serial time, isolating
+the cross-sweep cache's own contribution.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.cache import artifact_cache, clear_artifact_cache
+from repro.experiments.executor import shutdown_pool
+from repro.experiments.fig2_processing import run_fig2
+from repro.experiments.runner import ExperimentConfig
+from repro.util.tables import format_table
+from repro.workload.params import WorkloadParams
+
+#: Explicit scale (independent of REPRO_BENCH_*): large enough that the
+#: per-unit work dominates process/pickling overhead.
+BENCH_PARAMS = WorkloadParams.small().with_(requests_per_server=800)
+N_RUNS = 8
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+JOBS = 4
+#: Required parallel speedup at 4 workers (asserted only with >= 4 cores).
+SPEEDUP_FLOOR = 2.0
+
+
+def _timed_fig2(jobs: int) -> tuple[float, object]:
+    cfg = ExperimentConfig(params=BENCH_PARAMS, n_runs=N_RUNS, jobs=jobs)
+    start = time.perf_counter()
+    result = run_fig2(cfg, fractions=FRACTIONS)
+    return time.perf_counter() - start, result
+
+
+@pytest.fixture(scope="module")
+def executor_timings(save_artifact):
+    clear_artifact_cache()
+    shutdown_pool()
+    serial_seconds, serial = _timed_fig2(jobs=1)
+    hits_before, misses_before = artifact_cache().stats()
+    warm_seconds, warm = _timed_fig2(jobs=1)
+    hits_after, misses_after = artifact_cache().stats()
+
+    clear_artifact_cache()
+    shutdown_pool()
+    parallel_seconds, parallel = _timed_fig2(jobs=JOBS)
+    shutdown_pool()
+
+    speedup = serial_seconds / parallel_seconds
+    table = format_table(
+        ["phase", "seconds", "vs serial"],
+        [
+            ("serial (jobs=1, cold)", f"{serial_seconds:.2f}", "1.00x"),
+            (
+                "serial (jobs=1, warm cache)",
+                f"{warm_seconds:.2f}",
+                f"{serial_seconds / warm_seconds:.2f}x",
+            ),
+            (
+                f"parallel (jobs={JOBS}, cold)",
+                f"{parallel_seconds:.2f}",
+                f"{speedup:.2f}x",
+            ),
+        ],
+        title=(
+            f"Executor: fig2 sweep, {N_RUNS} runs x "
+            f"{len(FRACTIONS)} fractions ({os.cpu_count()} cores)"
+        ),
+    )
+    save_artifact("executor", table)
+    return {
+        "serial_seconds": serial_seconds,
+        "warm_seconds": warm_seconds,
+        "parallel_seconds": parallel_seconds,
+        "serial": serial,
+        "warm": warm,
+        "parallel": parallel,
+        "warm_hits": hits_after - hits_before,
+        "warm_misses": misses_after - misses_before,
+    }
+
+
+def test_bench_parallel_bit_identical(executor_timings):
+    assert executor_timings["parallel"] == executor_timings["serial"]
+
+
+def test_bench_warm_cache_bit_identical(executor_timings):
+    assert executor_timings["warm"] == executor_timings["serial"]
+
+
+def test_bench_warm_cache_skips_regeneration(executor_timings):
+    """The warm rerun must serve every run from the artifact cache —
+    one hit per work unit, zero rebuilds."""
+    assert executor_timings["warm_misses"] == 0
+    # one hit per work unit: the fractions plus the Remote scalar point
+    assert executor_timings["warm_hits"] == N_RUNS * (len(FRACTIONS) + 1)
+
+
+def test_bench_parallel_speedup(executor_timings):
+    cores = os.cpu_count() or 1
+    speedup = (
+        executor_timings["serial_seconds"]
+        / executor_timings["parallel_seconds"]
+    )
+    if cores < JOBS:
+        pytest.skip(
+            f"only {cores} cores: {JOBS}-worker speedup floor needs >= "
+            f"{JOBS} (measured {speedup:.2f}x)"
+        )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x at {JOBS} workers, got {speedup:.2f}x"
+    )
+
+
+def test_bench_executor_timing(benchmark):
+    """pytest-benchmark unit: one cold single-run single-point sweep."""
+    cfg = ExperimentConfig(
+        params=WorkloadParams.tiny().with_(requests_per_server=200),
+        n_runs=1,
+    )
+
+    def unit():
+        clear_artifact_cache()
+        return run_fig2(replace(cfg), fractions=(0.5,))
+
+    benchmark(unit)

@@ -15,11 +15,14 @@ wall-clock spans, restoration/simulation counters, and provenance
 (seed, scale, kernel, git SHA), so the performance trajectory stays
 diffable across PRs.
 
-Scale knobs (environment):
+Scale knobs (environment; integer values are validated — non-positive
+or non-integer settings fail fast naming the variable):
 
 * ``REPRO_BENCH_SCALE``    — ``paper`` | ``small`` (default) | ``tiny``
 * ``REPRO_BENCH_RUNS``     — runs per experiment (default 5)
 * ``REPRO_BENCH_REQUESTS`` — trace length per server
+* ``REPRO_JOBS``           — sweep worker processes (default 1 = serial;
+  results are bit-identical — see ``repro.experiments.executor``)
 
 The defaults finish the whole suite in a few minutes; EXPERIMENTS.md
 records a ``paper``-scale run.  Ad-hoc paper-scale console logs belong
@@ -86,9 +89,18 @@ def save_artifact(bench_config, bench_metrics):
                 "requests_per_server": bench_config.params.requests_per_server,
                 "kernel": bench_config.kernel,
                 "seed": bench_config.base_seed,
+                "jobs": bench_config.jobs,
             },
         )
-        obs.write_manifest(out / "manifests" / f"{name}.json", manifest)
+        # resolve_manifest_path keeps the per-artifact path unique per
+        # executor worker (a "-w<pid>" suffix), so a parallel session
+        # can never clobber the parent's manifest.
+        obs.write_manifest(
+            obs.resolve_manifest_path(
+                out / "manifests" / f"{name}.json", name=name
+            ),
+            manifest,
+        )
         bench_metrics.clear()
         print(f"\n{text}\n[saved to {path}]")
         return path

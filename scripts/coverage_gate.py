@@ -16,6 +16,12 @@ Usage:
 When it is absent — e.g. in the minimal runtime container — the gate
 SKIPS with exit code 0 (or fails with exit code 3 under ``--strict``)
 instead of crashing, so the functional suite can still run everywhere.
+
+Under ``--fast`` the gate additionally runs a **parallel smoke job**: the
+executor test file once more with ``REPRO_JOBS=2`` at tiny scale (and
+``-p no:cacheprovider``, so two concurrent pytest processes can never
+race on ``.pytest_cache``), proving the multi-process path works in the
+gate environment and not just on developer machines.
 """
 
 from __future__ import annotations
@@ -43,8 +49,9 @@ def main(argv: list[str]) -> int:
         cmd = [sys.executable, "-m", "pytest", "-q"]
     else:
         # --cov-fail-under is left to [tool.coverage.report] fail_under.
-        # repro.obs is named explicitly so the observability layer stays
-        # in the measured set even if the source tree is ever split.
+        # repro.obs and the experiment executor/cache modules are named
+        # explicitly so the observability + parallelism layers stay in
+        # the measured set even if the source tree is ever split.
         cmd = [
             sys.executable,
             "-m",
@@ -52,6 +59,8 @@ def main(argv: list[str]) -> int:
             "-q",
             "--cov=repro",
             "--cov=repro.obs",
+            "--cov=repro.experiments.executor",
+            "--cov=repro.experiments.cache",
         ]
     if fast:
         cmd += ["-m", "not slow"]
@@ -63,7 +72,29 @@ def main(argv: list[str]) -> int:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     print("coverage gate:", " ".join(cmd))
-    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    code = subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    if code != 0 or not fast:
+        return code
+
+    # Parallel smoke: the executor determinism tests once more with the
+    # multi-process path forced on via the environment.  No coverage
+    # (subprocess coverage needs extra wiring) and no pytest cache, so
+    # this job can never interfere with the main run's artifacts.
+    smoke = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        "tests/experiments/test_executor.py",
+    ]
+    smoke_env = dict(env)
+    smoke_env.update(
+        REPRO_JOBS="2", REPRO_BENCH_SCALE="tiny", REPRO_BENCH_RUNS="2"
+    )
+    print("parallel smoke:", " ".join(smoke), "(REPRO_JOBS=2)")
+    return subprocess.call(smoke, cwd=REPO_ROOT, env=smoke_env)
 
 
 if __name__ == "__main__":

@@ -5,12 +5,16 @@ Commands map one-to-one onto the experiment harnesses:
 * ``table1`` — nominal-vs-realised workload parameters,
 * ``fig1`` / ``fig2`` / ``fig3`` — regenerate the paper's figures,
 * ``claims`` — the Section 5.2 scalar claims,
+* ``ablation`` — ablation A5: replica selection vs stream balancing,
 * ``dynamic`` — the extension E1 epoch experiment,
 * ``demo`` — one quick end-to-end policy-vs-baselines comparison.
 
 All commands print ASCII artifacts to stdout.  ``--scale`` and
 ``--runs`` control workload size and averaging (defaults match the
-benchmark suite's quick settings; ``--scale paper`` is Table 1).
+benchmark suite's quick settings; ``--scale paper`` is Table 1), and
+``--jobs`` fans the sweep work units out over worker processes
+(default: ``$REPRO_JOBS`` or serial; the results are bit-identical
+either way).
 
 ``--metrics-out PATH`` (or the ``REPRO_METRICS`` environment variable)
 enables the :mod:`repro.obs` observability layer for the command and
@@ -28,6 +32,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.core.partition import resolve_kernel
+from repro.experiments.executor import resolve_jobs
 from repro.experiments.runner import ExperimentConfig
 from repro.workload.params import WorkloadParams
 
@@ -74,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         "both produce bit-identical allocations)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep work units (default: $REPRO_JOBS "
+        "if set, else 1 = serial; results are bit-identical)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -87,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig2", help="Figure 2: response time vs local capacity")
     sub.add_parser("fig3", help="Figure 3: constrained repository capacity")
     sub.add_parser("claims", help="Section 5.2 scalar claims")
+    sub.add_parser(
+        "ablation", help="ablation A5: replica selection vs stream balancing"
+    )
     dyn = sub.add_parser("dynamic", help="extension E1: re-allocation cadence")
     dyn.add_argument("--epochs", type=int, default=6)
     dyn.add_argument("--drift-every", type=int, default=2)
@@ -115,6 +131,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         n_runs=args.runs,
         base_seed=args.seed,
         kernel=args.kernel,
+        jobs=args.jobs,
     )
 
 
@@ -146,6 +163,12 @@ def _cmd_claims(args: argparse.Namespace) -> str:
     from repro.experiments.claims import run_headline_claims
 
     return run_headline_claims(_config(args)).render()
+
+
+def _cmd_ablation(args: argparse.Namespace) -> str:
+    from repro.experiments.ablation_popularity import run_ablation_popularity
+
+    return run_ablation_popularity(_config(args)).render()
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> str:
@@ -227,6 +250,7 @@ _COMMANDS = {
     "fig2": _cmd_fig2,
     "fig3": _cmd_fig3,
     "claims": _cmd_claims,
+    "ablation": _cmd_ablation,
     "dynamic": _cmd_dynamic,
     "demo": _cmd_demo,
     "analyze": _cmd_analyze,
@@ -243,6 +267,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.kernel = resolve_kernel(args.kernel)
     except ValueError as exc:
         parser.error(f"--kernel/$REPRO_KERNEL: {exc}")
+    try:
+        # explicit --jobs, else $REPRO_JOBS (validated), else 1 = serial
+        args.jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(f"--jobs/$REPRO_JOBS: {exc}")
     metrics_out = args.metrics_out or obs.env_metrics_path()
     if metrics_out:
         run_info = {
@@ -252,6 +281,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "seed": args.seed,
             "runs": args.runs,
             "kernel": args.kernel,
+            "jobs": args.jobs,
         }
         with obs.collect(run=run_info, out=metrics_out, name=args.command):
             output = _COMMANDS[args.command](args)

@@ -11,19 +11,47 @@ One module per paper artifact:
 * :mod:`repro.experiments.fig3_central` — Figure 3 (response time vs
   local processing capacity for 90/70/50% central capacity),
 * :mod:`repro.experiments.claims` — the scalar Section 5.2 claims
-  (Remote +335%, Local +23.8%, LRU@100% ≈ Local, ~1.8 GB average).
+  (Remote +335%, Local +23.8%, LRU@100% ≈ Local, ~1.8 GB average),
+* :mod:`repro.experiments.ablation_popularity` — the A5 ablation
+  (replica selection vs stream balancing at equal budgets).
 
 Shared infrastructure lives in :mod:`repro.experiments.runner`
 (multi-run orchestration, paired traces, normalisation to the
-unconstrained policy) and :mod:`repro.experiments.scaling` (the
-capacity-percentage definitions documented in DESIGN.md).
+unconstrained policy), :mod:`repro.experiments.scaling` (the
+capacity-percentage definitions documented in DESIGN.md),
+:mod:`repro.experiments.cache` (the content-addressed per-run artifact
+cache), and :mod:`repro.experiments.executor` (the ``(run, point)``
+work-unit fan-out — serial by default, multi-process with
+``jobs``/``REPRO_JOBS``, bit-identical either way).
 """
 
+from repro.experiments.ablation_popularity import (
+    AblationResult,
+    run_ablation_popularity,
+)
+from repro.experiments.cache import (
+    ArtifactCache,
+    RunArtifacts,
+    artifact_cache,
+    clear_artifact_cache,
+    params_digest,
+)
 from repro.experiments.claims import HeadlineClaims, run_headline_claims
+from repro.experiments.executor import (
+    map_run_points,
+    map_runs,
+    resolve_jobs,
+    shutdown_pool,
+)
 from repro.experiments.fig1_storage import Fig1Result, run_fig1
 from repro.experiments.fig2_processing import Fig2Result, run_fig2
 from repro.experiments.fig3_central import Fig3Result, run_fig3
-from repro.experiments.runner import ExperimentConfig, RunContext, iter_runs
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunContext,
+    iter_runs,
+    prepare_run,
+)
 from repro.experiments.scaling import (
     clone_with_capacities,
     processing_capacities_for_fraction,
@@ -36,11 +64,23 @@ __all__ = [
     "ExperimentConfig",
     "RunContext",
     "iter_runs",
+    "prepare_run",
+    "ArtifactCache",
+    "RunArtifacts",
+    "artifact_cache",
+    "clear_artifact_cache",
+    "params_digest",
+    "map_run_points",
+    "map_runs",
+    "resolve_jobs",
+    "shutdown_pool",
+    "AblationResult",
     "Fig1Result",
     "Fig2Result",
     "Fig3Result",
     "HeadlineClaims",
     "Table1Report",
+    "run_ablation_popularity",
     "run_fig1",
     "run_fig2",
     "run_fig3",

@@ -1,0 +1,131 @@
+"""Ablation A5 — where does the win come from: replication or balancing?
+
+At equal storage budgets, four strategies are compared:
+
+* the proposed policy (D-aware replica set + PARTITION marking),
+* popularity-per-byte replicas with *all-stored-local* marking (a
+  conventional push cache),
+* the same popularity replicas with *balanced* marking (PARTITION
+  restricted to the stored set),
+* ideal LRU with the same cache bytes.
+
+The headline is two-sided: with generous storage, balanced marking
+alone recovers essentially the whole gap (the two-parallel-connections
+insight carries the paper there); at tight budgets the *replica
+selection* dominates — popularity-per-byte hoards small popular objects
+while the balanced split needs the right large objects on disk, which is
+exactly what the policy's size-amortised D-aware eviction provides.
+
+The measurement core lives here (so the CLI, tests, and benchmarks run
+the same sweep through the parallel executor);
+``benchmarks/bench_ablation_popularity.py`` asserts its claims and
+records the artifact table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.popularity import PopularityPolicy
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.experiments.executor import map_run_points
+from repro.experiments.runner import ExperimentConfig, RunContext
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.simulation.lru_sim import simulate_lru
+from repro.util.tables import format_table
+
+__all__ = [
+    "AblationResult",
+    "run_ablation_popularity",
+    "DEFAULT_FRACTIONS",
+    "STRATEGIES",
+]
+
+#: Storage budgets compared (tight and generous).
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.5, 1.0)
+#: Strategy labels, in table-column order.
+STRATEGIES: tuple[str, ...] = (
+    "proposed",
+    "popularity all-stored",
+    "popularity balanced",
+    "ideal-lru",
+)
+
+
+@dataclass
+class AblationResult:
+    """Per-run relative increases for every ``(fraction, strategy)`` cell."""
+
+    fractions: list[float]
+    per_run: dict[tuple[float, str], list[float]] = field(default_factory=dict)
+    """``(fraction, strategy) -> one value per run``."""
+    n_runs: int = 0
+
+    def mean(self, fraction: float, strategy: str) -> float:
+        """Across-run mean for one table cell."""
+        return float(np.mean(self.per_run[(fraction, strategy)]))
+
+    def render(self) -> str:
+        """The A5 artifact table."""
+        return format_table(
+            ["storage"] + list(STRATEGIES),
+            [
+                tuple(
+                    [f"{frac:.0%}"]
+                    + [f"{self.mean(frac, s):+.1%}" for s in STRATEGIES]
+                )
+                for frac in self.fractions
+            ],
+            title=(
+                "Ablation A5: replica selection vs stream balancing "
+                "(% increase over unconstrained proposed)"
+            ),
+        )
+
+
+def _ablation_point(ctx: RunContext, frac: float) -> tuple:
+    """One storage budget on one run: all four strategies, paired."""
+    budget = frac * ctx.reference.stored_bytes_all()
+    caps = storage_capacities_for_fraction(ctx.model, ctx.reference, frac)
+    clone = clone_with_capacities(ctx.model, storage=caps)
+    trace_c = ctx.retrace(clone)
+
+    ours = RepositoryReplicationPolicy().run(clone).allocation
+    values = [ctx.relative_increase(ctx.simulate(ours, trace_c))]
+    for marking in ("all-stored", "balanced"):
+        alloc = PopularityPolicy(
+            storage_bytes=budget, marking=marking
+        ).allocate(ctx.model)
+        values.append(ctx.relative_increase(ctx.simulate(alloc)))
+    lru_sim, _ = simulate_lru(
+        ctx.trace,
+        cache_bytes=budget,
+        perturbation=ctx.config.perturbation,
+        seed=ctx.sim_seed,
+    )
+    values.append(ctx.relative_increase(lru_sim))
+    return tuple(values)
+
+
+def run_ablation_popularity(
+    config: ExperimentConfig | None = None,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> AblationResult:
+    """Run the A5 ablation (one work unit per ``(run, budget)`` pair)."""
+    cfg = config or ExperimentConfig()
+    points = [float(f) for f in fractions]
+    matrix = map_run_points(cfg, _ablation_point, points)
+    per_run = {
+        (frac, s): [matrix[r][fi][si] for r in range(cfg.n_runs)]
+        for fi, frac in enumerate(points)
+        for si, s in enumerate(STRATEGIES)
+    }
+    return AblationResult(
+        fractions=points, per_run=per_run, n_runs=cfg.n_runs
+    )

@@ -25,7 +25,8 @@ import numpy as np
 from repro.baselines.local import LocalPolicy
 from repro.baselines.remote import RemotePolicy
 from repro.core.policy import RepositoryReplicationPolicy
-from repro.experiments.runner import ExperimentConfig, iter_runs
+from repro.experiments.executor import map_run_points
+from repro.experiments.runner import ExperimentConfig, RunContext
 from repro.experiments.scaling import (
     clone_with_capacities,
     storage_capacities_for_fraction,
@@ -95,50 +96,55 @@ class HeadlineClaims:
         )
 
 
+#: The five scalar measurements, in sweep order.
+_CLAIM_POINTS: tuple[str, ...] = ("remote", "local", "storage", "lru", "ours65")
+
+
+def _claims_point(ctx: RunContext, point: str) -> float:
+    """Measure one of the five scalar claims on one run."""
+    if point == "remote":
+        return ctx.relative_increase(
+            ctx.simulate(RemotePolicy().allocate(ctx.model))
+        )
+    if point == "local":
+        return ctx.relative_increase(
+            ctx.simulate(LocalPolicy().allocate(ctx.model))
+        )
+    if point == "storage":
+        return float(ctx.reference.stored_bytes_all().mean()) / GB
+    if point == "lru":
+        lru_sim, _ = simulate_lru(
+            ctx.trace,
+            cache_bytes=ctx.reference.stored_bytes_all(),
+            perturbation=ctx.config.perturbation,
+            seed=ctx.sim_seed,
+        )
+        return ctx.relative_increase(lru_sim)
+    # "ours65": the proposed policy at 65% of the unconstrained storage
+    params = ctx.config.params
+    caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 0.65)
+    clone = clone_with_capacities(ctx.model, storage=caps)
+    result = RepositoryReplicationPolicy(
+        alpha1=params.alpha1, alpha2=params.alpha2, kernel=ctx.config.kernel
+    ).run(clone)
+    sim = ctx.simulate(result.allocation, ctx.retrace(clone))
+    return ctx.relative_increase(sim)
+
+
 def run_headline_claims(
     config: ExperimentConfig | None = None,
 ) -> HeadlineClaims:
     """Measure the five scalar claims (averaged over the config's runs)."""
     cfg = config or ExperimentConfig()
-    remote_vals: list[float] = []
-    local_vals: list[float] = []
-    lru_vals: list[float] = []
-    ours65_vals: list[float] = []
-    storage_vals: list[float] = []
-
-    for ctx in iter_runs(cfg):
-        params = cfg.params
-        remote_vals.append(
-            ctx.relative_increase(ctx.simulate(RemotePolicy().allocate(ctx.model)))
-        )
-        local_vals.append(
-            ctx.relative_increase(ctx.simulate(LocalPolicy().allocate(ctx.model)))
-        )
-        storage_vals.append(
-            float(ctx.reference.stored_bytes_all().mean()) / GB
-        )
-
-        lru_sim, _ = simulate_lru(
-            ctx.trace,
-            cache_bytes=ctx.reference.stored_bytes_all(),
-            perturbation=cfg.perturbation,
-            seed=ctx.sim_seed,
-        )
-        lru_vals.append(ctx.relative_increase(lru_sim))
-
-        caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 0.65)
-        clone = clone_with_capacities(ctx.model, storage=caps)
-        result = RepositoryReplicationPolicy(
-            alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
-        ).run(clone)
-        sim = ctx.simulate(result.allocation, ctx.retrace(clone))
-        ours65_vals.append(ctx.relative_increase(sim))
+    matrix = map_run_points(cfg, _claims_point, list(_CLAIM_POINTS))
+    means = np.asarray(matrix, dtype=float).mean(axis=0)
+    by_name = dict(zip(_CLAIM_POINTS, means))
 
     return HeadlineClaims(
-        remote_increase=float(np.mean(remote_vals)),
-        local_increase=float(np.mean(local_vals)),
-        lru_full_increase=float(np.mean(lru_vals)),
-        ours_at_65pct_increase=float(np.mean(ours65_vals)),
-        avg_storage_gb=float(np.mean(storage_vals)),
+        remote_increase=float(by_name["remote"]),
+        local_increase=float(by_name["local"]),
+        lru_full_increase=float(by_name["lru"]),
+        ours_at_65pct_increase=float(by_name["ours65"]),
+        avg_storage_gb=float(by_name["storage"]),
         n_runs=cfg.n_runs,
     )

@@ -33,7 +33,8 @@ from repro.baselines.local import LocalPolicy
 from repro.baselines.remote import RemotePolicy
 from repro.core.partition import partition_all
 from repro.core.types import ServerSpec, SystemModel
-from repro.experiments.runner import ExperimentConfig, iter_runs
+from repro.experiments.executor import map_run_points
+from repro.experiments.runner import ExperimentConfig, RunContext
 from repro.util.tables import format_table
 from repro.workload.trace import generate_trace
 
@@ -100,37 +101,38 @@ class LinkSpeedResult:
         )
 
 
+def _link_speed_point(ctx: RunContext, mult: float):
+    """One multiplier on one run: (remote share, gain vs Local/Remote)."""
+    scaled = _scale_repo_rate(ctx.model, mult)
+    trace = generate_trace(scaled, ctx.config.params, seed=ctx.trace_seed)
+    alloc = partition_all(scaled)
+    share = 1.0 - float(alloc.comp_local.mean())
+
+    sim_ours = ctx.simulate(alloc, trace)
+    sim_local = ctx.simulate(LocalPolicy().allocate(scaled), trace)
+    sim_remote = ctx.simulate(RemotePolicy().allocate(scaled), trace)
+    return (
+        share,
+        1.0 - sim_ours.mean_page_time / sim_local.mean_page_time,
+        1.0 - sim_ours.mean_page_time / sim_remote.mean_page_time,
+    )
+
+
 def run_link_speed(
     config: ExperimentConfig | None = None,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
 ) -> LinkSpeedResult:
     """Sweep the repository transfer rate; see module docstring."""
     cfg = config or ExperimentConfig()
-    shares: dict[float, list[float]] = {m: [] for m in multipliers}
-    vs_local: dict[float, list[float]] = {m: [] for m in multipliers}
-    vs_remote: dict[float, list[float]] = {m: [] for m in multipliers}
-
-    for ctx in iter_runs(cfg):
-        for mult in multipliers:
-            scaled = _scale_repo_rate(ctx.model, mult)
-            trace = generate_trace(scaled, cfg.params, seed=ctx.trace_seed)
-            alloc = partition_all(scaled)
-            shares[mult].append(1.0 - float(alloc.comp_local.mean()))
-
-            sim_ours = ctx.simulate(alloc, trace)
-            sim_local = ctx.simulate(LocalPolicy().allocate(scaled), trace)
-            sim_remote = ctx.simulate(RemotePolicy().allocate(scaled), trace)
-            vs_local[mult].append(
-                1.0 - sim_ours.mean_page_time / sim_local.mean_page_time
-            )
-            vs_remote[mult].append(
-                1.0 - sim_ours.mean_page_time / sim_remote.mean_page_time
-            )
+    points = [float(m) for m in multipliers]
+    matrix = map_run_points(cfg, _link_speed_point, points)
+    arr = np.asarray(matrix, dtype=float)  # runs x multipliers x 3
+    share, local, remote = arr.mean(axis=0).T
 
     return LinkSpeedResult(
         multipliers=list(multipliers),
-        remote_share=[float(np.mean(shares[m])) for m in multipliers],
-        gain_vs_local=[float(np.mean(vs_local[m])) for m in multipliers],
-        gain_vs_remote=[float(np.mean(vs_remote[m])) for m in multipliers],
+        remote_share=share.tolist(),
+        gain_vs_local=local.tolist(),
+        gain_vs_remote=remote.tolist(),
         n_runs=cfg.n_runs,
     )

@@ -25,7 +25,8 @@ import numpy as np
 from repro.baselines.local import LocalPolicy
 from repro.baselines.remote import RemotePolicy
 from repro.core.policy import RepositoryReplicationPolicy
-from repro.experiments.runner import ExperimentConfig, SweepResult, iter_runs
+from repro.experiments.executor import map_run_points
+from repro.experiments.runner import ExperimentConfig, RunContext, SweepResult
 from repro.experiments.scaling import (
     clone_with_capacities,
     storage_capacities_for_fraction,
@@ -43,6 +44,35 @@ class Fig1Result(SweepResult):
     """Figure 1 sweep result (curves: proposed policy, ideal LRU)."""
 
 
+def _fig1_point(ctx: RunContext, point: tuple):
+    """One Figure 1 work unit: a reference scalar or one storage tick."""
+    kind, value = point
+    if kind == "scalar":
+        # storage-independent baselines (paired on the same trace)
+        policy = RemotePolicy() if value == "remote" else LocalPolicy()
+        return ctx.relative_increase(ctx.simulate(policy.allocate(ctx.model)))
+    frac = value
+    params = ctx.config.params
+    caps = storage_capacities_for_fraction(ctx.model, ctx.reference, frac)
+    clone = clone_with_capacities(ctx.model, storage=caps)
+    result = RepositoryReplicationPolicy(
+        alpha1=params.alpha1, alpha2=params.alpha2, kernel=ctx.config.kernel
+    ).run(clone)
+    trace_c = ctx.retrace(clone)
+    ours = ctx.relative_increase(ctx.simulate(result.allocation, trace_c))
+
+    # LRU's cache budget: the same MO bytes the proposed policy
+    # may replicate at this tick.
+    cache_bytes = frac * ctx.reference.stored_bytes_all()
+    lru_sim, _ = simulate_lru(
+        ctx.trace,
+        cache_bytes=cache_bytes,
+        perturbation=ctx.config.perturbation,
+        seed=ctx.sim_seed,
+    )
+    return ours, ctx.relative_increase(lru_sim)
+
+
 def run_fig1(
     config: ExperimentConfig | None = None,
     fractions: Sequence[float] = DEFAULT_STORAGE_FRACTIONS,
@@ -55,45 +85,14 @@ def run_fig1(
     Remote/Local reference increases.
     """
     cfg = config or ExperimentConfig()
-    ours_runs: list[list[float]] = []
-    lru_runs: list[list[float]] = []
-    remote_vals: list[float] = []
-    local_vals: list[float] = []
-
-    for ctx in iter_runs(cfg):
-        params = cfg.params
-        # storage-independent baselines (paired on the same trace)
-        remote_sim = ctx.simulate(RemotePolicy().allocate(ctx.model))
-        local_sim = ctx.simulate(LocalPolicy().allocate(ctx.model))
-        remote_vals.append(ctx.relative_increase(remote_sim))
-        local_vals.append(ctx.relative_increase(local_sim))
-
-        ours_row: list[float] = []
-        lru_row: list[float] = []
-        for frac in fractions:
-            caps = storage_capacities_for_fraction(
-                ctx.model, ctx.reference, frac
-            )
-            clone = clone_with_capacities(ctx.model, storage=caps)
-            result = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
-            ).run(clone)
-            trace_c = ctx.retrace(clone)
-            sim = ctx.simulate(result.allocation, trace_c)
-            ours_row.append(ctx.relative_increase(sim))
-
-            # LRU's cache budget: the same MO bytes the proposed policy
-            # may replicate at this tick.
-            cache_bytes = frac * ctx.reference.stored_bytes_all()
-            lru_sim, _ = simulate_lru(
-                ctx.trace,
-                cache_bytes=cache_bytes,
-                perturbation=cfg.perturbation,
-                seed=ctx.sim_seed,
-            )
-            lru_row.append(ctx.relative_increase(lru_sim))
-        ours_runs.append(ours_row)
-        lru_runs.append(lru_row)
+    points = [("scalar", "remote"), ("scalar", "local")] + [
+        ("frac", float(f)) for f in fractions
+    ]
+    matrix = map_run_points(cfg, _fig1_point, points)
+    remote_vals = [row[0] for row in matrix]
+    local_vals = [row[1] for row in matrix]
+    ours_runs = [[pair[0] for pair in row[2:]] for row in matrix]
+    lru_runs = [[pair[1] for pair in row[2:]] for row in matrix]
 
     return Fig1Result(
         title="Figure 1: % increase in response time vs local storage capacity",

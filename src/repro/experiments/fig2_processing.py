@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.baselines.remote import RemotePolicy
 from repro.core.policy import RepositoryReplicationPolicy
-from repro.experiments.runner import ExperimentConfig, SweepResult, iter_runs
+from repro.experiments.executor import map_run_points
+from repro.experiments.runner import ExperimentConfig, RunContext, SweepResult
 from repro.experiments.scaling import (
     clone_with_capacities,
     processing_capacities_for_fraction,
@@ -51,35 +52,36 @@ class Fig2Result(SweepResult):
     """Figure 2 sweep result (curve: proposed policy)."""
 
 
+def _fig2_point(ctx: RunContext, point: tuple):
+    """One Figure 2 work unit: the Remote scalar or one processing tick."""
+    kind, value = point
+    if kind == "scalar":
+        return ctx.relative_increase(
+            ctx.simulate(RemotePolicy().allocate(ctx.model))
+        )
+    params = ctx.config.params
+    storage_caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 1.0)
+    proc_caps = processing_capacities_for_fraction(ctx.model, value)
+    clone = clone_with_capacities(
+        ctx.model, storage=storage_caps, processing=proc_caps
+    )
+    result = RepositoryReplicationPolicy(
+        alpha1=params.alpha1, alpha2=params.alpha2, kernel=ctx.config.kernel
+    ).run(clone)
+    sim = ctx.simulate(result.allocation, ctx.retrace(clone))
+    return ctx.relative_increase(sim)
+
+
 def run_fig2(
     config: ExperimentConfig | None = None,
     fractions: Sequence[float] = DEFAULT_PROCESSING_FRACTIONS,
 ) -> Fig2Result:
     """Regenerate Figure 2."""
     cfg = config or ExperimentConfig()
-    ours_runs: list[list[float]] = []
-    remote_vals: list[float] = []
-
-    for ctx in iter_runs(cfg):
-        params = cfg.params
-        remote_sim = ctx.simulate(RemotePolicy().allocate(ctx.model))
-        remote_vals.append(ctx.relative_increase(remote_sim))
-
-        storage_caps = storage_capacities_for_fraction(
-            ctx.model, ctx.reference, 1.0
-        )
-        row: list[float] = []
-        for frac in fractions:
-            proc_caps = processing_capacities_for_fraction(ctx.model, frac)
-            clone = clone_with_capacities(
-                ctx.model, storage=storage_caps, processing=proc_caps
-            )
-            result = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
-            ).run(clone)
-            sim = ctx.simulate(result.allocation, ctx.retrace(clone))
-            row.append(ctx.relative_increase(sim))
-        ours_runs.append(row)
+    points = [("scalar", "remote")] + [("frac", float(f)) for f in fractions]
+    matrix = map_run_points(cfg, _fig2_point, points)
+    remote_vals = [row[0] for row in matrix]
+    ours_runs = [row[1:] for row in matrix]
 
     return Fig2Result(
         title=(

@@ -22,7 +22,8 @@ from typing import Sequence
 
 from repro.core.offload import OffloadConfig, offload_repository
 from repro.core.policy import RepositoryReplicationPolicy
-from repro.experiments.runner import ExperimentConfig, SweepResult, iter_runs
+from repro.experiments.executor import map_run_points
+from repro.experiments.runner import ExperimentConfig, RunContext, SweepResult
 from repro.experiments.scaling import (
     clone_with_capacities,
     processing_capacities_for_fraction,
@@ -48,6 +49,43 @@ class Fig3Result(SweepResult):
     """Figure 3 sweep result (one curve per central-capacity level)."""
 
 
+def _fig3_point(ctx: RunContext, point: tuple):
+    """One Figure 3 work unit: one local-capacity tick, every central curve.
+
+    The central-capacity levels share this unit's phases 1-3 policy run
+    (the repository is unconstrained there), so they travel together as
+    ``(local_fraction, central_fractions)`` and the unit returns one
+    value per central level.
+    """
+    lf, central_fractions = point
+    params = ctx.config.params
+    storage_caps = storage_capacities_for_fraction(ctx.model, ctx.reference, 1.0)
+    proc_caps = processing_capacities_for_fraction(ctx.model, lf)
+    clone = clone_with_capacities(
+        ctx.model, storage=storage_caps, processing=proc_caps
+    )
+    # phases 1-3 (repository unconstrained here)
+    policy = RepositoryReplicationPolicy(
+        alpha1=params.alpha1, alpha2=params.alpha2, kernel=ctx.config.kernel
+    )
+    pre = policy.run(clone)
+    trace_c = ctx.retrace(clone)
+    cost_c = policy.cost_model(clone)
+    values: list[float] = []
+    for q in central_fractions:
+        alloc_q = pre.allocation.copy()
+        capacity = repo_capacity_for_fraction(alloc_q, q)
+        outcome = offload_repository(
+            alloc_q, cost_c, OffloadConfig(), capacity=capacity
+        )
+        # An unrestored Eq. 9 means the repository runs saturated:
+        # every repository-side service slows by P(R)/C(R).
+        slowdown = max(1.0, outcome.final_repo_load / capacity)
+        sim = ctx.simulate(alloc_q, trace_c, repo_slowdown=slowdown)
+        values.append(ctx.relative_increase(sim))
+    return values
+
+
 def run_fig3(
     config: ExperimentConfig | None = None,
     local_fractions: Sequence[float] = DEFAULT_LOCAL_FRACTIONS,
@@ -55,39 +93,13 @@ def run_fig3(
 ) -> Fig3Result:
     """Regenerate Figure 3."""
     cfg = config or ExperimentConfig()
-    runs: dict[float, list[list[float]]] = {q: [] for q in central_fractions}
-
-    for ctx in iter_runs(cfg):
-        params = cfg.params
-        storage_caps = storage_capacities_for_fraction(
-            ctx.model, ctx.reference, 1.0
-        )
-        rows: dict[float, list[float]] = {q: [] for q in central_fractions}
-        for lf in local_fractions:
-            proc_caps = processing_capacities_for_fraction(ctx.model, lf)
-            clone = clone_with_capacities(
-                ctx.model, storage=storage_caps, processing=proc_caps
-            )
-            # phases 1-3 (repository unconstrained here)
-            policy = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2, kernel=cfg.kernel
-            )
-            pre = policy.run(clone)
-            trace_c = ctx.retrace(clone)
-            cost_c = policy.cost_model(clone)
-            for q in central_fractions:
-                alloc_q = pre.allocation.copy()
-                capacity = repo_capacity_for_fraction(alloc_q, q)
-                outcome = offload_repository(
-                    alloc_q, cost_c, OffloadConfig(), capacity=capacity
-                )
-                # An unrestored Eq. 9 means the repository runs saturated:
-                # every repository-side service slows by P(R)/C(R).
-                slowdown = max(1.0, outcome.final_repo_load / capacity)
-                sim = ctx.simulate(alloc_q, trace_c, repo_slowdown=slowdown)
-                rows[q].append(ctx.relative_increase(sim))
-        for q in central_fractions:
-            runs[q].append(rows[q])
+    central = tuple(float(q) for q in central_fractions)
+    points = [(float(lf), central) for lf in local_fractions]
+    matrix = map_run_points(cfg, _fig3_point, points)
+    runs: dict[float, list[list[float]]] = {
+        q: [[tick[qi] for tick in row] for row in matrix]
+        for qi, q in enumerate(central_fractions)
+    }
 
     return Fig3Result(
         title=(

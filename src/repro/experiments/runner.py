@@ -10,16 +10,23 @@ Every figure experiment follows the paper's protocol:
    policy/configuration of the sweep (paired comparison),
 4. average relative increases across runs.
 
-:class:`ExperimentConfig` carries the knobs; :func:`iter_runs` yields one
-:class:`RunContext` per run with the baseline already measured.
+:class:`ExperimentConfig` carries the knobs; :func:`prepare_run` builds
+(or fetches from the cross-sweep artifact cache) one fully-prepared
+:class:`RunContext`, and :func:`iter_runs` yields one per run with the
+baseline already measured.  Experiments fan the per-run sweep work out
+through :mod:`repro.experiments.executor`.
 
 Environment overrides honoured by the benchmark suite:
 
 * ``REPRO_BENCH_RUNS``  — number of runs per experiment,
 * ``REPRO_BENCH_SCALE`` — ``paper`` | ``small`` | ``tiny`` workload size,
 * ``REPRO_BENCH_REQUESTS`` — trace length per server,
+* ``REPRO_JOBS`` — parallel experiment workers (default 1 = serial),
 * ``REPRO_KERNEL`` — ``batched`` | ``scalar`` PARTITION kernel,
 * ``REPRO_METRICS`` — run-manifest output path (see :mod:`repro.obs`).
+
+The integer overrides are validated on read: a non-positive or
+non-integer value raises :class:`ValueError` naming the variable.
 """
 
 from __future__ import annotations
@@ -33,19 +40,25 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.cost_model import CostModel
 from repro.core.partition import resolve_kernel
-from repro.core.policy import RepositoryReplicationPolicy
 from repro.core.types import SystemModel
+from repro.experiments.cache import artifact_cache
 from repro.obs.registry import get_registry
 from repro.simulation.engine import simulate_allocation
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.perturbation import PAPER_PERTURBATION, PerturbationModel
 from repro.util.rng import RngFactory
 from repro.util.tables import format_series
-from repro.workload.generator import generate_workload
+from repro.util.validation import env_positive_int
 from repro.workload.params import WorkloadParams
 from repro.workload.trace import RequestTrace, generate_trace
 
-__all__ = ["ExperimentConfig", "RunContext", "iter_runs", "SweepResult"]
+__all__ = [
+    "ExperimentConfig",
+    "RunContext",
+    "prepare_run",
+    "iter_runs",
+    "SweepResult",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,9 @@ class ExperimentConfig:
     kernel: str = "batched"
     """PARTITION kernel (``"batched"`` | ``"scalar"``); both are
     bit-identical, the scalar path is the differential-testing oracle."""
+    jobs: int = 1
+    """Worker processes for the sweep executor (1 = serial; results are
+    bit-identical either way — see :mod:`repro.experiments.executor`)."""
 
     @classmethod
     def quick(cls, n_runs: int = 3) -> "ExperimentConfig":
@@ -71,13 +87,15 @@ class ExperimentConfig:
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
-        """Honour the ``REPRO_BENCH_*`` environment overrides.
+        """Honour the ``REPRO_BENCH_*`` / ``REPRO_JOBS`` environment
+        overrides.
 
         Defaults (no environment set) are sized so the full benchmark
         suite completes in minutes: a ``small``-scale workload with 5
-        runs.  Set ``REPRO_BENCH_SCALE=paper`` and
+        runs, executed serially.  Set ``REPRO_BENCH_SCALE=paper`` and
         ``REPRO_BENCH_RUNS=20`` to reproduce the paper-scale numbers
-        recorded in EXPERIMENTS.md.
+        recorded in EXPERIMENTS.md, and ``REPRO_JOBS=<n>`` to fan the
+        sweeps out over ``n`` worker processes.
         """
         scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
         presets = {
@@ -91,15 +109,16 @@ class ExperimentConfig:
                 f"{scale!r}"
             )
         params = presets[scale]()
-        requests = os.environ.get("REPRO_BENCH_REQUESTS")
-        if requests:
-            params = params.with_(requests_per_server=int(requests))
-        n_runs = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+        requests = env_positive_int("REPRO_BENCH_REQUESTS")
+        if requests is not None:
+            params = params.with_(requests_per_server=requests)
+        n_runs = env_positive_int("REPRO_BENCH_RUNS", default=5)
+        jobs = env_positive_int("REPRO_JOBS", default=1)
         try:
             kernel = resolve_kernel(os.environ.get("REPRO_KERNEL"))
         except ValueError as exc:
             raise ValueError(f"REPRO_KERNEL: {exc}") from None
-        return cls(params=params, n_runs=n_runs, kernel=kernel)
+        return cls(params=params, n_runs=n_runs, kernel=kernel, jobs=jobs)
 
 
 @dataclass
@@ -155,18 +174,26 @@ class RunContext:
         )
 
 
-def iter_runs(
+def prepare_run(
     config: ExperimentConfig,
+    run_index: int,
     relaxed: bool = True,
-) -> Iterator[RunContext]:
-    """Yield one fully-prepared :class:`RunContext` per run.
+) -> RunContext:
+    """Build (or fetch from the artifact cache) one run's context.
 
     ``relaxed=True`` (all figures) builds the model with unconstrained
     storage/processing/repository so the reference policy reduces to
     pure PARTITION; per-figure code then clones constrained variants.
+
+    Seeds derive exactly as they always have — run ``r`` draws its
+    ``(model, trace, sim)`` streams from ``RngFactory(base_seed)`` under
+    the label ``run/r`` — so contexts are bit-identical no matter which
+    process prepares them, in what order, or whether the cache hits.
+    The workload, trace, and unconstrained baseline are shared through
+    :mod:`repro.experiments.cache` across every sweep point and
+    experiment that asks for the same content address; treat them as
+    read-only (clone/copy before mutating, as the sweeps already do).
     """
-    reg = get_registry()
-    factory = RngFactory(config.base_seed)
     params = config.params
     if relaxed:
         params = params.with_(
@@ -174,37 +201,51 @@ def iter_runs(
             processing_capacity=np.inf,
             repository_capacity=np.inf,
         )
+    seeds = (
+        RngFactory(config.base_seed)
+        .generator(f"run/{run_index}")
+        .integers(0, 2**31 - 1, size=3)
+    )
+    model_seed, trace_seed, sim_seed = (int(s) for s in seeds)
+    art = artifact_cache().get(
+        params=params,
+        kernel=config.kernel,
+        perturbation=config.perturbation,
+        model_seed=model_seed,
+        trace_seed=trace_seed,
+        sim_seed=sim_seed,
+    )
+    return RunContext(
+        run_index=run_index,
+        config=config,
+        model=art.model,
+        trace=art.trace,
+        cost=art.cost,
+        reference=art.reference,
+        reference_sim=art.reference_sim,
+        sim_seed=sim_seed,
+        trace_seed=trace_seed,
+    )
+
+
+def iter_runs(
+    config: ExperimentConfig,
+    relaxed: bool = True,
+) -> Iterator[RunContext]:
+    """Yield one fully-prepared :class:`RunContext` per run (serially).
+
+    The historical entry point, kept for callers that drive their own
+    per-run loops; sweep-style experiments go through
+    :func:`repro.experiments.executor.map_run_points` instead, which
+    prepares the same contexts (same cache, same seeds) in parallel.
+    """
+    reg = get_registry()
     for r in range(config.n_runs):
-        seeds = factory.generator(f"run/{r}").integers(0, 2**31 - 1, size=3)
-        model_seed, trace_seed, sim_seed = (int(s) for s in seeds)
-        with reg.span("experiment-run"):
-            model = generate_workload(params, seed=model_seed)
-            trace = generate_trace(model, params, seed=trace_seed)
-            policy = RepositoryReplicationPolicy(
-                alpha1=params.alpha1, alpha2=params.alpha2, kernel=config.kernel
-            )
-            result = policy.run(model)
-            cost = policy.cost_model(model)
-            ref_sim = simulate_allocation(
-                result.allocation,
-                trace,
-                perturbation=config.perturbation,
-                seed=sim_seed,
-            )
+        ctx = prepare_run(config, r, relaxed=relaxed)
         if reg.enabled:
             reg.count("experiment.runs")
-            reg.count("experiment.trace_requests", trace.n_requests)
-        yield RunContext(
-            run_index=r,
-            config=config,
-            model=model,
-            trace=trace,
-            cost=cost,
-            reference=result.allocation,
-            reference_sim=ref_sim,
-            sim_seed=sim_seed,
-            trace_seed=trace_seed,
-        )
+            reg.count("experiment.trace_requests", ctx.trace.n_requests)
+        yield ctx
 
 
 @dataclass

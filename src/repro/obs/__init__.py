@@ -37,6 +37,7 @@ from typing import Any, Iterator
 from repro.obs.manifest import (
     ENV_VAR,
     SCHEMA,
+    WORKER_ENV_VAR,
     build_manifest,
     git_revision,
     policy_section,
@@ -57,6 +58,7 @@ from repro.obs.registry import (
 __all__ = [
     "ENV_VAR",
     "SCHEMA",
+    "WORKER_ENV_VAR",
     "MetricsRegistry",
     "NullRegistry",
     "SpanRecord",

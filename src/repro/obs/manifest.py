@@ -49,6 +49,7 @@ from repro.obs.registry import MetricsRegistry
 __all__ = [
     "SCHEMA",
     "ENV_VAR",
+    "WORKER_ENV_VAR",
     "build_manifest",
     "write_manifest",
     "policy_section",
@@ -63,6 +64,12 @@ SCHEMA = "repro/run-manifest-v1"
 #: manifest output path (a ``.json`` file, or a directory that receives
 #: one timestamped manifest per run).
 ENV_VAR = "REPRO_METRICS"
+
+#: Set (to the worker's pid) inside the parallel experiment executor's
+#: worker processes.  :func:`resolve_manifest_path` appends a
+#: ``-w<pid>`` suffix to explicit ``.json`` targets when it is present,
+#: so concurrent workers can never clobber each other's manifests.
+WORKER_ENV_VAR = "REPRO_EXECUTOR_WORKER"
 
 
 def git_revision(cwd: str | os.PathLike | None = None) -> str | None:
@@ -127,13 +134,15 @@ def policy_section(result: Any) -> dict:
 
 def simulation_section(sim: Any) -> dict:
     """Digest a :class:`~repro.simulation.metrics.SimulationResult`."""
+    quantiles = (50, 90, 95, 99)
+    values = sim.percentile_page_times(quantiles)
     return {
         "n_requests": sim.n_requests,
         "n_optional_downloads": len(sim.optional_times),
         "mean_page_time": sim.mean_page_time,
         "mean_optional_time": sim.mean_optional_time,
         "percentiles": {
-            f"p{q}": sim.percentile_page_time(q) for q in (50, 90, 95, 99)
+            f"p{q}": float(v) for q, v in zip(quantiles, values)
         },
         "bottleneck_fraction_remote": sim.bottleneck_fraction_remote(),
     }
@@ -184,9 +193,15 @@ def resolve_manifest_path(
     A value ending in ``.json`` names the file directly; anything else is
     treated as a directory receiving ``<name>-<utc-timestamp>.json``
     (collisions disambiguated by pid so parallel runs never clobber).
+    Inside an executor worker process (``REPRO_EXECUTOR_WORKER`` set)
+    explicit ``.json`` targets additionally gain a ``-w<pid>`` suffix,
+    keeping per-artifact manifest paths unique per worker/run.
     """
     path = pathlib.Path(spec)
+    worker = os.environ.get(WORKER_ENV_VAR, "").strip()
     if path.suffix == ".json":
+        if worker:
+            return path.with_name(f"{path.stem}-w{worker}{path.suffix}")
         return path
     stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
     return path / f"{name}-{stamp}-{os.getpid()}.json"

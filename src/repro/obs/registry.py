@@ -125,6 +125,30 @@ class MetricsRegistry:
             "phase_seconds": self.phase_seconds(),
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge semantics match what a single registry would have
+        recorded had the work run in-process: counters are **added**,
+        spans are **appended** (so per-path phase seconds sum), and
+        gauges are **last-write-wins** in merge order.  The parallel
+        experiment executor (:mod:`repro.experiments.executor`) merges
+        worker snapshots in work-unit order, which makes merged counters
+        and deterministic gauges independent of the worker count.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauges[name] = float(value)
+        for rec in snap.get("spans", []):
+            self.spans.append(
+                SpanRecord(
+                    name=rec["name"],
+                    path=rec["path"],
+                    seconds=float(rec["seconds"]),
+                )
+            )
+
     def clear(self) -> None:
         """Forget everything recorded so far (open spans survive)."""
         self.counters.clear()
@@ -152,6 +176,9 @@ class NullRegistry(MetricsRegistry):
         return _NULL_SPAN
 
     timer = span
+
+    def merge_snapshot(self, snap: dict) -> None:  # noqa: D102
+        pass
 
 
 _NULL_REGISTRY = NullRegistry()

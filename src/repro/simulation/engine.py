@@ -120,10 +120,11 @@ def simulate_partition_masks(
         reg.count("simulation.page_requests", result.n_requests)
         reg.count("simulation.optional_downloads", len(result.optional_times))
         reg.gauge("simulation.mean_page_time", result.mean_page_time)
-        for q in (50, 90, 95, 99):
-            reg.gauge(
-                f"simulation.p{q}_page_time", result.percentile_page_time(q)
-            )
+        quantiles = (50, 90, 95, 99)
+        for q, value in zip(
+            quantiles, result.percentile_page_times(quantiles)
+        ):
+            reg.gauge(f"simulation.p{q}_page_time", float(value))
     return result
 
 

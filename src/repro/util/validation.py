@@ -7,6 +7,8 @@ time instead of as NaNs deep inside a sweep.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 __all__ = [
@@ -14,7 +16,31 @@ __all__ = [
     "check_nonnegative",
     "check_fraction",
     "check_probability_matrix",
+    "env_positive_int",
 ]
+
+
+def env_positive_int(name: str, default: int | None = None) -> int | None:
+    """Read environment variable ``name`` as a strictly positive integer.
+
+    Unset or empty values return ``default``.  Anything that is not an
+    integer literal (``"2.5"``, ``"four"``) or is non-positive raises
+    :class:`ValueError` naming the variable, so the ``REPRO_BENCH_RUNS``
+    / ``REPRO_BENCH_REQUESTS`` / ``REPRO_JOBS`` overrides fail loudly at
+    configuration time instead of deep inside a sweep.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {raw!r}")
+    return value
 
 
 def check_positive(name: str, value: float) -> float:

@@ -41,6 +41,21 @@ class TestConfig:
         with pytest.raises(ValueError, match="REPRO_BENCH_SCALE"):
             ExperimentConfig.from_env()
 
+    @pytest.mark.parametrize(
+        "var", ["REPRO_BENCH_RUNS", "REPRO_BENCH_REQUESTS", "REPRO_JOBS"]
+    )
+    @pytest.mark.parametrize("value", ["0", "-3", "2.5", "abc"])
+    def test_from_env_rejects_bad_integers(self, monkeypatch, var, value):
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ValueError, match=var):
+            ExperimentConfig.from_env()
+
+    def test_from_env_reads_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert ExperimentConfig.from_env().jobs == 2
+        monkeypatch.delenv("REPRO_JOBS")
+        assert ExperimentConfig.from_env().jobs == 1
+
 
 class TestIterRuns:
     def test_yields_n_runs(self, quick_cfg):

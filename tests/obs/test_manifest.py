@@ -119,6 +119,24 @@ class TestPathsAndWriting:
         assert out == target
         assert json.loads(target.read_text())["schema"] == SCHEMA
 
+    def test_worker_suffix_on_explicit_json(self, tmp_path, monkeypatch):
+        """Inside an executor worker, explicit .json targets gain a
+        -w<pid> suffix so concurrent workers never clobber each other."""
+        from repro.obs.manifest import WORKER_ENV_VAR
+
+        monkeypatch.setenv(WORKER_ENV_VAR, "4321")
+        spec = tmp_path / "manifests" / "fig1.json"
+        path = resolve_manifest_path(spec)
+        assert path.parent == spec.parent
+        assert path.name == "fig1-w4321.json"
+
+    def test_worker_suffix_absent_outside_workers(self, tmp_path, monkeypatch):
+        from repro.obs.manifest import WORKER_ENV_VAR
+
+        monkeypatch.delenv(WORKER_ENV_VAR, raising=False)
+        spec = tmp_path / "fig1.json"
+        assert resolve_manifest_path(spec) == spec
+
 
 class TestCollect:
     def test_collect_writes_manifest(self, tmp_path, tiny_model):

@@ -97,6 +97,54 @@ class TestMetricsRegistry:
         assert reg.counters == {} and reg.gauges == {} and reg.spans == []
 
 
+class TestMergeSnapshot:
+    def test_counters_add_and_spans_append(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.count("units", 2)
+        worker.count("units", 3)
+        worker.count("evictions", 1)
+        with worker.span("experiment-prepare"):
+            pass
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counters == {"units": 5.0, "evictions": 1.0}
+        assert [r.path for r in parent.spans] == ["experiment-prepare"]
+        assert parent.phase_seconds()["experiment-prepare"] == pytest.approx(
+            worker.span_seconds("experiment-prepare")
+        )
+
+    def test_gauges_last_write_wins_in_merge_order(self):
+        parent = MetricsRegistry()
+        parent.gauge("simulation.p95_page_time", 1.0)
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("simulation.p95_page_time", 2.0)
+        b.gauge("simulation.p95_page_time", 3.0)
+        parent.merge_snapshot(a.snapshot())
+        parent.merge_snapshot(b.snapshot())
+        assert parent.gauges["simulation.p95_page_time"] == 3.0
+
+    def test_merge_equals_inline_recording(self):
+        """Merging worker snapshots reproduces what one registry would
+        have recorded in-process (the executor's contract)."""
+        inline = MetricsRegistry()
+        for _ in range(4):
+            inline.count("work", 2)
+            inline.gauge("last", 7.0)
+        merged = MetricsRegistry()
+        for _ in range(2):
+            worker = MetricsRegistry()
+            for _ in range(2):
+                worker.count("work", 2)
+                worker.gauge("last", 7.0)
+            merged.merge_snapshot(worker.snapshot())
+        assert merged.counters == inline.counters
+        assert merged.gauges == inline.gauges
+
+    def test_null_registry_merge_is_noop(self):
+        null = NullRegistry()
+        null.merge_snapshot({"counters": {"a": 1.0}})
+        assert null.counters == {}
+
+
 class TestNullRegistry:
     def test_everything_is_noop(self):
         reg = NullRegistry()

@@ -59,6 +59,20 @@ class TestPercentilesAndBreakdowns:
         assert r.percentile_page_time(50) == pytest.approx(50.0)
         assert r.percentile_page_time(95) == pytest.approx(95.0)
 
+    def test_percentiles_vectorized_match_scalar(self):
+        r = make_result(np.arange(101, dtype=float))
+        qs = (50, 90, 95, 99)
+        values = r.percentile_page_times(qs)
+        assert values.shape == (4,)
+        for q, v in zip(qs, values):
+            assert v == pytest.approx(r.percentile_page_time(q))
+
+    def test_percentiles_empty_is_zero(self):
+        assert make_result([]).percentile_page_times((50, 95)).tolist() == [
+            0.0,
+            0.0,
+        ]
+
     def test_by_server(self):
         r = make_result([1.0, 3.0, 10.0], servers=[0, 0, 1])
         by = r.mean_page_time_by_server(3)
