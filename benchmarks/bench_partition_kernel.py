@@ -45,7 +45,7 @@ def _best_time(fn, repeats: int = REPEATS) -> float:
 
 
 @pytest.fixture(scope="module")
-def kernel_results(save_artifact):
+def kernel_results(save_artifact, save_timings):
     rows = []
     results = {}
     for name, params in WORKLOADS.items():
@@ -63,6 +63,8 @@ def kernel_results(save_artifact):
         t_batched = _best_time(lambda: partition_all(model, kernel="batched"))
         results[name] = {
             "pages": model.n_pages,
+            "scalar_seconds": t_scalar,
+            "batched_seconds": t_batched,
             "scalar_pps": model.n_pages / t_scalar,
             "batched_pps": model.n_pages / t_batched,
             "speedup": t_scalar / t_batched,
@@ -83,6 +85,10 @@ def kernel_results(save_artifact):
         f"{REPEATS}, bit-identical outputs)",
     )
     save_artifact("partition_kernel", table)
+    save_timings(
+        "partition_kernel",
+        {"seed": SEED, "repeats": REPEATS, "workloads": results},
+    )
     return results
 
 

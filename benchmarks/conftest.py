@@ -31,6 +31,7 @@ under ``benchmarks/out/`` (gitignored), not in the repository root.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -103,6 +104,38 @@ def save_artifact(bench_config, bench_metrics):
         )
         bench_metrics.clear()
         print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_timings():
+    """Persist machine-readable kernel timings as ``BENCH_<name>.json``.
+
+    The kernel benches (``bench_*_kernel.py``) assert speedup floors;
+    this fixture additionally records the raw numbers they measured —
+    per-workload/per-phase wall-clock seconds and speedups — under
+    ``benchmarks/out/<scale>/BENCH_<name>.json`` together with git/seed
+    provenance, so the performance trajectory is diffable across PRs
+    without re-parsing the human-readable tables.
+    """
+    import os
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+    def _save(name: str, payload: dict) -> pathlib.Path:
+        out = OUT_DIR / scale
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"BENCH_{name}.json"
+        doc = {
+            "bench": name,
+            "scale": scale,
+            "git_sha": obs.git_revision(),
+            **payload,
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"[timings saved to {path}]")
         return path
 
     return _save

@@ -49,9 +49,10 @@ def main(argv: list[str]) -> int:
         cmd = [sys.executable, "-m", "pytest", "-q"]
     else:
         # --cov-fail-under is left to [tool.coverage.report] fail_under.
-        # repro.obs and the experiment executor/cache modules are named
-        # explicitly so the observability + parallelism layers stay in
-        # the measured set even if the source tree is ever split.
+        # repro.obs, the experiment executor/cache modules, and the
+        # batched kernels are named explicitly so the observability,
+        # parallelism, and performance layers stay in the measured set
+        # even if the source tree is ever split.
         cmd = [
             sys.executable,
             "-m",
@@ -61,6 +62,8 @@ def main(argv: list[str]) -> int:
             "--cov=repro.obs",
             "--cov=repro.experiments.executor",
             "--cov=repro.experiments.cache",
+            "--cov=repro.core.fast_partition",
+            "--cov=repro.core.fast_restoration",
         ]
     if fast:
         cmd += ["-m", "not slow"]

@@ -52,6 +52,7 @@ from repro.core.constraints import (
     storage_used,
 )
 from repro.core.cost_model import CostModel
+from repro.core.partition import Kernel, resolve_kernel
 from repro.obs.registry import get_registry
 
 __all__ = [
@@ -172,6 +173,79 @@ def _candidate_workload(alloc: Allocation, kind: str, e: int) -> float:
     return float(m.frequencies[j] * m.optional_rate_scale[j] * m.opt_probs[e])
 
 
+def _try_make_room(
+    alloc: Allocation,
+    rev: ReverseIndex,
+    server_id: int,
+    need: float,
+    gain: float,
+    local_bytes: np.ndarray,
+    remote_bytes: np.ndarray,
+    allow_swap: bool,
+) -> tuple[bool, list[float], list[int], list[int], list[int]]:
+    """Free ``need`` bytes by deallocating stored objects whose marks
+    shed less workload than ``gain`` would add (net positive trade).
+
+    Shared by the scalar and batched absorption kernels — the victim
+    ranking (``victims.sort()`` over ``(w_lost/size, k, size, w_lost)``
+    tuples) is fully deterministic, so both paths choose identical
+    victims.  Returns ``(ok, freed_sizes, flipped_comp_entries,
+    flipped_opt_entries, flipped_pages)``; on failure nothing is
+    mutated.
+    """
+    m = alloc.model
+    if not allow_swap:
+        return False, [], [], [], []
+    victims: list[tuple[float, int, float, float]] = []
+    for k in alloc.replicas[server_id]:
+        k = int(k)
+        size = float(m.sizes[k])
+        w_lost = 0.0
+        marks = alloc.mark_count(server_id, k)
+        if marks:
+            # workload carried by this object's local marks
+            comp_e, opt_e = rev.entries_for(server_id, k)
+            for e2 in comp_e:
+                if alloc.comp_local[e2]:
+                    w_lost += float(m.frequencies[m.comp_pages[e2]])
+            for e2 in opt_e:
+                if alloc.opt_local[e2]:
+                    w_lost += _candidate_workload(alloc, "opt", int(e2))
+        victims.append((w_lost / size, k, size, w_lost))
+    victims.sort()
+    freed, lost, chosen = 0.0, 0.0, []
+    for _, k, size, w_lost in victims:
+        if freed >= need:
+            break
+        chosen.append((k, size, w_lost))
+        freed += size
+        lost += w_lost
+    if freed < need or lost >= gain:
+        return False, [], [], [], []
+    freed_sizes: list[float] = []
+    flip_comp: list[int] = []
+    flip_opt: list[int] = []
+    flip_pages: list[int] = []
+    for k, size, _ in chosen:
+        comp_e, opt_e = rev.entries_for(server_id, k)
+        for e2 in comp_e:
+            if alloc.comp_local[e2]:
+                j = int(m.comp_pages[e2])
+                alloc.set_comp_local(e2, False)
+                sz = float(m.sizes[k])
+                local_bytes[j] -= sz
+                remote_bytes[j] += sz
+                flip_comp.append(int(e2))
+                flip_pages.append(j)
+        for e2 in opt_e:
+            if alloc.opt_local[e2]:
+                alloc.set_opt_local(e2, False)
+                flip_opt.append(int(e2))
+        alloc.replicas[server_id].discard(k)
+        freed_sizes.append(size)
+    return True, freed_sizes, flip_comp, flip_opt, flip_pages
+
+
 def absorb_extra_workload(
     alloc: Allocation,
     cost: CostModel,
@@ -179,6 +253,7 @@ def absorb_extra_workload(
     target: float,
     allow_new_replicas: bool = True,
     allow_swap: bool = True,
+    kernel: Kernel = "batched",
 ) -> float:
     """Shift up to ``target`` req/s of repository workload onto ``server_id``.
 
@@ -196,7 +271,35 @@ def absorb_extra_workload(
         Enable the paper's last-resort swap: deallocating stored objects
         whose marks carry less workload than a blocked candidate would
         add, when that trade is a net workload gain.
+    kernel:
+        ``"batched"`` (default) scores candidates with the vectorised
+        engine of :mod:`repro.core.fast_restoration`; ``"scalar"`` keeps
+        the reference lazy-heap loop.  Both produce bit-identical
+        absorption sequences.
     """
+    kernel = resolve_kernel(kernel)
+    if kernel == "batched":
+        # local import keeps the scalar path importable without NumPy
+        # fanciness and avoids a module-level cycle
+        from repro.core.fast_restoration import absorb_extra_workload_batched
+
+        rescore: dict[str, int] = {}
+        absorbed = absorb_extra_workload_batched(
+            alloc,
+            cost,
+            server_id,
+            target,
+            allow_new_replicas=allow_new_replicas,
+            allow_swap=allow_swap,
+            counters=rescore,
+        )
+        reg = get_registry()
+        if reg.enabled and rescore:
+            reg.count("offload.rescore_batches", rescore.get("batches", 0))
+            reg.count(
+                "offload.rescored_candidates", rescore.get("candidates", 0)
+            )
+        return absorbed
     if target <= _TOL:
         return 0.0
     m = alloc.model
@@ -241,50 +344,14 @@ def absorb_extra_workload(
     def try_make_room(need: float, gain: float) -> bool:
         """Free ``need`` bytes by deallocating stored objects whose marks
         shed less workload than ``gain`` would add (net positive trade)."""
-        if not allow_swap:
-            return False
-        victims: list[tuple[float, int, float, float]] = []
-        for k in alloc.replicas[server_id]:
-            k = int(k)
-            size = float(m.sizes[k])
-            w_lost = 0.0
-            marks = alloc.mark_count(server_id, k)
-            if marks:
-                # workload carried by this object's local marks
-                comp_e, opt_e = rev.entries_for(server_id, k)
-                for e2 in comp_e:
-                    if alloc.comp_local[e2]:
-                        w_lost += float(m.frequencies[m.comp_pages[e2]])
-                for e2 in opt_e:
-                    if alloc.opt_local[e2]:
-                        w_lost += _candidate_workload(alloc, "opt", int(e2))
-            victims.append((w_lost / size, k, size, w_lost))
-        victims.sort()
-        freed, lost, chosen = 0.0, 0.0, []
-        for _, k, size, w_lost in victims:
-            if freed >= need:
-                break
-            chosen.append((k, size, w_lost))
-            freed += size
-            lost += w_lost
-        if freed < need or lost >= gain:
-            return False
         nonlocal space
-        for k, size, _ in chosen:
-            comp_e, opt_e = rev.entries_for(server_id, k)
-            for e2 in comp_e:
-                if alloc.comp_local[e2]:
-                    j = int(m.comp_pages[e2])
-                    alloc.set_comp_local(e2, False)
-                    sz = float(m.sizes[k])
-                    local_bytes[j] -= sz
-                    remote_bytes[j] += sz
-            for e2 in opt_e:
-                if alloc.opt_local[e2]:
-                    alloc.set_opt_local(e2, False)
-            alloc.replicas[server_id].discard(k)
+        ok, freed_sizes, _, _, _ = _try_make_room(
+            alloc, rev, server_id, need, gain,
+            local_bytes, remote_bytes, allow_swap,
+        )
+        for size in freed_sizes:
             space += size
-        return True
+        return ok
 
     absorbed = 0.0
     deferred: list[tuple[float, int, tuple[str, int]]] = []
@@ -366,6 +433,7 @@ def offload_repository(
     cost: CostModel,
     config: OffloadConfig | None = None,
     capacity: float | None = None,
+    kernel: Kernel = "batched",
 ) -> OffloadOutcome:
     """Run the OFF_LOADING_REPOSITORY protocol, mutating ``alloc``.
 
@@ -380,8 +448,12 @@ def offload_repository(
         Override for ``C(R)`` (defaults to the model's repository
         capacity).  Figure 3 sweeps this as a fraction of the workload
         the pre-offload allocation imposes.
+    kernel:
+        Candidate-scoring kernel forwarded to
+        :func:`absorb_extra_workload` (``"batched"`` or ``"scalar"``).
     """
     cfg = config or OffloadConfig()
+    kernel = resolve_kernel(kernel)
     m = alloc.model
     repo_cap = (
         m.repository.processing_capacity if capacity is None else float(capacity)
@@ -421,6 +493,7 @@ def offload_repository(
                     req,
                     allow_new_replicas=st.free_space > _TOL,
                     allow_swap=cfg.allow_swap,
+                    kernel=kernel,
                 )
                 outcome.absorbed_by_server[i] = (
                     outcome.absorbed_by_server.get(i, 0.0) + achieved

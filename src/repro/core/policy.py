@@ -196,7 +196,9 @@ class RepositoryReplicationPolicy:
             if not report.local_ok:
                 with reg.span("processing-restoration") as sp:
                     spans["processing-restoration"] = sp
-                    processing_stats = restore_processing_capacity(alloc, cost)
+                    processing_stats = restore_processing_capacity(
+                        alloc, cost, kernel=self.kernel
+                    )
                 phases.append("processing-restoration")
                 report = evaluate_constraints(alloc)
 
@@ -205,7 +207,7 @@ class RepositoryReplicationPolicy:
                 with reg.span("off-loading") as sp:
                     spans["off-loading"] = sp
                     offload_outcome = offload_repository(
-                        alloc, cost, self.offload_config
+                        alloc, cost, self.offload_config, kernel=self.kernel
                     )
                 phases.append("off-loading")
                 report = evaluate_constraints(alloc)

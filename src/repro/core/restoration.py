@@ -377,10 +377,12 @@ def restore_storage_capacity(
         criterion, "more judicious over large ... objects").  ``False``
         ranks by raw damage — the ablation baseline.
     kernel:
-        PARTITION kernel used by the post-eviction re-partitioning:
-        ``"batched"`` (default) re-partitions every affected page in one
-        vectorized pass, ``"scalar"`` keeps the per-page reference greedy.
-        Results are bit-identical either way.
+        ``"batched"`` (default) runs the whole greedy loop on the
+        vectorised engine of :mod:`repro.core.fast_restoration` (bulk
+        dirty-slice rescoring + array-backed lazy heap); ``"scalar"``
+        keeps this module's per-candidate reference loop.  Results are
+        bit-identical either way — same evictions, same order, same
+        stats.
 
     Raises
     ------
@@ -389,7 +391,6 @@ def restore_storage_capacity(
     """
     kernel = resolve_kernel(kernel)
     reg = get_registry()
-    state = _PageState(cost, alloc)
     stats = StorageRestorationStats()
     # one O(E) reverse-index build (cached per model) shared by every
     # per-server sweep instead of one lookup per server
@@ -397,13 +398,32 @@ def restore_storage_capacity(
     servers = (
         range(alloc.model.n_servers) if server_id is None else [server_id]
     )
+    rescore: dict = {}
     with reg.span("restore-storage"):
-        for i in servers:
-            stats.merge(
-                _restore_storage_one_server(
-                    alloc, cost, state, i, rev, amortise=amortise, kernel=kernel
+        if kernel == "batched":
+            from repro.core.fast_restoration import restore_storage_batched
+
+            for i in servers:
+                stats.merge(
+                    restore_storage_batched(
+                        alloc,
+                        cost,
+                        i,
+                        rev,
+                        amortise=amortise,
+                        batch_min_pages=_BATCH_MIN_PAGES,
+                        counters=rescore,
+                    )
                 )
-            )
+        else:
+            state = _PageState(cost, alloc)
+            for i in servers:
+                stats.merge(
+                    _restore_storage_one_server(
+                        alloc, cost, state, i, rev, amortise=amortise,
+                        kernel=kernel,
+                    )
+                )
     if reg.enabled:
         reg.count("restoration.storage.runs")
         reg.count("restoration.storage.evictions", stats.evictions)
@@ -414,6 +434,14 @@ def restore_storage_capacity(
         reg.count(
             "restoration.storage.objective_delta", stats.objective_delta
         )
+        if rescore:
+            reg.count(
+                "restoration.storage.rescore_batches", rescore.get("batches", 0)
+            )
+            reg.count(
+                "restoration.storage.rescored_candidates",
+                rescore.get("candidates", 0),
+            )
     return stats
 
 
@@ -556,23 +584,41 @@ def restore_processing_capacity(
     alloc: Allocation,
     cost: CostModel,
     server_id: int | None = None,
+    kernel: Kernel = "batched",
 ) -> ProcessingRestorationStats:
     """Restore Eq. 8 in place; return accounting statistics.
+
+    ``kernel="batched"`` (default) runs the vectorised engine of
+    :mod:`repro.core.fast_restoration`; ``"scalar"`` keeps the reference
+    loop.  Decision sequences, stats and final allocations are
+    bit-identical either way.
 
     Raises
     ------
     InfeasibleError
         If a server's HTML request load alone exceeds ``C(S_i)``.
     """
+    kernel = resolve_kernel(kernel)
     reg = get_registry()
-    state = _PageState(cost, alloc)
     stats = ProcessingRestorationStats()
     servers = (
         range(alloc.model.n_servers) if server_id is None else [server_id]
     )
+    rescore: dict = {}
     with reg.span("restore-processing"):
-        for i in servers:
-            stats.merge(_restore_processing_one_server(alloc, cost, state, i))
+        if kernel == "batched":
+            from repro.core.fast_restoration import restore_processing_batched
+
+            for i in servers:
+                stats.merge(
+                    restore_processing_batched(alloc, cost, i, counters=rescore)
+                )
+        else:
+            state = _PageState(cost, alloc)
+            for i in servers:
+                stats.merge(
+                    _restore_processing_one_server(alloc, cost, state, i)
+                )
     if reg.enabled:
         reg.count("restoration.processing.runs")
         reg.count("restoration.processing.switches", stats.switches)
@@ -581,4 +627,13 @@ def restore_processing_capacity(
         reg.count(
             "restoration.processing.objective_delta", stats.objective_delta
         )
+        if rescore:
+            reg.count(
+                "restoration.processing.rescore_batches",
+                rescore.get("batches", 0),
+            )
+            reg.count(
+                "restoration.processing.rescored_candidates",
+                rescore.get("candidates", 0),
+            )
     return stats

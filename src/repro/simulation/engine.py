@@ -150,7 +150,7 @@ def _simulate_partition_masks(
     spb_local_req = 1.0 / m.server_rate[srv]
     spb_repo_req = 1.0 / m.server_repo_rate[srv]
 
-    owner, entries = expand_ragged(pages, m.comp_indptr)
+    owner, entries = trace.comp_expansion(m.comp_indptr)
     pair_local = np.asarray(pair_local, dtype=bool)
     if pair_local.shape != entries.shape:
         raise ValueError(
@@ -282,7 +282,7 @@ def simulate_allocation(
     if alloc.model is not trace.model:
         raise ValueError("allocation and trace must share the same SystemModel")
     m = trace.model
-    _, entries = expand_ragged(trace.page_of_request, m.comp_indptr)
+    _, entries = trace.comp_expansion(m.comp_indptr)
     pair_local = alloc.comp_local[entries]
     opt_local = alloc.opt_local[trace.opt_entries]
     return simulate_partition_masks(

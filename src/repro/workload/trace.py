@@ -61,6 +61,34 @@ class RequestTrace:
         """Indices of page requests hitting ``server_id``."""
         return np.flatnonzero(self.server_of_request == server_id)
 
+    def comp_expansion(
+        self, indptr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Memoised ragged expansion of the trace over ``indptr``.
+
+        Returns the ``(owner, entries)`` pairs of
+        :func:`repro.simulation.engine.expand_ragged` for
+        ``page_of_request``.  The expansion only depends on the trace and
+        the CSR row pointers, and the simulator replays the *same* trace
+        against many allocations per experiment — caching it here removes
+        the dominant repeated setup cost of ``simulate_allocation``.  The
+        cache is keyed by ``indptr`` identity so a trace replayed against
+        a structurally different model never sees stale pairs.
+        """
+        cached = getattr(self, "_comp_expansion_cache", None)
+        if cached is not None and cached[0] is indptr:
+            return cached[1], cached[2]
+        # local import: trace.py must stay importable without the
+        # simulation package (workload generation is dependency-light)
+        from repro.simulation.engine import expand_ragged
+
+        owner, entries = expand_ragged(self.page_of_request, indptr)
+        # frozen dataclass: the cache is private mutable state, not a field
+        object.__setattr__(
+            self, "_comp_expansion_cache", (indptr, owner, entries)
+        )
+        return owner, entries
+
     def validate(self) -> None:
         """Sanity-check the trace's internal consistency (for tests)."""
         m = self.model

@@ -9,6 +9,12 @@ seeded workloads so performance PRs cannot silently change allocations:
 * ``small_constrained_frac50`` — the full policy on the seeded ``small``
   workload with per-server storage clamped to 50% of the unconstrained
   need, exercising storage restoration and the re-partition path.
+* ``small_processing_frac50`` — per-server processing clamped to 50% of
+  the unconstrained MO-download load, exercising processing restoration
+  (greedy remote switches + eager sibling rescoring).
+* ``small_offload_frac50`` — repository capacity clamped to 50% of the
+  post-restoration repository load, exercising the OFF_LOADING
+  negotiation and its server-side absorption loop.
 
 Refreshing (ONLY after an intentional algorithmic change, never to make
 a perf PR pass):
@@ -26,10 +32,14 @@ from __future__ import annotations
 import json
 import pathlib
 
+import numpy as np
+
 from repro.core.partition import partition_all
 from repro.core.policy import RepositoryReplicationPolicy
 from repro.experiments.scaling import (
     clone_with_capacities,
+    processing_capacities_for_fraction,
+    repo_capacity_for_fraction,
     storage_capacities_for_fraction,
 )
 from repro.workload.generator import generate_workload
@@ -86,11 +96,57 @@ def compute_small_constrained(kernel: str = "batched") -> dict:
     }
 
 
+def compute_small_processing(kernel: str = "batched") -> dict:
+    """Full policy on the small workload at 50% processing headroom."""
+    model = generate_workload(_relaxed(WorkloadParams.small()), seed=SEED)
+    reference = partition_all(model, kernel=kernel)
+    caps = np.maximum(
+        processing_capacities_for_fraction(model, 0.5, reference) + 1e-9,
+        1e-6,
+    )
+    clone = clone_with_capacities(model, processing=caps)
+    result = RepositoryReplicationPolicy(kernel=kernel).run(clone)
+    cost = RepositoryReplicationPolicy(kernel=kernel).cost_model(clone)
+    alloc = result.allocation
+    return {
+        "D": cost.D(alloc),
+        "comp_local": int(alloc.comp_local.sum()),
+        "opt_local": int(alloc.opt_local.sum()),
+        "replica_sizes": [len(r) for r in alloc.replicas],
+        "switches": result.processing_stats.switches,
+        "deallocations": result.processing_stats.deallocations,
+    }
+
+
+def compute_small_offload(kernel: str = "batched") -> dict:
+    """Full policy on the small workload at 50% repository capacity."""
+    model = generate_workload(_relaxed(WorkloadParams.small()), seed=SEED)
+    reference = partition_all(model, kernel=kernel)
+    repo_cap = repo_capacity_for_fraction(reference, 0.5)
+    clone = clone_with_capacities(model, repo_capacity=repo_cap)
+    result = RepositoryReplicationPolicy(kernel=kernel).run(clone)
+    cost = RepositoryReplicationPolicy(kernel=kernel).cost_model(clone)
+    alloc = result.allocation
+    out = result.offload_outcome
+    return {
+        "D": cost.D(alloc),
+        "comp_local": int(alloc.comp_local.sum()),
+        "opt_local": int(alloc.opt_local.sum()),
+        "restored": out.restored,
+        "rounds": out.rounds,
+        "messages": out.messages,
+        "final_repo_load": out.final_repo_load,
+        "total_absorbed": out.total_absorbed,
+    }
+
+
 def compute_goldens(kernel: str = "batched") -> dict:
     return {
         "seed": SEED,
         "table1_unconstrained": compute_table1_unconstrained(kernel),
         "small_constrained_frac50": compute_small_constrained(kernel),
+        "small_processing_frac50": compute_small_processing(kernel),
+        "small_offload_frac50": compute_small_offload(kernel),
     }
 
 

@@ -18,6 +18,8 @@ import pytest
 from tests.regression.refresh_goldens import (
     GOLDEN_PATH,
     compute_small_constrained,
+    compute_small_offload,
+    compute_small_processing,
     compute_table1_unconstrained,
 )
 
@@ -54,3 +56,15 @@ def test_table1_unconstrained_golden(goldens, kernel):
 def test_small_constrained_golden(goldens, kernel):
     observed = compute_small_constrained(kernel)
     assert_matches_golden(observed, goldens["small_constrained_frac50"])
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_small_processing_golden(goldens, kernel):
+    observed = compute_small_processing(kernel)
+    assert_matches_golden(observed, goldens["small_processing_frac50"])
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_small_offload_golden(goldens, kernel):
+    observed = compute_small_offload(kernel)
+    assert_matches_golden(observed, goldens["small_offload_frac50"])
