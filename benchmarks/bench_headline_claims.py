@@ -5,6 +5,8 @@ Local, ours@65% ~ LRU@100%, ~1.8 GB/server) and times the request-level
 simulator — the measurement machinery all experiments share.
 """
 
+import time
+
 import pytest
 
 from repro.experiments.claims import run_headline_claims
@@ -14,9 +16,25 @@ from repro.simulation.lru_sim import simulate_lru
 
 
 @pytest.fixture(scope="module")
-def claims(bench_config, save_artifact):
+def claims(bench_config, save_artifact, save_timings):
+    t0 = time.perf_counter()
     result = run_headline_claims(bench_config)
+    elapsed = time.perf_counter() - t0
     save_artifact("headline_claims", result.render())
+    save_timings(
+        "headline_claims",
+        {
+            "elapsed_seconds": elapsed,
+            "n_runs": result.n_runs,
+            "claims": {
+                "remote_increase": result.remote_increase,
+                "local_increase": result.local_increase,
+                "lru_full_increase": result.lru_full_increase,
+                "ours_at_65pct_increase": result.ours_at_65pct_increase,
+                "avg_storage_gb": result.avg_storage_gb,
+            },
+        },
+    )
     return result
 
 

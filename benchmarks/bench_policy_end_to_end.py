@@ -1,0 +1,160 @@
+"""End-to-end policy bench — shared EvalContext vs per-consumer rebuilds.
+
+Times the full four-phase :meth:`RepositoryReplicationPolicy.run`
+(PARTITION → storage restoration → processing restoration →
+OFF_LOADING) on a capacity-constrained workload, comparing two arms:
+
+* **shared** — the production configuration: one
+  :class:`~repro.core.context.EvalContext` per model, built once and
+  reused by every consumer (cost model, allocation, kernels,
+  constraints);
+* **rebuild** — the same run inside
+  :func:`~repro.core.context.rebuild_contexts`, which disables the
+  per-model cache so every consumer re-derives its own columns — the
+  pre-consolidation behaviour, where ``CostModel``, ``Allocation``,
+  the fast kernels and the constraint evaluators each rebuilt the
+  derived state they needed.
+
+Both arms produce bit-identical objectives (asserted) — the context is
+a pure function of the model — so the ratio isolates exactly the
+derived-state consolidation.  The acceptance floor is **≥1.15× at paper
+scale** (``REPRO_BENCH_SCALE=paper``; measured ≈7× there); smaller
+scales assert a looser sanity floor because a sub-second run's ratio is
+dominated by fixed costs.
+
+Capacities are set to the fractions (storage 0.6, processing 0.6,
+repository 0.7 of the unconstrained footprint) that force all four
+phases to run — an unconstrained model is partition-only and would not
+exercise the restoration/off-loading loops where sharing pays.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.context import rebuild_contexts
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    processing_capacities_for_fraction,
+    repo_capacity_for_fraction,
+    storage_capacities_for_fraction,
+)
+from repro.workload.generator import generate_workload
+
+SEED = 0
+STORAGE_FRACTION = 0.6
+PROCESSING_FRACTION = 0.6
+REPO_FRACTION = 0.7
+
+#: Hard acceptance floor at paper scale; smaller scales only sanity-check
+#: that sharing is not a regression (their runs are too short for the
+#: ratio to be stable).
+PAPER_FLOOR = 1.15
+SANITY_FLOOR = 1.0
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+REPEATS = int(
+    os.environ.get("REPRO_BENCH_E2E_REPEATS", "2" if SCALE == "paper" else "5")
+)
+#: The rebuild arm at paper scale is ~7x slower per run; one timing is
+#: enough there (the arms' gap dwarfs run-to-run noise).
+REBUILD_REPEATS = 1 if SCALE == "paper" else REPEATS
+
+
+def _median(times: list[float]) -> float:
+    return float(np.median(times))
+
+
+@pytest.fixture(scope="module")
+def e2e_results(bench_config, save_timings):
+    params = bench_config.params
+    model = generate_workload(params.with_(storage_capacity=np.inf), seed=SEED)
+    reference = partition_all(model)
+    storage = storage_capacities_for_fraction(model, reference, STORAGE_FRACTION)
+    processing = processing_capacities_for_fraction(
+        model, PROCESSING_FRACTION, reference
+    )
+    repo_capacity = repo_capacity_for_fraction(reference, REPO_FRACTION)
+    policy = RepositoryReplicationPolicy(
+        alpha1=params.alpha1, alpha2=params.alpha2
+    )
+
+    def fresh():
+        # Each timed run gets a fresh clone so the shared arm pays its
+        # one context build inside the measurement (an honest end-to-end
+        # cold start, not a warm-cache flatter).
+        return clone_with_capacities(
+            model,
+            storage=storage,
+            processing=processing,
+            repo_capacity=repo_capacity,
+        )
+
+    warm = policy.run(fresh())
+    assert warm.phases_run == [
+        "partition",
+        "storage-restoration",
+        "processing-restoration",
+        "off-loading",
+    ], f"constrained run must exercise all phases, got {warm.phases_run}"
+
+    def timed(repeats: int, rebuild: bool) -> list[float]:
+        times = []
+        for _ in range(repeats):
+            m = fresh()
+            if rebuild:
+                with rebuild_contexts():
+                    t0 = time.perf_counter()
+                    result = policy.run(m)
+                    times.append(time.perf_counter() - t0)
+            else:
+                t0 = time.perf_counter()
+                result = policy.run(m)
+                times.append(time.perf_counter() - t0)
+            assert result.objective == warm.objective, (
+                "shared/rebuild arms must be bit-identical: "
+                f"{result.objective!r} != {warm.objective!r}"
+            )
+        return times
+
+    shared = timed(REPEATS, rebuild=False)
+    rebuild = timed(REBUILD_REPEATS, rebuild=True)
+    results = {
+        "seed": SEED,
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "rebuild_repeats": REBUILD_REPEATS,
+        "fractions": {
+            "storage": STORAGE_FRACTION,
+            "processing": PROCESSING_FRACTION,
+            "repository": REPO_FRACTION,
+        },
+        "objective": warm.objective,
+        "phases_run": warm.phases_run,
+        "shared_seconds": shared,
+        "rebuild_seconds": rebuild,
+        "shared_median": _median(shared),
+        "rebuild_median": _median(rebuild),
+        "speedup": _median(rebuild) / _median(shared),
+    }
+    save_timings("policy_end_to_end", results)
+    return results
+
+
+def test_bench_policy_end_to_end_floor(e2e_results):
+    """Shared-context runs beat per-consumer rebuilds (≥1.15x at paper)."""
+    floor = PAPER_FLOOR if SCALE == "paper" else SANITY_FLOOR
+    assert e2e_results["speedup"] >= floor, (
+        f"end-to-end speedup {e2e_results['speedup']:.2f}x below the "
+        f"{floor}x floor at scale {SCALE!r}"
+    )
+
+
+def test_bench_policy_end_to_end_all_phases(e2e_results):
+    assert len(e2e_results["phases_run"]) == 4

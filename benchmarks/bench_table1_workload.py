@@ -5,6 +5,8 @@ generator's acceptance artifact) and times workload generation and
 trace sampling at the configured scale.
 """
 
+import time
+
 import pytest
 
 from repro.experiments.table1 import run_table1
@@ -13,9 +15,21 @@ from repro.workload.trace import generate_trace
 
 
 @pytest.fixture(scope="module")
-def table1(bench_config, save_artifact):
+def table1(bench_config, save_artifact, save_timings):
+    t0 = time.perf_counter()
     report = run_table1(bench_config.params, seed=0)
+    elapsed = time.perf_counter() - t0
     save_artifact("table1_workload", report.render())
+    save_timings(
+        "table1_workload",
+        {
+            "elapsed_seconds": elapsed,
+            "seed": 0,
+            "n_rows": len(report.rows),
+            "n_pages": report.model.n_pages,
+            "n_servers": report.model.n_servers,
+        },
+    )
     return report
 
 

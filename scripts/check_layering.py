@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Import-layering lint: keep the dependency DAG of ``src/repro`` acyclic.
+
+The package is layered (ROADMAP/DESIGN): ``util`` and ``obs`` at the
+bottom, ``core`` above them, and the orchestration layers
+(``simulation``, ``baselines``, ``dynamic``, ``experiments``,
+``analysis``) on top.  Two rules keep the shared-state work of the
+EvalContext refactor honest:
+
+* ``repro.core`` must never import the layers above it —
+  ``experiments``, ``simulation``, ``baselines``, ``dynamic``,
+  ``analysis`` — so the kernels and the evaluation context stay usable
+  from any orchestrator (and from the executor's worker processes)
+  without dragging the experiment stack in;
+* ``repro.obs`` imports nothing above ``util`` — observability must be
+  embeddable everywhere, so it can depend on nothing that depends on it.
+
+The check is purely static (``ast`` parse, no imports executed), walks
+every module including function-local imports, and prints each
+violation as ``file:line: <importing layer> imports <forbidden>``.
+
+Usage::
+
+    python scripts/check_layering.py        # exit 0 clean, 1 violations
+
+Run alongside ``scripts/coverage_gate.py`` (the gate invokes this first;
+a layering break fails the build before any test runs).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: layer -> subpackages it must never import (directly or via
+#: ``from repro.<x> import ...`` anywhere in the module, including
+#: function bodies).
+FORBIDDEN: dict[str, frozenset[str]] = {
+    "core": frozenset(
+        {"experiments", "simulation", "baselines", "dynamic", "analysis"}
+    ),
+    # obs may import only util below itself (and itself).
+    "obs": frozenset(
+        {
+            "analysis",
+            "baselines",
+            "cli",
+            "core",
+            "dynamic",
+            "experiments",
+            "io",
+            "network",
+            "refdb",
+            "simulation",
+            "workload",
+        }
+    ),
+}
+
+
+def _layer_of(path: pathlib.Path) -> str:
+    """The top-level subpackage (or module stem) a file belongs to."""
+    rel = path.relative_to(PACKAGE_ROOT)
+    return rel.parts[0] if len(rel.parts) > 1 else rel.stem
+
+
+def _imported_subpackages(tree: ast.AST):
+    """Yield ``(lineno, subpackage)`` for every ``repro.*`` import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    yield node.lineno, parts[1]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            parts = (node.module or "").split(".")
+            if parts[0] == "repro":
+                if len(parts) > 1:
+                    yield node.lineno, parts[1]
+                else:
+                    # ``from repro import X``: the imported names are
+                    # the subpackages being depended on.
+                    for alias in node.names:
+                        yield node.lineno, alias.name
+
+
+def check() -> list[str]:
+    """All layering violations in the tree, as printable strings."""
+    violations = []
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        layer = _layer_of(path)
+        forbidden = FORBIDDEN.get(layer)
+        if not forbidden:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, target in _imported_subpackages(tree):
+            if target in forbidden:
+                rel = path.relative_to(REPO_ROOT)
+                violations.append(
+                    f"{rel}:{lineno}: repro.{layer} imports repro.{target}"
+                )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("import layering violations:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    n = len(FORBIDDEN)
+    print(f"layering check: OK ({n} constrained layers, no violations)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,14 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 def main(argv: list[str]) -> int:
     strict = "--strict" in argv
     fast = "--fast" in argv
+    # Static layering lint first: an import-layer break fails the build
+    # before any test runs (it is milliseconds, and a violation would
+    # invalidate the coverage attribution below anyway).
+    lint = [sys.executable, str(REPO_ROOT / "scripts" / "check_layering.py")]
+    print("layering check:", " ".join(lint))
+    code = subprocess.call(lint, cwd=REPO_ROOT)
+    if code != 0:
+        return code
     if importlib.util.find_spec("pytest_cov") is None:
         msg = (
             "coverage gate: pytest-cov is not installed "
@@ -64,6 +72,7 @@ def main(argv: list[str]) -> int:
             "--cov=repro.experiments.cache",
             "--cov=repro.core.fast_partition",
             "--cov=repro.core.fast_restoration",
+            "--cov=repro.core.context",
         ]
     if fast:
         cmd += ["-m", "not slow"]

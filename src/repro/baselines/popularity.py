@@ -24,8 +24,9 @@ from typing import Literal
 import numpy as np
 
 from repro.baselines.base import AllocationPolicy
-from repro.core.allocation import Allocation, ReverseIndex
-from repro.core.partition import _optional_marks, partition_page
+from repro.core.allocation import Allocation
+from repro.core.context import EvalContext
+from repro.core.fast_partition import partition_pages_batched
 from repro.core.types import SystemModel
 
 __all__ = ["PopularityPolicy"]
@@ -67,25 +68,24 @@ class PopularityPolicy(AllocationPolicy):
         return np.maximum(budgets, 0.0)
 
     def _popular_set(self, model: SystemModel, server_id: int, budget: float) -> set[int]:
-        """Objects ranked by request rate per byte, greedily packed."""
-        rev = ReverseIndex.for_model(model)
+        """Objects ranked by request rate per byte, greedily packed.
+
+        The per-object rates come from one ``np.bincount`` over the
+        server's compulsory-then-optional entries (the context's groups
+        are object-sorted with ascending entries — the exact order the
+        old per-object ``+=`` loop over ``ReverseIndex.entries_for``
+        accumulated in, so the folds are bit-identical).
+        """
+        ctx = EvalContext.for_model(model)
+        ce = ctx.comp_group(server_id)[0]
+        oe = ctx.opt_group(server_id)[0]
+        objs = np.concatenate([ctx.comp_objects[ce], ctx.opt_objects[oe]])
+        w = np.concatenate([ctx.comp_freq[ce], ctx.opt_freq_weight[oe]])
+        rate = np.bincount(objs, weights=w, minlength=len(model.sizes))
         scores: list[tuple[float, int, float]] = []
-        refs = model.objects_referenced_by_server(server_id)
-        for k in refs:
-            comp_e, opt_e = rev.entries_for(server_id, k)
-            rate = 0.0
-            for e in comp_e:
-                j = int(model.comp_pages[e])
-                rate += float(model.frequencies[j])
-            for e in opt_e:
-                j = int(model.opt_pages[e])
-                rate += float(
-                    model.frequencies[j]
-                    * model.optional_rate_scale[j]
-                    * model.opt_probs[e]
-                )
+        for k in model.objects_referenced_by_server(server_id):
             size = float(model.sizes[k])
-            scores.append((rate / size, k, size))
+            scores.append((float(rate[k]) / size, k, size))
         scores.sort(key=lambda t: (-t[0], t[1]))
         chosen: set[int] = set()
         used = 0.0
@@ -97,27 +97,34 @@ class PopularityPolicy(AllocationPolicy):
 
     # ------------------------------------------------------------------
     def allocate(self, model: SystemModel) -> Allocation:
-        """Build the popularity replica sets and mark downloads."""
+        """Build the popularity replica sets and mark downloads.
+
+        Marks are installed through the bulk APIs; for ``"balanced"``
+        the per-page PARTITION runs on the batched kernel restricted to
+        the stored set — both bit-identical to the scalar assembly.
+        """
         budgets = self._budgets(model)
         alloc = Allocation(model)
+        ctx = alloc.ctx
         for i in range(model.n_servers):
             stored = self._popular_set(model, i, float(budgets[i]))
-            for j in model.pages_by_server[i]:
-                sl = model.comp_slice(j)
-                if self.marking == "all-stored":
-                    for e in range(sl.start, sl.stop):
-                        if int(model.comp_objects[e]) in stored:
-                            alloc.set_comp_local(e, True)
-                else:
-                    marks, _, _ = partition_page(model, j, allowed=stored)
-                    for off, val in enumerate(marks):
-                        if val:
-                            alloc.set_comp_local(sl.start + off, True)
-                omarks = _optional_marks(model, j, "all", stored)
-                slo = model.opt_slice(j)
-                for off, val in enumerate(omarks):
-                    if val:
-                        alloc.set_opt_local(slo.start + off, True)
+            stored_arr = np.fromiter(stored, dtype=np.intp, count=len(stored))
+            ce = ctx.comp_group(i)[0]
+            if self.marking == "all-stored":
+                sel = np.isin(ctx.comp_objects[ce], stored_arr)
+                alloc.set_comp_local_bulk(ce[sel], True)
+            else:
+                pages = np.asarray(model.pages_by_server[i], dtype=np.intp)
+                if len(pages):
+                    allowed_mask = np.zeros(len(ctx.comp_objects), dtype=bool)
+                    allowed_mask[ce] = np.isin(ctx.comp_objects[ce], stored_arr)
+                    marks, _, _ = partition_pages_batched(
+                        model, page_ids=pages, allowed_mask=allowed_mask
+                    )
+                    alloc.set_comp_local_bulk(marks.nonzero()[0], True)
+            oe = ctx.opt_group(i)[0]
+            osel = np.isin(ctx.opt_objects[oe], stored_arr)
+            alloc.set_opt_local_bulk(oe[osel], True)
             # stored-but-unmarked objects still occupy the budget
             for k in stored:
                 alloc.store(i, k)

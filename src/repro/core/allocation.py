@@ -26,10 +26,11 @@ the greedy loops can find fully-unmarked (deallocatable) objects in O(1).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable
 
 import numpy as np
 
+from repro.core.context import EvalContext
 from repro.core.types import SystemModel
 
 __all__ = ["Allocation", "ReverseIndex", "transplant_allocation"]
@@ -83,20 +84,32 @@ class ReverseIndex:
 
     def __init__(self, model: SystemModel):
         self.model = model
-        comp: list[dict[int, list[int]]] = [dict() for _ in range(model.n_servers)]
-        opt: list[dict[int, list[int]]] = [dict() for _ in range(model.n_servers)]
-        srv_of_comp = model.page_server[model.comp_pages]
-        srv_of_opt = model.page_server[model.opt_pages]
-        for e, (i, k) in enumerate(zip(srv_of_comp, model.comp_objects)):
-            comp[i].setdefault(int(k), []).append(e)
-        for e, (i, k) in enumerate(zip(srv_of_opt, model.opt_objects)):
-            opt[i].setdefault(int(k), []).append(e)
+        ctx = EvalContext.for_model(model)
         self.comp_entries: tuple[dict[int, tuple[int, ...]], ...] = tuple(
-            {k: tuple(v) for k, v in d.items()} for d in comp
+            self._server_map(*ctx.comp_group(i)) for i in range(model.n_servers)
         )
         self.opt_entries: tuple[dict[int, tuple[int, ...]], ...] = tuple(
-            {k: tuple(v) for k, v in d.items()} for d in opt
+            self._server_map(*ctx.opt_group(i)) for i in range(model.n_servers)
         )
+
+    @staticmethod
+    def _server_map(
+        entries: np.ndarray, starts: np.ndarray, counts: np.ndarray
+    ) -> dict[int, tuple[int, ...]]:
+        """``{object: (entries…)}`` from one server's CSR group.
+
+        The context groups entries by ``(object, entry)`` ascending, so
+        the per-object tuples come out in the same order the old
+        append-per-entry build produced.
+        """
+        ge = entries.tolist()
+        st = starts.tolist()
+        ct = counts.tolist()
+        d: dict[int, tuple[int, ...]] = {}
+        for k in counts.nonzero()[0].tolist():
+            s = st[k]
+            d[k] = tuple(ge[s : s + ct[k]])
+        return d
 
     @classmethod
     def for_model(cls, model: SystemModel) -> "ReverseIndex":
@@ -142,6 +155,8 @@ class Allocation:
         replicas: Iterable[Iterable[int]] | None = None,
     ):
         self.model = model
+        #: shared columnar derived state (see :mod:`repro.core.context`)
+        self.ctx = EvalContext.for_model(model)
         ne_c = len(model.comp_objects)
         ne_o = len(model.opt_objects)
         self.comp_local = (
@@ -184,54 +199,32 @@ class Allocation:
     def _rebuild_mark_counts(self) -> None:
         """Recompute the per-server ``{object: #marking entries}`` maps.
 
-        Vectorized: marked entries are reduced to unique
-        ``(server, object)`` pairs with their multiplicities in NumPy, so
-        Python-level work is one dict write per *replica*, not per mark.
+        One ``np.bincount`` over the context's precomputed per-entry
+        ``(server, object)`` pair indices — integer counts, so the totals
+        are exact regardless of accumulation order.  Python-level work is
+        one dict write per *replica*, not per mark.
         """
-        m = self.model
-        self._mark_counts: list[dict[int, int]] = [dict() for _ in range(m.n_servers)]
-        comp_e = np.flatnonzero(self.comp_local)
-        opt_e = np.flatnonzero(self.opt_local)
-        srv = np.concatenate(
-            [
-                m.page_server[m.comp_pages[comp_e]],
-                m.page_server[m.opt_pages[opt_e]],
-            ]
+        ctx = self.ctx
+        self._mark_counts: list[dict[int, int]] = [
+            dict() for _ in range(self.model.n_servers)
+        ]
+        cnt = np.bincount(
+            np.concatenate(
+                [ctx.comp_pair[self.comp_local], ctx.opt_pair[self.opt_local]]
+            ),
+            minlength=ctx.n_pairs,
         )
-        obj = np.concatenate([m.comp_objects[comp_e], m.opt_objects[opt_e]])
-        for i, objs, counts in self._pair_groups(srv, obj):
-            self._mark_counts[i] = dict(zip(objs, counts))
-
-    def _pair_groups(
-        self, srv: np.ndarray, obj: np.ndarray
-    ) -> Iterator[tuple[int, list[int], list[int]]]:
-        """Group ``(server, object)`` pairs: yield per-server unique
-        object ids with their multiplicities, as plain lists (dict/set
-        construction from lists runs at C speed)."""
-        if len(srv) == 0:
-            return
-        pairs = srv * self.model.n_objects + obj
-        # sort-based unique-with-counts (NumPy's hash-based np.unique is
-        # several times slower on these integer keys)
-        pairs.sort(kind="stable")
-        edge = np.empty(len(pairs), dtype=bool)
-        edge[0] = True
-        np.not_equal(pairs[1:], pairs[:-1], out=edge[1:])
-        firsts = np.flatnonzero(edge)
-        uniq = pairs[firsts]
-        counts = np.diff(np.append(firsts, len(pairs)))
-        usrv = uniq // self.model.n_objects
-        uobj = uniq % self.model.n_objects
-        # uniq is sorted, so each server's pairs are contiguous
-        bounds = np.flatnonzero(np.diff(usrv)) + 1
-        for lo, hi in zip(
-            np.concatenate(([0], bounds)), np.concatenate((bounds, [len(uniq)]))
-        ):
-            yield (
-                int(usrv[lo]),
-                uobj[lo:hi].tolist(),
-                counts[lo:hi].tolist(),
-            )
+        nz = cnt.nonzero()[0]
+        # nz is ascending and the pair table is server-contiguous
+        bounds = nz.searchsorted(ctx.pair_indptr)
+        obj_of = ctx.pair_object
+        for i in range(self.model.n_servers):
+            lo, hi = bounds[i], bounds[i + 1]
+            if lo < hi:
+                sel = nz[lo:hi]
+                self._mark_counts[i] = dict(
+                    zip(obj_of[sel].tolist(), cnt[sel].tolist())
+                )
 
     def _required_replicas(self) -> list[set[int]]:
         return [set(d.keys()) for d in self._mark_counts]
@@ -248,9 +241,9 @@ class Allocation:
         old = bool(self.comp_local[entry])
         if old == bool(value):
             return
-        m = self.model
-        i = int(m.page_server[m.comp_pages[entry]])
-        k = int(m.comp_objects[entry])
+        ctx = self.ctx
+        i = int(ctx.comp_server[entry])
+        k = int(ctx.comp_objects[entry])
         self.comp_local[entry] = value
         self._bump(i, k, +1 if value else -1)
 
@@ -259,9 +252,9 @@ class Allocation:
         old = bool(self.opt_local[entry])
         if old == bool(value):
             return
-        m = self.model
-        i = int(m.page_server[m.opt_pages[entry]])
-        k = int(m.opt_objects[entry])
+        ctx = self.ctx
+        i = int(ctx.opt_server[entry])
+        k = int(ctx.opt_objects[entry])
         self.opt_local[entry] = value
         self._bump(i, k, +1 if value else -1)
 
@@ -273,29 +266,19 @@ class Allocation:
         ``(server, object)`` pair instead of per entry.  Duplicate
         entries are collapsed (setting is idempotent).
         """
-        m = self.model
         changed = self._changed_entries(entries, self.comp_local, value)
         if len(changed) == 0:
             return
         self.comp_local[changed] = value
-        self._bump_bulk(
-            m.page_server[m.comp_pages[changed]],
-            m.comp_objects[changed],
-            +1 if value else -1,
-        )
+        self._bump_bulk(self.ctx.comp_pair[changed], +1 if value else -1)
 
     def set_opt_local_bulk(self, entries: np.ndarray, value: bool) -> None:
         """Batched :meth:`set_opt_local` (see :meth:`set_comp_local_bulk`)."""
-        m = self.model
         changed = self._changed_entries(entries, self.opt_local, value)
         if len(changed) == 0:
             return
         self.opt_local[changed] = value
-        self._bump_bulk(
-            m.page_server[m.opt_pages[changed]],
-            m.opt_objects[changed],
-            +1 if value else -1,
-        )
+        self._bump_bulk(self.ctx.opt_pair[changed], +1 if value else -1)
 
     @staticmethod
     def _changed_entries(
@@ -308,14 +291,31 @@ class Allocation:
             changed = np.unique(changed)
         return changed
 
-    def _bump_bulk(self, srv: np.ndarray, obj: np.ndarray, delta: int) -> None:
-        for i, objs, counts in self._pair_groups(srv, obj):
+    def _bump_bulk(self, pair_ids: np.ndarray, delta: int) -> None:
+        """Apply a bulk mark delta grouped per ``(server, object)`` pair.
+
+        ``pair_ids`` are context pair-table rows of the flipped entries;
+        unique-with-counts over them yields each pair's multiplicity in
+        ascending (server, object) order, exactly like the sort-based
+        grouping it replaces.
+        """
+        ctx = self.ctx
+        uniq, counts = np.unique(pair_ids, return_counts=True)
+        usrv = ctx.pair_server[uniq]
+        uobj = ctx.pair_object[uniq]
+        bounds = (usrv[1:] != usrv[:-1]).nonzero()[0] + 1
+        for lo, hi in zip(
+            np.concatenate(([0], bounds)), np.concatenate((bounds, [len(uniq)]))
+        ):
+            i = int(usrv[lo])
+            objs = uobj[lo:hi].tolist()
+            cnts = counts[lo:hi].tolist()
             d = self._mark_counts[i]
             if delta > 0 and not d:
-                self._mark_counts[i] = dict(zip(objs, counts))
+                self._mark_counts[i] = dict(zip(objs, cnts))
                 self.replicas[i].update(objs)
                 continue
-            for k, c in zip(objs, counts):
+            for k, c in zip(objs, cnts):
                 new = d.get(k, 0) + delta * c
                 if new < 0:  # pragma: no cover - defensive
                     raise RuntimeError("mark count underflow")
@@ -403,6 +403,7 @@ class Allocation:
         """Deep copy of marks and replica sets (model is shared)."""
         dup = Allocation.__new__(Allocation)
         dup.model = self.model
+        dup.ctx = self.ctx
         dup.comp_local = self.comp_local.copy()
         dup.opt_local = self.opt_local.copy()
         dup.replicas = [set(r) for r in self.replicas]

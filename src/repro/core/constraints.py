@@ -41,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.context import EvalContext
 from repro.core.types import SystemModel
 
 __all__ = [
@@ -58,43 +59,32 @@ def html_request_load(model: SystemModel) -> np.ndarray:
 
     This is the irreducible part of Eq. 8's LHS — serving pages at all
     costs one request per view regardless of replication decisions.
+    The scatter-add is computed once per model (cached in the shared
+    :class:`~repro.core.context.EvalContext`); callers get a copy they
+    may accumulate into.
     """
-    out = np.zeros(model.n_servers)
-    np.add.at(out, model.page_server, model.frequencies)
-    return out
+    return EvalContext.for_model(model).html_request_load.copy()
 
 
 def local_processing_load(alloc: Allocation) -> np.ndarray:
     """Eq. 8 LHS per server (HTTP requests/second)."""
-    m = alloc.model
+    ctx = alloc.ctx
     # one HTML request per page view
-    load = html_request_load(m)
+    load = html_request_load(alloc.model)
     # one request per locally downloaded compulsory MO per view
     sel = alloc.comp_local
-    srv_c = m.page_server[m.comp_pages[sel]]
-    np.add.at(load, srv_c, m.frequencies[m.comp_pages[sel]])
+    np.add.at(load, ctx.comp_server[sel], ctx.comp_freq[sel])
     # expected locally downloaded optional MOs per view
     selo = alloc.opt_local
-    pages_o = m.opt_pages[selo]
-    w = m.frequencies[pages_o] * m.optional_rate_scale[pages_o] * m.opt_probs[selo]
-    np.add.at(load, m.page_server[pages_o], w)
+    np.add.at(load, ctx.opt_server[selo], ctx.opt_freq_weight[selo])
     return load
 
 
 def repository_load(alloc: Allocation) -> float:
     """Eq. 9 LHS (HTTP requests/second hitting the repository)."""
-    m = alloc.model
-    sel = ~alloc.comp_local
-    comp = float(m.frequencies[m.comp_pages[sel]].sum())
-    selo = ~alloc.opt_local
-    pages_o = m.opt_pages[selo]
-    opt = float(
-        np.sum(
-            m.frequencies[pages_o]
-            * m.optional_rate_scale[pages_o]
-            * m.opt_probs[selo]
-        )
-    )
+    ctx = alloc.ctx
+    comp = float(ctx.comp_freq[~alloc.comp_local].sum())
+    opt = float(ctx.opt_freq_weight[~alloc.opt_local].sum())
     return comp + opt
 
 
@@ -105,22 +95,18 @@ def repository_load_by_server(alloc: Allocation) -> np.ndarray:
     ``S_i``'s current assignment imposes.  Sums to
     :func:`repository_load`.
     """
-    m = alloc.model
-    out = np.zeros(m.n_servers)
+    ctx = alloc.ctx
+    out = np.zeros(alloc.model.n_servers)
     sel = ~alloc.comp_local
-    pages_c = m.comp_pages[sel]
-    np.add.at(out, m.page_server[pages_c], m.frequencies[pages_c])
+    np.add.at(out, ctx.comp_server[sel], ctx.comp_freq[sel])
     selo = ~alloc.opt_local
-    pages_o = m.opt_pages[selo]
-    w = m.frequencies[pages_o] * m.optional_rate_scale[pages_o] * m.opt_probs[selo]
-    np.add.at(out, m.page_server[pages_o], w)
+    np.add.at(out, ctx.opt_server[selo], ctx.opt_freq_weight[selo])
     return out
 
 
 def storage_used(alloc: Allocation) -> np.ndarray:
     """Eq. 10 LHS per server (bytes): HTML + stored-replica union."""
-    m = alloc.model
-    return m.html_bytes_by_server() + alloc.stored_bytes_all()
+    return alloc.ctx.html_bytes_by_server + alloc.stored_bytes_all()
 
 
 @dataclass(frozen=True)

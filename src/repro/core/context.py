@@ -1,0 +1,576 @@
+"""One columnar home for per-model derived state: the :class:`EvalContext`.
+
+Every layer of the pipeline — PARTITION (Section 4.2), the Eq. 8/10
+restoration loops, OFF_LOADING (Eq. 9), the Eq. 3-7 cost model, the
+baselines and the request-level simulator — evaluates the same matrices
+``U``, ``U'``, ``A``, ``X``, ``X'`` over the same per-entry attributes.
+Before this module each consumer re-derived its own slice of that state
+(`CostModel` columns, `Allocation`'s pair grouping, the eviction
+scorer's per-server gather, ad-hoc ``ReverseIndex`` threading …), once
+per phase or worse.
+
+:class:`EvalContext` is the consolidation: an immutable struct-of-arrays
+built **once per** ``(SystemModel, kernel)`` and cached on the model
+(mirroring ``ReverseIndex.for_model``).  The columns are plain NumPy
+arrays shared by reference between the two kernel variants, so asking
+for the ``"scalar"`` context after the ``"batched"`` one costs nothing.
+All expressions here are copied *verbatim* from the consumers they
+replace — the arrays are bit-identical to what each consumer used to
+compute privately, which is what keeps the golden regressions and the
+differential kernel oracles unchanged.
+
+:class:`IncrementalObjective` layers delta evaluation of the composite
+objective ``D = α₁·D₁ + α₂·D₂`` on top of the context: bulk mark flips
+update the per-page byte totals and stream times of only the touched
+pages.  Per-page byte totals are maintained *additively*, so ``D`` can
+drift from the exact value by float-rounding ulps over long edit
+sequences; :meth:`IncrementalObjective.resync` is the exact-recompute
+escape hatch, restoring bit-equality with ``CostModel.D`` (the identity
+argument lives in DESIGN.md Appendix E).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+import numpy as np
+
+from repro.core.types import SystemModel
+
+__all__ = [
+    "EvalContext",
+    "IncrementalObjective",
+    "ScalarViews",
+    "Kernel",
+    "resolve_kernel",
+    "rebuild_contexts",
+    "clear_derived_state",
+]
+
+Kernel = Literal["batched", "scalar"]
+
+_KERNELS = ("batched", "scalar")
+
+
+def resolve_kernel(value: str | None, default: Kernel = "batched") -> Kernel:
+    """Validate a kernel name from CLI / env / API callers.
+
+    The single source of truth for kernel validation — the CLI
+    ``--kernel`` flag, the ``REPRO_KERNEL`` environment override, and the
+    restoration/partition entry points all funnel through here, so the
+    accepted values and the error text cannot diverge.
+
+    Parameters
+    ----------
+    value:
+        Raw kernel name; surrounding whitespace and case are ignored.
+        ``None`` or ``""`` selects ``default``.
+    default:
+        Kernel returned for unset values.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` names neither ``"batched"`` nor ``"scalar"``.
+    """
+    if value is None or value == "":
+        return default
+    kernel = str(value).strip().lower()
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"kernel must be one of {'|'.join(_KERNELS)}, got {value!r}"
+        )
+    return kernel  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class ScalarViews:
+    """Plain-list per-page attribute views (see :attr:`EvalContext.scalars`).
+
+    NumPy scalar indexing costs ~1 microsecond per access; the greedy
+    restoration loops evaluate millions of single-page times, so they
+    read these plain ``list`` views instead.
+    """
+
+    ovhd_local: list[float]
+    spb_local: list[float]
+    ovhd_repo: list[float]
+    spb_repo: list[float]
+    html: list[float]
+    freq: list[float]
+
+
+_CACHE_ATTR = "_repro_eval_context_cache"
+
+#: Derived-state cache attributes attached to SystemModel instances.
+_MODEL_CACHE_ATTRS = (
+    _CACHE_ATTR,
+    "_repro_reverse_index_cache",
+    "_fast_comp_cache",
+)
+
+_CACHE_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def rebuild_contexts() -> Iterator[None]:
+    """Disable the per-model context cache inside the ``with`` block.
+
+    Every :meth:`EvalContext.for_model` call then builds a fresh context
+    — the pre-consolidation behaviour where each consumer re-derived its
+    own columns.  Used by ``benchmarks/bench_policy_end_to_end.py`` as
+    the rebuild baseline arm; never use it in production paths.
+    """
+    _CACHE_ENABLED[0] = False
+    try:
+        yield
+    finally:
+        _CACHE_ENABLED[0] = True
+
+
+def clear_derived_state(model: SystemModel) -> None:
+    """Drop every derived-state cache attached to ``model``.
+
+    Covers the eval context, the reverse index, and the plain-list
+    PARTITION views.  Benchmark helper (cold-start timings); production
+    code never needs it — the caches are pure functions of the model.
+    """
+    for attr in _MODEL_CACHE_ATTRS:
+        if hasattr(model, attr):
+            delattr(model, attr)
+
+
+#: Attribute names copied by reference between kernel-sibling contexts.
+_SHARED_SLOTS = (
+    "n_pages",
+    "n_servers",
+    "n_objects",
+    "page_server",
+    "html_sizes",
+    "frequencies",
+    "page_spb_local",
+    "page_spb_repo",
+    "page_ovhd_local",
+    "page_ovhd_repo",
+    "comp_pages",
+    "comp_objects",
+    "comp_server",
+    "comp_sizes",
+    "comp_freq",
+    "opt_pages",
+    "opt_objects",
+    "opt_server",
+    "opt_sizes",
+    "opt_probs",
+    "opt_time_local",
+    "opt_time_repo",
+    "opt_freq_weight",
+    "html_bytes_by_server",
+    "html_request_load",
+    "scalars",
+    "n_pairs",
+    "pair_server",
+    "pair_object",
+    "comp_pair",
+    "opt_pair",
+    "pair_indptr",
+    "_comp_grouped",
+    "_comp_srv_indptr",
+    "_comp_starts",
+    "_comp_counts",
+    "_opt_grouped",
+    "_opt_srv_indptr",
+    "_opt_starts",
+    "_opt_counts",
+)
+
+
+class EvalContext:
+    """Immutable columnar derived state of one :class:`SystemModel`.
+
+    Obtain instances through :meth:`for_model` — direct construction
+    bypasses the per-model cache.  All array attributes are read-only
+    views shared across every consumer; treat them as immutable.
+
+    Column groups
+    -------------
+    * **per page** — ``page_spb_local``/``page_spb_repo`` (seconds per
+      byte on the local / repository connection), ``page_ovhd_local``/
+      ``page_ovhd_repo`` (connection overheads), plus the ``html_sizes``
+      and ``frequencies`` aliases.
+    * **per compulsory entry** (aligned with ``Allocation.comp_local``) —
+      owning page/server, object id, object size, page frequency.
+    * **per optional entry** — the same index columns plus the Eq. 6
+      single-download times (``opt_time_local``/``opt_time_repo``) and
+      the expected request weight ``opt_freq_weight`` =
+      ``f(W_j)·scale·U'_jk``.
+    * **per server** — hosted-HTML bytes (the fixed Eq. 10 term) and the
+      HTML request load (the fixed Eq. 8 term).
+    * **pair table** — the distinct ``(server, object)`` pairs any entry
+      can mark, with per-entry pair indices (``comp_pair``/``opt_pair``)
+      so mark-count bookkeeping reduces to ``np.bincount``.
+    * **per-server CSR groups** — every server's entries sorted by
+      object, with dense per-object ``starts``/``counts`` tables (see
+      :meth:`comp_group`), feeding the eviction scorer and the reverse
+      index without any per-phase scan-and-sort.
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        kernel: Kernel = "batched",
+        _share: "EvalContext | None" = None,
+    ):
+        self.model = model
+        self.kernel = resolve_kernel(kernel)
+        if _share is not None:
+            for name in _SHARED_SLOTS:
+                setattr(self, name, getattr(_share, name))
+        else:
+            self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        m = self.model
+        self.n_pages = m.n_pages
+        self.n_servers = m.n_servers
+        self.n_objects = m.n_objects
+
+        srv = m.page_server
+        self.page_server = srv
+        self.html_sizes = m.html_sizes
+        self.frequencies = m.frequencies
+        #: per-page seconds-per-byte on the local / repository connection
+        self.page_spb_local = 1.0 / m.server_rate[srv]
+        self.page_spb_repo = 1.0 / m.server_repo_rate[srv]
+        #: per-page connection overheads
+        self.page_ovhd_local = m.server_overhead[srv]
+        self.page_ovhd_repo = m.server_repo_overhead[srv]
+
+        self.comp_pages = m.comp_pages
+        self.comp_objects = m.comp_objects
+        self.comp_server = srv[m.comp_pages]
+        self.comp_sizes = m.sizes[m.comp_objects]
+        self.comp_freq = m.frequencies[m.comp_pages]
+
+        po = m.opt_pages
+        self.opt_pages = po
+        self.opt_objects = m.opt_objects
+        self.opt_server = srv[po]
+        self.opt_sizes = m.sizes[m.opt_objects]
+        self.opt_probs = m.opt_probs
+        # Per-optional-entry single-download times (each needs its own TCP
+        # connection, Eq. 6): local vs repository.
+        self.opt_time_local = (
+            self.page_ovhd_local[po] + self.page_spb_local[po] * self.opt_sizes
+        )
+        self.opt_time_repo = (
+            self.page_ovhd_repo[po] + self.page_spb_repo[po] * self.opt_sizes
+        )
+        #: expected weight of each optional entry: f(W_j)·scale·U'_jk
+        self.opt_freq_weight = (
+            m.frequencies[po] * m.optional_rate_scale[po] * m.opt_probs
+        )
+
+        self.html_bytes_by_server = m.html_bytes_by_server()
+        load = np.zeros(m.n_servers)
+        np.add.at(load, srv, m.frequencies)
+        self.html_request_load = load
+
+        self.scalars = ScalarViews(
+            ovhd_local=self.page_ovhd_local.tolist(),
+            spb_local=self.page_spb_local.tolist(),
+            ovhd_repo=self.page_ovhd_repo.tolist(),
+            spb_repo=self.page_spb_repo.tolist(),
+            html=m.html_sizes.tolist(),
+            freq=m.frequencies.tolist(),
+        )
+
+        self._build_pair_table()
+        (
+            self._comp_grouped,
+            self._comp_srv_indptr,
+            self._comp_starts,
+            self._comp_counts,
+        ) = self._build_groups(self.comp_server, self.comp_objects)
+        (
+            self._opt_grouped,
+            self._opt_srv_indptr,
+            self._opt_starts,
+            self._opt_counts,
+        ) = self._build_groups(self.opt_server, self.opt_objects)
+
+    def _build_pair_table(self) -> None:
+        """The distinct ``(server, object)`` pairs, sorted ascending.
+
+        ``comp_pair[e]`` / ``opt_pair[e]`` give each entry's row in the
+        table; ``pair_indptr`` slices the (server-contiguous) table per
+        server.  Mark counting becomes ``np.bincount`` over pair indices
+        — integer counts, so exact regardless of accumulation order.
+        """
+        n_obj = self.n_objects
+        key_c = self.comp_server * n_obj + self.comp_objects
+        key_o = self.opt_server * n_obj + self.opt_objects
+        keys = np.unique(np.concatenate([key_c, key_o]))
+        self.n_pairs = len(keys)
+        self.pair_server = keys // n_obj
+        self.pair_object = keys % n_obj
+        self.comp_pair = keys.searchsorted(key_c)
+        self.opt_pair = keys.searchsorted(key_o)
+        self.pair_indptr = self.pair_server.searchsorted(
+            np.arange(self.n_servers + 1)
+        )
+
+    def _build_groups(
+        self, entry_server: np.ndarray, entry_objects: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, tuple, tuple]:
+        """Per-server entries grouped by object (stable: entry ascending).
+
+        Returns ``(grouped, srv_indptr, starts, counts)`` where
+        ``grouped[srv_indptr[i]:srv_indptr[i+1]]`` are server ``i``'s
+        entries sorted by ``(object, entry)``, and ``starts[i]`` /
+        ``counts[i]`` are dense per-object tables into that slice —
+        the same layout ``fast_restoration._group_by_object`` produced
+        per phase, now built once per model.
+        """
+        ne = len(entry_server)
+        order = np.lexsort((np.arange(ne), entry_objects, entry_server))
+        srv_indptr = entry_server[order].searchsorted(
+            np.arange(self.n_servers + 1)
+        )
+        starts: list[np.ndarray] = []
+        counts: list[np.ndarray] = []
+        for i in range(self.n_servers):
+            sl_objs = entry_objects[order[srv_indptr[i] : srv_indptr[i + 1]]]
+            cnt = np.bincount(sl_objs, minlength=self.n_objects)
+            starts.append(cnt.cumsum() - cnt)
+            counts.append(cnt)
+        return order, srv_indptr, tuple(starts), tuple(counts)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def comp_group(self, server_id: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(entries, starts, counts)`` — server's compulsory entries
+        grouped by object.  ``entries[starts[k]:starts[k]+counts[k]]``
+        are the (ascending) entries referencing object ``k``; the dense
+        tables span all ``n_objects``."""
+        sl = slice(
+            self._comp_srv_indptr[server_id], self._comp_srv_indptr[server_id + 1]
+        )
+        return (
+            self._comp_grouped[sl],
+            self._comp_starts[server_id],
+            self._comp_counts[server_id],
+        )
+
+    def opt_group(self, server_id: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Optional-entry counterpart of :meth:`comp_group`."""
+        sl = slice(
+            self._opt_srv_indptr[server_id], self._opt_srv_indptr[server_id + 1]
+        )
+        return (
+            self._opt_grouped[sl],
+            self._opt_starts[server_id],
+            self._opt_counts[server_id],
+        )
+
+    @property
+    def reverse_index(self):
+        """The (cached) ``(server, object) → entries`` dict maps."""
+        from repro.core.allocation import ReverseIndex
+
+        return ReverseIndex.for_model(self.model)
+
+    @property
+    def fast_comp(self):
+        """Plain-list PARTITION views (see ``SystemModel.fast_comp``)."""
+        return self.model.fast_comp
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_model(
+        cls, model: SystemModel, kernel: str | None = "batched"
+    ) -> "EvalContext":
+        """The (cached) context of ``model`` for ``kernel``.
+
+        Kernel siblings share every column array by reference — only the
+        first call per model pays the build.
+        """
+        kern = resolve_kernel(kernel)
+        if not _CACHE_ENABLED[0]:
+            return cls(model, kern)
+        cache: dict[str, EvalContext] | None = getattr(model, _CACHE_ATTR, None)
+        if cache is None:
+            cache = {}
+            setattr(model, _CACHE_ATTR, cache)
+        ctx = cache.get(kern)
+        if ctx is None:
+            share = next(iter(cache.values()), None)
+            ctx = cls(model, kern, _share=share)
+            cache[kern] = ctx
+        return ctx
+
+
+class IncrementalObjective:
+    """Delta-maintained composite objective ``D = α₁·D₁ + α₂·D₂``.
+
+    Tracks its own copy of the mark arrays plus the per-page stream byte
+    totals and times (Eq. 3-6).  :meth:`flip_comp` / :meth:`flip_opt`
+    update only the touched pages; :meth:`resync` is the exact-recompute
+    escape hatch whose result is bit-identical to ``CostModel.D`` on the
+    same marks (both run the identical bincount → stream-time → dot
+    pipeline).  Between resyncs ``D`` may drift from the exact value by
+    accumulated float-rounding ulps — bounded in practice well below the
+    greedy loops' ``1e-9`` tie tolerance, and property-tested against
+    the exact evaluator.
+
+    Parameters
+    ----------
+    ctx:
+        The model's :class:`EvalContext`.
+    alloc:
+        Allocation whose marks seed the objective (copied, not aliased).
+    alpha1, alpha2:
+        Objective weights (Table 1 uses ``(2, 1)``).
+    resync_every:
+        Optional flip-batch period of automatic exact recomputes
+        (mirroring the greedy loops' drift resyncs); ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        alloc,
+        alpha1: float = 2.0,
+        alpha2: float = 1.0,
+        resync_every: int | None = None,
+    ):
+        if alpha1 <= 0 or alpha2 <= 0:
+            raise ValueError(
+                f"alpha weights must be positive, got ({alpha1}, {alpha2})"
+            )
+        if resync_every is not None and resync_every <= 0:
+            raise ValueError(
+                f"resync_every must be positive or None, got {resync_every}"
+            )
+        self.ctx = ctx
+        self.alpha1 = float(alpha1)
+        self.alpha2 = float(alpha2)
+        self.resync_every = resync_every
+        self.comp_local = np.asarray(alloc.comp_local, dtype=bool).copy()
+        self.opt_local = np.asarray(alloc.opt_local, dtype=bool).copy()
+        self._applied = 0
+        self.resync()
+
+    # ------------------------------------------------------------------
+    def resync(self) -> float:
+        """Exact recompute from the tracked marks; returns the fresh ``D``.
+
+        Runs the same expression tree as ``CostModel.D`` (bincount byte
+        totals → Eq. 3/4 stream times → Eq. 5 max → Eq. 6 optional sum →
+        frequency dots), so the result is bit-identical to the full
+        evaluator — the escape hatch that clears accumulated drift.
+        """
+        c = self.ctx
+        sel = self.comp_local
+        self._lb = np.bincount(
+            c.comp_pages[sel], weights=c.comp_sizes[sel], minlength=c.n_pages
+        )
+        self._rb = np.bincount(
+            c.comp_pages[~sel], weights=c.comp_sizes[~sel], minlength=c.n_pages
+        )
+        local = c.page_ovhd_local + c.page_spb_local * (c.html_sizes + self._lb)
+        remote = c.page_ovhd_repo + c.page_spb_repo * self._rb
+        self._page_t = np.maximum(local, remote)
+        per_entry = np.where(self.opt_local, c.opt_time_local, c.opt_time_repo)
+        self._opt_base = np.bincount(
+            c.opt_pages, weights=c.opt_probs * per_entry, minlength=c.n_pages
+        )
+        self._opt_t = self._opt_base * self.ctx.model.optional_rate_scale
+        self._d1 = float(np.dot(c.frequencies, self._page_t))
+        self._d2 = float(np.dot(c.frequencies, self._opt_t))
+        self._applied = 0
+        return self.D
+
+    # ------------------------------------------------------------------
+    @property
+    def D1(self) -> float:
+        """:math:`D_1 = \\sum_j f(W_j)\\,Time(W_j)` (Eq. 5 aggregate)."""
+        return self._d1
+
+    @property
+    def D2(self) -> float:
+        """:math:`D_2 = \\sum_j f(W_j)\\,Time(W_j, M)` (Eq. 6 aggregate)."""
+        return self._d2
+
+    @property
+    def D(self) -> float:
+        """The weighted composite :math:`\\alpha_1 D_1 + \\alpha_2 D_2`."""
+        return self.alpha1 * self._d1 + self.alpha2 * self._d2
+
+    # ------------------------------------------------------------------
+    def _changed(
+        self, entries: np.ndarray, marks: np.ndarray, to_local: bool
+    ) -> np.ndarray:
+        entries = np.asarray(entries, dtype=np.intp)
+        changed = entries[marks[entries] != bool(to_local)]
+        if len(changed) > 1 and not (changed[1:] > changed[:-1]).all():
+            changed = np.unique(changed)
+        return changed
+
+    def flip_comp(self, entries: np.ndarray, to_local: bool) -> float:
+        """Flip compulsory marks in bulk; returns the updated ``D``.
+
+        Entries already in the target state (and duplicates) are ignored,
+        mirroring ``Allocation.set_comp_local_bulk``.
+        """
+        changed = self._changed(entries, self.comp_local, to_local)
+        if len(changed) == 0:
+            return self.D
+        c = self.ctx
+        self.comp_local[changed] = to_local
+        pages = c.comp_pages[changed]
+        sizes = c.comp_sizes[changed]
+        sign = 1.0 if to_local else -1.0
+        np.add.at(self._lb, pages, sign * sizes)
+        np.add.at(self._rb, pages, -sign * sizes)
+        up = np.unique(pages)
+        local = c.page_ovhd_local[up] + c.page_spb_local[up] * (
+            c.html_sizes[up] + self._lb[up]
+        )
+        remote = c.page_ovhd_repo[up] + c.page_spb_repo[up] * self._rb[up]
+        new_t = np.maximum(local, remote)
+        self._d1 += float(np.dot(c.frequencies[up], new_t - self._page_t[up]))
+        self._page_t[up] = new_t
+        return self._bump()
+
+    def flip_opt(self, entries: np.ndarray, to_local: bool) -> float:
+        """Flip optional marks in bulk; returns the updated ``D``."""
+        changed = self._changed(entries, self.opt_local, to_local)
+        if len(changed) == 0:
+            return self.D
+        c = self.ctx
+        self.opt_local[changed] = to_local
+        diff = c.opt_time_local[changed] - c.opt_time_repo[changed]
+        if not to_local:
+            diff = -diff
+        pages = c.opt_pages[changed]
+        np.add.at(self._opt_base, pages, c.opt_probs[changed] * diff)
+        up = np.unique(pages)
+        new_t = self._opt_base[up] * self.ctx.model.optional_rate_scale[up]
+        self._d2 += float(np.dot(c.frequencies[up], new_t - self._opt_t[up]))
+        self._opt_t[up] = new_t
+        return self._bump()
+
+    def _bump(self) -> float:
+        self._applied += 1
+        if self.resync_every is not None and self._applied >= self.resync_every:
+            return self.resync()
+        return self.D

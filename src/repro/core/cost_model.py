@@ -39,21 +39,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.context import EvalContext, ScalarViews
 from repro.core.types import SystemModel
 
 __all__ = ["PageTimes", "CostModel"]
 
-
-@dataclass(frozen=True)
-class _ScalarViews:
-    """Plain-list per-page attribute views (see :attr:`CostModel.scalars`)."""
-
-    ovhd_local: list[float]
-    spb_local: list[float]
-    ovhd_repo: list[float]
-    spb_repo: list[float]
-    html: list[float]
-    freq: list[float]
+# Backwards-compatible alias: the per-page plain-list views now live in
+# repro.core.context (shared by every consumer, not private to CostModel).
+_ScalarViews = ScalarViews
 
 
 @dataclass(frozen=True)
@@ -102,33 +95,26 @@ class CostModel:
         self.alpha1 = float(alpha1)
         self.alpha2 = float(alpha2)
 
-        m = model
-        srv = m.page_server
+        # All columns live in (and are shared through) the model's
+        # EvalContext; the attributes below are aliases kept for the many
+        # call sites that read them off the cost model.
+        ctx = EvalContext.for_model(model)
+        self.ctx = ctx
         #: per-page seconds-per-byte on the local / repository connection
-        self.page_spb_local = 1.0 / m.server_rate[srv]
-        self.page_spb_repo = 1.0 / m.server_repo_rate[srv]
+        self.page_spb_local = ctx.page_spb_local
+        self.page_spb_repo = ctx.page_spb_repo
         #: per-page connection overheads
-        self.page_ovhd_local = m.server_overhead[srv]
-        self.page_ovhd_repo = m.server_repo_overhead[srv]
-
+        self.page_ovhd_local = ctx.page_ovhd_local
+        self.page_ovhd_repo = ctx.page_ovhd_repo
         #: per-compulsory-entry object sizes (flat, aligned with comp_local)
-        self.comp_sizes = m.sizes[m.comp_objects]
+        self.comp_sizes = ctx.comp_sizes
         #: per-optional-entry object sizes
-        self.opt_sizes = m.sizes[m.opt_objects]
-
-        # Per-optional-entry single-download times (each needs its own TCP
-        # connection, Eq. 6): local vs repository.
-        po = m.opt_pages
-        self.opt_time_local = (
-            self.page_ovhd_local[po] + self.page_spb_local[po] * self.opt_sizes
-        )
-        self.opt_time_repo = (
-            self.page_ovhd_repo[po] + self.page_spb_repo[po] * self.opt_sizes
-        )
+        self.opt_sizes = ctx.opt_sizes
+        #: per-optional-entry single-download times (Eq. 6): local vs repo
+        self.opt_time_local = ctx.opt_time_local
+        self.opt_time_repo = ctx.opt_time_repo
         #: expected weight of each optional entry: f(W_j)·scale·U'_jk
-        self.opt_freq_weight = (
-            m.frequencies[po] * m.optional_rate_scale[po] * m.opt_probs
-        )
+        self.opt_freq_weight = ctx.opt_freq_weight
 
     # ------------------------------------------------------------------
     # byte aggregation
@@ -217,25 +203,15 @@ class CostModel:
     # scalar helpers used by the greedy loops
     # ------------------------------------------------------------------
     @property
-    def scalars(self) -> "_ScalarViews":
+    def scalars(self) -> ScalarViews:
         """Plain-Python per-page views for scalar-heavy greedy loops.
 
         NumPy scalar indexing costs ~1 microsecond per access; the greedy
         restoration loops evaluate millions of single-page times, so they
-        read these plain ``list`` views instead (computed once, lazily).
+        read these plain ``list`` views instead (built once per model in
+        the shared :class:`~repro.core.context.EvalContext`).
         """
-        cached = getattr(self, "_scalar_views", None)
-        if cached is None:
-            cached = _ScalarViews(
-                ovhd_local=self.page_ovhd_local.tolist(),
-                spb_local=self.page_spb_local.tolist(),
-                ovhd_repo=self.page_ovhd_repo.tolist(),
-                spb_repo=self.page_spb_repo.tolist(),
-                html=self.model.html_sizes.tolist(),
-                freq=self.model.frequencies.tolist(),
-            )
-            self._scalar_views = cached
-        return cached
+        return self.ctx.scalars
 
     def page_time_from_bytes(
         self, page_id: int, local_mo_bytes: float, remote_mo_bytes: float
@@ -269,9 +245,9 @@ class CostModel:
         """Eq. 5 for many (page, byte-total) tuples at once.
 
         Bit-identical to mapping :meth:`page_time_from_bytes` over the
-        inputs: the expression trees match term for term, and the final
-        ``np.where(tl >= tr, ...)`` replicates the scalar ``tl if tl >=
-        tr else tr`` branch exactly (including the sign of zero).
+        inputs: the expression trees match term for term, and for the
+        finite nonnegative stream times ``np.maximum`` picks the same
+        value as the scalar ``tl if tl >= tr else tr`` branch.
         """
         tl = self.page_ovhd_local[page_ids] + self.page_spb_local[page_ids] * (
             self.model.html_sizes[page_ids] + local_mo_bytes
@@ -280,7 +256,7 @@ class CostModel:
             self.page_ovhd_repo[page_ids]
             + self.page_spb_repo[page_ids] * remote_mo_bytes
         )
-        return np.where(tl >= tr, tl, tr)
+        return np.maximum(tl, tr)
 
     def bulk_optional_entry_delta(
         self, entries: np.ndarray, to_local: bool

@@ -48,6 +48,7 @@ from typing import Collection
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.context import EvalContext
 from repro.core.types import SystemModel
 from repro.obs.registry import get_registry
 
@@ -73,7 +74,7 @@ def comp_allowed_mask(
         return None
     ne = len(model.comp_objects)
     mask = np.zeros(ne, dtype=bool)
-    entry_server = model.page_server[model.comp_pages]
+    entry_server = EvalContext.for_model(model).comp_server
     for i in range(model.n_servers):
         allowed = allowed_per_server.get(i, ())
         if not allowed:
@@ -152,11 +153,11 @@ def partition_pages_batched(
     ne = len(model.comp_objects)
     marks = np.zeros(ne, dtype=bool)
 
-    srv = model.page_server[pages]
-    spb_local = 1.0 / model.server_rate[srv]
-    spb_repo = 1.0 / model.server_repo_rate[srv]
-    local = model.server_overhead[srv] + spb_local * model.html_sizes[pages]
-    remote = model.server_repo_overhead[srv].copy()
+    ctx = EvalContext.for_model(model)
+    spb_local = ctx.page_spb_local[pages]
+    spb_repo = ctx.page_spb_repo[pages]
+    local = ctx.page_ovhd_local[pages] + spb_local * ctx.html_sizes[pages]
+    remote = ctx.page_ovhd_repo[pages].copy()
 
     counts = model.comp_indptr[pages + 1] - model.comp_indptr[pages]
     if len(pages) == 0 or counts.max(initial=0) == 0:
@@ -213,17 +214,14 @@ def optional_marks_batched(
     ne = len(model.opt_objects)
     if ne == 0 or policy == "none":
         return np.zeros(ne, dtype=bool)
-    srv = model.page_server[model.opt_pages]
+    ctx = EvalContext.for_model(model)
+    srv = ctx.opt_server
     if policy == "all":
         marks = np.ones(ne, dtype=bool)
     elif policy == "beneficial":
-        size = model.sizes[model.opt_objects]
-        t_local = model.server_overhead[srv] + (1.0 / model.server_rate[srv]) * size
-        t_repo = (
-            model.server_repo_overhead[srv]
-            + (1.0 / model.server_repo_rate[srv]) * size
-        )
-        marks = t_local <= t_repo
+        # the per-entry single-download times are exactly the "beneficial"
+        # predicate's two sides, precomputed once in the context
+        marks = ctx.opt_time_local <= ctx.opt_time_repo
     else:
         raise ValueError(f"unknown optional policy {policy!r}")
     if allowed_per_server is not None:
@@ -257,6 +255,6 @@ def partition_all_batched(
     )
     opt_marks = optional_marks_batched(model, optional_policy, allowed_per_server)
     alloc = Allocation(model)
-    alloc.set_comp_local_bulk(np.flatnonzero(comp_marks), True)
-    alloc.set_opt_local_bulk(np.flatnonzero(opt_marks), True)
+    alloc.set_comp_local_bulk(comp_marks.nonzero()[0], True)
+    alloc.set_opt_local_bulk(opt_marks.nonzero()[0], True)
     return alloc

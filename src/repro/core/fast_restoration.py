@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.allocation import Allocation, ReverseIndex
+from repro.core.allocation import Allocation
 from repro.core.constraints import local_processing_load, storage_used
 from repro.core.cost_model import CostModel
 from repro.core.fast_partition import partition_pages_batched
@@ -362,7 +362,7 @@ class VectorLazyHeap:
                         f[sel] = rescore(sel)
                         dirty[sel] = False
                 acc = ok & (f[kk] <= s[pos:end] + tol)
-                nz = np.flatnonzero(acc)
+                nz = acc.nonzero()[0]
                 if len(nz):
                     a_idx = pos + int(nz[0])
                     break
@@ -373,7 +373,7 @@ class VectorLazyHeap:
         hi = a_idx if a_idx >= 0 else n
         ks = k[h:hi]
         al = alive[ks]
-        st = np.flatnonzero(al)  # stale-but-alive prefix entries
+        st = al.nonzero()[0]  # stale-but-alive prefix entries
         fB = None
         if len(st):
             fs = f[ks[st]]
@@ -482,29 +482,25 @@ class _EvictionScorer:
     def __init__(self, cost: CostModel, alloc: Allocation, server_id: int):
         m = alloc.model
         self.m = m
-        n_obj = len(m.sizes)
-        rows = np.flatnonzero(m.page_server[m.comp_pages] == server_id)
-        self.ce, self.cstarts, self.ccounts = _group_by_object(
-            rows, m.comp_objects[rows], n_obj
-        )
-        pg = m.comp_pages[self.ce].astype(np.intp)
+        ctx = alloc.ctx
+        # the per-server object-grouped CSR tables live in the shared
+        # EvalContext (same layout _group_by_object produced per phase)
+        self.ce, self.cstarts, self.ccounts = ctx.comp_group(server_id)
+        pg = ctx.comp_pages[self.ce].astype(np.intp)
         self.pg = pg
         # rows: ovhd_l, spb_l, ovhd_r, spb_r, html, alpha1*freq, size
         self.attrs = np.vstack(
             [
-                cost.page_ovhd_local[pg],
-                cost.page_spb_local[pg],
-                cost.page_ovhd_repo[pg],
-                cost.page_spb_repo[pg],
-                m.html_sizes[pg],
-                cost.alpha1 * m.frequencies[pg],
-                m.sizes[m.comp_objects[self.ce]],
+                ctx.page_ovhd_local[pg],
+                ctx.page_spb_local[pg],
+                ctx.page_ovhd_repo[pg],
+                ctx.page_spb_repo[pg],
+                ctx.html_sizes[pg],
+                cost.alpha1 * ctx.comp_freq[self.ce],
+                ctx.comp_sizes[self.ce],
             ]
         )
-        orows = np.flatnonzero(m.page_server[m.opt_pages] == server_id)
-        self.oe, self.ostarts, self.ocounts = _group_by_object(
-            orows, m.opt_objects[orows], n_obj
-        )
+        self.oe, self.ostarts, self.ocounts = ctx.opt_group(server_id)
         self.oterm = cost.bulk_optional_entry_delta(self.oe, to_local=False)
         self.sizes = m.sizes
 
@@ -538,10 +534,10 @@ class _EvictionScorer:
         rb = RB[pg]
         tl = ovl + spl * (html + lb)
         tr = ovr + spr * rb
-        old = np.where(tl >= tr, tl, tr)
+        old = np.maximum(tl, tr)
         tl2 = ovl + spl * (html + (lb - sz))
         tr2 = ovr + spr * (rb + sz)
-        new = np.where(tl2 >= tr2, tl2, tr2)
+        new = np.maximum(tl2, tr2)
         wc = a1f * (new - old)
         ocounts = self.ocounts[cand]
         if ocounts.any():
@@ -569,7 +565,6 @@ def restore_storage_batched(
     alloc: Allocation,
     cost: CostModel,
     server_id: int,
-    rev: ReverseIndex,
     amortise: bool = True,
     batch_min_pages: int = 8,
     counters: dict | None = None,
@@ -629,7 +624,7 @@ def restore_storage_batched(
     heap.push_batch(vals, init_keys)
 
     allowed_mask = np.zeros(len(comp_objects), dtype=bool)
-    rows = np.flatnonzero(m.page_server[m.comp_pages] == server_id)
+    rows = alloc.ctx.comp_group(server_id)[0]
     allowed_mask[rows] = np.isin(comp_objects[rows], init_keys)
 
     def rescore(keys: np.ndarray) -> np.ndarray:
@@ -656,14 +651,14 @@ def restore_storage_batched(
         marks = np.asarray(marks, dtype=bool)
         cur = comp_local[sl.start : sl.stop]
         diff = cur != marks
-        offs = np.flatnonzero(diff)
+        offs = diff.nonzero()[0]
         if not len(offs):
             return None  # scalar: ``changed`` stays False, nothing pushed
         objs_page = comp_objects[sl.start : sl.stop]
         # stale set built with the scalar insertion sequence (ascending
         # offsets, flipped-or-still-marked); iteration below replays the
         # scalar's hash-order walk, so it must stay a real set
-        stale = set(objs_page[np.flatnonzero(diff | marks)].tolist())
+        stale = set(objs_page[(diff | marks).nonzero()[0]].tolist())
         push_keys = [k2 for k2 in stale if k2 in replicas]
         return (j, sl.start, offs, objs_page[offs], marks[offs], stale, push_keys)
 
@@ -812,6 +807,7 @@ def restore_processing_batched(
             f"alone exceeds processing capacity ({capacity:.2f} req/s)"
         )
 
+    ctx = alloc.ctx
     LB = cost.local_mo_bytes(alloc)
     RB = cost.remote_mo_bytes(alloc)
     NC = len(m.comp_objects)
@@ -822,14 +818,14 @@ def restore_processing_batched(
     heap = VectorLazyHeap(purge_dead=alive)
 
     def comp_scores(entries: np.ndarray) -> np.ndarray:
-        j = m.comp_pages[entries]
-        size = cost.comp_sizes[entries]
+        j = ctx.comp_pages[entries]
+        size = ctx.comp_sizes[entries]
         lb = LB[j]
         rb = RB[j]
         old = cost.bulk_page_time_from_bytes(j, lb, rb)
         new = cost.bulk_page_time_from_bytes(j, lb - size, rb + size)
-        raw = (cost.alpha1 * m.frequencies[j]) * (new - old)
-        shed = m.frequencies[j]
+        shed = ctx.comp_freq[entries]
+        raw = (cost.alpha1 * shed) * (new - old)
         out = np.full(len(entries), np.inf)
         pos = shed > 0
         out[pos] = raw[pos] / shed[pos]
@@ -838,19 +834,16 @@ def restore_processing_batched(
 
     def opt_scores(entries: np.ndarray) -> np.ndarray:
         raw = cost.bulk_optional_entry_delta(entries, to_local=False)
-        j = m.opt_pages[entries]
-        shed = (m.frequencies[j] * m.optional_rate_scale[j]) * m.opt_probs[entries]
+        shed = ctx.opt_freq_weight[entries]
         out = np.full(len(entries), np.inf)
         pos = shed > 0
         out[pos] = raw[pos] / shed[pos]
         _bump(counters, len(entries))
         return out
 
-    srv_c = m.page_server[m.comp_pages]
-    ec = np.flatnonzero(alloc.comp_local & (srv_c == server_id))
+    ec = (alloc.comp_local & (ctx.comp_server == server_id)).nonzero()[0]
     vc = comp_scores(ec)
-    srv_o = m.page_server[m.opt_pages]
-    eo = np.flatnonzero(alloc.opt_local & (srv_o == server_id))
+    eo = (alloc.opt_local & (ctx.opt_server == server_id)).nonzero()[0]
     vo = opt_scores(eo)
     f[ec] = vc
     f[NC + eo] = vo
@@ -883,7 +876,7 @@ def restore_processing_batched(
             e = key
             j = int(m.comp_pages[e])
             k = int(m.comp_objects[e])
-            shed = float(m.frequencies[j])
+            shed = float(ctx.comp_freq[e])
             size = float(m.sizes[k])
             alloc.set_comp_local(e, False)
             LB[j] -= size
@@ -894,18 +887,15 @@ def restore_processing_batched(
             # ``heap.push`` per sibling, ascending entry order) — one
             # batched push replicates scores and counter order exactly
             sl = m.comp_slice(j)
-            sib = sl.start + np.flatnonzero(alloc.comp_local[sl.start : sl.stop])
+            sib = sl.start + alloc.comp_local[sl.start : sl.stop].nonzero()[0]
             if len(sib):
                 vs = comp_scores(sib)
                 f[sib] = vs
                 heap.push_batch(vs, sib)
         else:
             e = key - NC
-            j = int(m.opt_pages[e])
             k = int(m.opt_objects[e])
-            shed = float(
-                m.frequencies[j] * m.optional_rate_scale[j] * m.opt_probs[e]
-            )
+            shed = float(ctx.opt_freq_weight[e])
             alloc.set_opt_local(e, False)
             alive[key] = False
         stats.switches += 1
@@ -946,9 +936,9 @@ def absorb_extra_workload_batched(
     cpu_slack = np.inf if np.isinf(cap) else cap - load
     space = float(m.server_storage[server_id] - storage_used(alloc)[server_id])
 
+    ctx = alloc.ctx
     LB = cost.local_mo_bytes(alloc)
     RB = cost.remote_mo_bytes(alloc)
-    rev = ReverseIndex.for_model(m)
     NC = len(m.comp_objects)
     n_keys = NC + len(m.opt_objects)
     f = np.zeros(n_keys)
@@ -957,14 +947,14 @@ def absorb_extra_workload_batched(
     heap = VectorLazyHeap()
 
     def comp_scores(entries: np.ndarray) -> np.ndarray:
-        j = m.comp_pages[entries]
-        size = cost.comp_sizes[entries]
+        j = ctx.comp_pages[entries]
+        size = ctx.comp_sizes[entries]
         lb = LB[j]
         rb = RB[j]
         old = cost.bulk_page_time_from_bytes(j, lb, rb)
         new = cost.bulk_page_time_from_bytes(j, lb + size, rb - size)
-        raw = (cost.alpha1 * m.frequencies[j]) * (new - old)
-        w = m.frequencies[j]
+        w = ctx.comp_freq[entries]
+        raw = (cost.alpha1 * w) * (new - old)
         out = np.full(len(entries), np.inf)
         pos = w > 0
         out[pos] = raw[pos] / w[pos]
@@ -973,19 +963,16 @@ def absorb_extra_workload_batched(
 
     def opt_scores(entries: np.ndarray) -> np.ndarray:
         raw = cost.bulk_optional_entry_delta(entries, to_local=True)
-        j = m.opt_pages[entries]
-        w = (m.frequencies[j] * m.optional_rate_scale[j]) * m.opt_probs[entries]
+        w = ctx.opt_freq_weight[entries]
         out = np.full(len(entries), np.inf)
         pos = w > 0
         out[pos] = raw[pos] / w[pos]
         _bump(counters, len(entries))
         return out
 
-    srv_c = m.page_server[m.comp_pages]
-    ec = np.flatnonzero((~alloc.comp_local) & (srv_c == server_id))
+    ec = ((~alloc.comp_local) & (ctx.comp_server == server_id)).nonzero()[0]
     vc = comp_scores(ec)
-    srv_o = m.page_server[m.opt_pages]
-    eo = np.flatnonzero((~alloc.opt_local) & (srv_o == server_id))
+    eo = ((~alloc.opt_local) & (ctx.opt_server == server_id)).nonzero()[0]
     vo = opt_scores(eo)
     f[ec] = vc
     f[NC + eo] = vo
@@ -1009,11 +996,10 @@ def absorb_extra_workload_batched(
         _, key = popped
         if key < NC:
             e = key
-            w = float(m.frequencies[m.comp_pages[e]])
+            w = float(ctx.comp_freq[e])
         else:
             e = key - NC
-            j = int(m.opt_pages[e])
-            w = float(m.frequencies[j] * m.optional_rate_scale[j] * m.opt_probs[e])
+            w = float(ctx.opt_freq_weight[e])
         if w <= 0 or w > cpu_slack + _TOL:
             continue  # consumed, but duplicates may still be accepted later
         k = int(m.comp_objects[e] if key < NC else m.opt_objects[e])
@@ -1026,7 +1012,6 @@ def absorb_extra_workload_batched(
                 remaining = target - absorbed
                 ok, freed_sizes, flip_c, flip_o, flip_pages = _try_make_room(
                     alloc,
-                    rev,
                     server_id,
                     size - space,
                     min(w, remaining),

@@ -60,6 +60,7 @@ __all__ = [
     "OffloadOutcome",
     "ServerStatus",
     "compute_server_status",
+    "compute_all_server_statuses",
     "absorb_extra_workload",
     "plan_offload_round",
     "offload_repository",
@@ -104,6 +105,34 @@ def compute_server_status(alloc: Allocation, server_id: int) -> ServerStatus:
         free_capacity=free_cap,
         repo_share=float(repo_share),
     )
+
+
+def compute_all_server_statuses(alloc: Allocation) -> list[ServerStatus]:
+    """Status messages for every server from one pass over the allocation.
+
+    Each per-server constraint array (``storage_used``,
+    ``local_processing_load``, ``repository_load_by_server``) is computed
+    once and sliced, instead of once per server as mapping
+    :func:`compute_server_status` over ``range(n_servers)`` would —
+    identical values, ``O(S)`` fewer full-allocation scans per round.
+    """
+    m = alloc.model
+    storage = storage_used(alloc)
+    load = local_processing_load(alloc)
+    repo_share = repository_load_by_server(alloc)
+    out: list[ServerStatus] = []
+    for i in range(m.n_servers):
+        cap = m.server_capacity[i]
+        free_cap = np.inf if np.isinf(cap) else max(0.0, float(cap - load[i]))
+        out.append(
+            ServerStatus(
+                server_id=i,
+                free_space=max(0.0, float(m.server_storage[i] - storage[i])),
+                free_capacity=free_cap,
+                repo_share=float(repo_share[i]),
+            )
+        )
+    return out
 
 
 def plan_offload_round(
@@ -166,16 +195,14 @@ def _proportional_shares(
 # server-side absorption
 # ----------------------------------------------------------------------
 def _candidate_workload(alloc: Allocation, kind: str, e: int) -> float:
-    m = alloc.model
+    ctx = alloc.ctx
     if kind == "comp":
-        return float(m.frequencies[m.comp_pages[e]])
-    j = int(m.opt_pages[e])
-    return float(m.frequencies[j] * m.optional_rate_scale[j] * m.opt_probs[e])
+        return float(ctx.comp_freq[e])
+    return float(ctx.opt_freq_weight[e])
 
 
 def _try_make_room(
     alloc: Allocation,
-    rev: ReverseIndex,
     server_id: int,
     need: float,
     gain: float,
@@ -196,6 +223,9 @@ def _try_make_room(
     m = alloc.model
     if not allow_swap:
         return False, [], [], [], []
+    # cached per-model reverse index (previously threaded in by callers)
+    rev = ReverseIndex.for_model(m)
+    ctx = alloc.ctx
     victims: list[tuple[float, int, float, float]] = []
     for k in alloc.replicas[server_id]:
         k = int(k)
@@ -207,7 +237,7 @@ def _try_make_room(
             comp_e, opt_e = rev.entries_for(server_id, k)
             for e2 in comp_e:
                 if alloc.comp_local[e2]:
-                    w_lost += float(m.frequencies[m.comp_pages[e2]])
+                    w_lost += float(ctx.comp_freq[e2])
             for e2 in opt_e:
                 if alloc.opt_local[e2]:
                     w_lost += _candidate_workload(alloc, "opt", int(e2))
@@ -328,17 +358,12 @@ def absorb_extra_workload(
             raw = cost.optional_entry_delta(e, to_local=True)
         return raw / w
 
-    # one cached O(E) reverse-index lookup shared by every swap attempt
-    # (previously rebuilt/fetched per victim inside try_make_room)
-    rev = ReverseIndex.for_model(m)
-
+    ctx = alloc.ctx
     counter = itertools.count()
     heap: list[tuple[float, int, tuple[str, int]]] = []
-    srv_c = m.page_server[m.comp_pages]
-    for e in np.flatnonzero((~alloc.comp_local) & (srv_c == server_id)):
+    for e in ((~alloc.comp_local) & (ctx.comp_server == server_id)).nonzero()[0]:
         heapq.heappush(heap, (score("comp", int(e)), next(counter), ("comp", int(e))))
-    srv_o = m.page_server[m.opt_pages]
-    for e in np.flatnonzero((~alloc.opt_local) & (srv_o == server_id)):
+    for e in ((~alloc.opt_local) & (ctx.opt_server == server_id)).nonzero()[0]:
         heapq.heappush(heap, (score("opt", int(e)), next(counter), ("opt", int(e))))
 
     def try_make_room(need: float, gain: float) -> bool:
@@ -346,7 +371,7 @@ def absorb_extra_workload(
         shed less workload than ``gain`` would add (net positive trade)."""
         nonlocal space
         ok, freed_sizes, _, _, _ = _try_make_room(
-            alloc, rev, server_id, need, gain,
+            alloc, server_id, need, gain,
             local_bytes, remote_bytes, allow_swap,
         )
         for size in freed_sizes:
@@ -476,16 +501,17 @@ def offload_repository(
         for _ in range(cfg.max_rounds):
             if load <= repo_cap + _TOL:
                 break
-            statuses = [
-                compute_server_status(alloc, i) for i in range(m.n_servers)
-            ]
+            statuses = compute_all_server_statuses(alloc)
             plan = plan_offload_round(statuses, repo_cap, demoted)
             if plan is None or not plan:
                 break
             outcome.rounds += 1
             outcome.messages += len(plan)  # NewReq messages
             for i, req in plan.items():
-                st = compute_server_status(alloc, i)
+                # each server appears at most once per round and absorption
+                # at one server never changes another's constraint slack,
+                # so the round-start status is still exact here
+                st = statuses[i]
                 achieved = absorb_extra_workload(
                     alloc,
                     cost,

@@ -33,6 +33,7 @@ from typing import Collection, Literal
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.context import Kernel, resolve_kernel
 from repro.core.types import SystemModel
 from repro.obs.registry import get_registry
 
@@ -47,40 +48,6 @@ __all__ = [
 
 OptionalPolicy = Literal["all", "beneficial", "none"]
 SortOrder = Literal["decreasing", "increasing", "document"]
-Kernel = Literal["batched", "scalar"]
-
-_KERNELS = ("batched", "scalar")
-
-
-def resolve_kernel(value: str | None, default: Kernel = "batched") -> Kernel:
-    """Validate a PARTITION kernel name from CLI / env / API callers.
-
-    The single source of truth for kernel validation — the CLI
-    ``--kernel`` flag, the ``REPRO_KERNEL`` environment override, and the
-    restoration/partition entry points all funnel through here, so the
-    accepted values and the error text cannot diverge.
-
-    Parameters
-    ----------
-    value:
-        Raw kernel name; surrounding whitespace and case are ignored.
-        ``None`` or ``""`` selects ``default``.
-    default:
-        Kernel returned for unset values.
-
-    Raises
-    ------
-    ValueError
-        If ``value`` names neither ``"batched"`` nor ``"scalar"``.
-    """
-    if value is None or value == "":
-        return default
-    kernel = str(value).strip().lower()
-    if kernel not in _KERNELS:
-        raise ValueError(
-            f"kernel must be one of {'|'.join(_KERNELS)}, got {value!r}"
-        )
-    return kernel  # type: ignore[return-value]
 
 
 def partition_page(

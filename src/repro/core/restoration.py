@@ -150,7 +150,7 @@ def _eviction_delta(
     state: _PageState,
     server_id: int,
     object_id: int,
-    rev: ReverseIndex,
+    rev: ReverseIndex | None = None,
 ) -> float:
     """Objective change from deallocating ``object_id`` at ``server_id``.
 
@@ -161,6 +161,8 @@ def _eviction_delta(
     is a safe upper bound for ranking.
     """
     m = alloc.model
+    if rev is None:
+        rev = ReverseIndex.for_model(m)
     comp_e, opt_e = rev.entries_for(server_id, object_id)
     size = float(m.sizes[object_id])
     freq = cost.scalars.freq
@@ -220,11 +222,12 @@ def _restore_storage_one_server(
     cost: CostModel,
     state: _PageState,
     server_id: int,
-    rev: ReverseIndex,
     amortise: bool = True,
     kernel: Kernel = "batched",
 ) -> StorageRestorationStats:
     m = alloc.model
+    # one O(E) reverse-index build (cached per model) shared by every score
+    rev = ReverseIndex.for_model(m)
     stats = StorageRestorationStats()
 
     capacity = m.server_storage[server_id]
@@ -258,7 +261,7 @@ def _restore_storage_one_server(
     allowed_mask: np.ndarray | None = None
     if kernel == "batched":
         allowed_mask = np.zeros(len(m.comp_objects), dtype=bool)
-        rows = np.flatnonzero(m.page_server[m.comp_pages] == server_id)
+        rows = alloc.ctx.comp_group(server_id)[0]
         stored = alloc.replicas[server_id]
         replica_arr = np.fromiter(stored, dtype=np.intp, count=len(stored))
         allowed_mask[rows] = np.isin(m.comp_objects[rows], replica_arr)
@@ -392,9 +395,6 @@ def restore_storage_capacity(
     kernel = resolve_kernel(kernel)
     reg = get_registry()
     stats = StorageRestorationStats()
-    # one O(E) reverse-index build (cached per model) shared by every
-    # per-server sweep instead of one lookup per server
-    rev = ReverseIndex.for_model(alloc.model)
     servers = (
         range(alloc.model.n_servers) if server_id is None else [server_id]
     )
@@ -409,7 +409,6 @@ def restore_storage_capacity(
                         alloc,
                         cost,
                         i,
-                        rev,
                         amortise=amortise,
                         batch_min_pages=_BATCH_MIN_PAGES,
                         counters=rescore,
@@ -420,7 +419,7 @@ def restore_storage_capacity(
             for i in servers:
                 stats.merge(
                     _restore_storage_one_server(
-                        alloc, cost, state, i, rev, amortise=amortise,
+                        alloc, cost, state, i, amortise=amortise,
                         kernel=kernel,
                     )
                 )
@@ -506,11 +505,10 @@ def _restore_processing_one_server(
             alloc.comp_local[e] if kind == "comp" else alloc.opt_local[e]
         )
 
-    srv_c = m.page_server[m.comp_pages]
-    for e in np.flatnonzero(alloc.comp_local & (srv_c == server_id)):
+    ctx = alloc.ctx
+    for e in (alloc.comp_local & (ctx.comp_server == server_id)).nonzero()[0]:
         heap.push(score(("comp", int(e))), ("comp", int(e)))
-    srv_o = m.page_server[m.opt_pages]
-    for e in np.flatnonzero(alloc.opt_local & (srv_o == server_id)):
+    for e in (alloc.opt_local & (ctx.opt_server == server_id)).nonzero()[0]:
         heap.push(score(("opt", int(e))), ("opt", int(e)))
 
     # Absolute tolerance scaled to the capacity: the running ``load``

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.constraints import evaluate_constraints
+from repro.core.context import IncrementalObjective
 from repro.core.cost_model import CostModel
 from repro.core.matrices import MatrixSet
 
@@ -89,6 +90,15 @@ def verify_allocation(
     d = c.D(alloc)
     if not np.isfinite(d) or d < 0:
         failures.append(f"objective D is not a finite non-negative number: {d}")
+
+    # 5. incremental-objective agreement: a freshly synced
+    # IncrementalObjective evaluates the same Eq. 3-7 pipeline from the
+    # shared EvalContext columns and must match CostModel.D exactly
+    inc = IncrementalObjective(c.ctx, alloc, alpha1=c.alpha1, alpha2=c.alpha2)
+    if inc.D != d:
+        failures.append(
+            f"IncrementalObjective disagrees with CostModel.D: {inc.D!r} != {d!r}"
+        )
 
     return VerificationReport(
         passed=not failures, failures=failures, warnings=warnings

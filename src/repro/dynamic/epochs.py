@@ -149,7 +149,14 @@ def run_dynamic_experiment(
     seed: int = 0,
     perturbation: PerturbationModel = PAPER_PERTURBATION,
 ) -> DynamicExperimentResult:
-    """Run the epoch harness; see module docstring for the protocol."""
+    """Run the epoch harness; see module docstring for the protocol.
+
+    Each drifted/jittered epoch model is a fresh ``SystemModel``, so it
+    builds its own :class:`~repro.core.context.EvalContext` on first use
+    and every planner run, transplant, and replay within the epoch then
+    shares those columns; superseded models (and their cached contexts)
+    are garbage-collected when the epoch advances.
+    """
     from repro.core.partition import partition_all
     from repro.experiments.scaling import (
         clone_with_capacities,

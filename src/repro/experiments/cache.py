@@ -49,6 +49,7 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from repro.core.allocation import Allocation
+from repro.core.context import EvalContext
 from repro.core.cost_model import CostModel
 from repro.core.policy import RepositoryReplicationPolicy
 from repro.core.types import SystemModel
@@ -103,6 +104,14 @@ class RunArtifacts:
     """The evaluation trace over ``model``."""
     cost: CostModel
     """The proposed policy's cost model for ``model``."""
+    context: EvalContext
+    """The shared columnar evaluation context for ``(model, kernel)``.
+
+    Cached here as part of the content-addressed bundle: every sweep
+    point, baseline, and simulation replay touching this model reuses
+    these columns (the per-model cache keys off the model object, which
+    the bundle pins alive), so derived state is built exactly once per
+    cache entry."""
     reference: Allocation
     """Unconstrained proposed-policy allocation (pure PARTITION)."""
     reference_sim: SimulationResult
@@ -206,6 +215,7 @@ class ArtifactCache:
             model=model,
             trace=trace,
             cost=cost,
+            context=EvalContext.for_model(model, kernel=kernel),
             reference=result.allocation,
             reference_sim=reference_sim,
             model_seed=model_seed,

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.context import EvalContext
 from repro.obs.registry import get_registry
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.perturbation import PAPER_PERTURBATION, PerturbationModel
@@ -162,7 +163,8 @@ def _simulate_partition_masks(
             f"opt_local has shape {opt_local.shape}, expected "
             f"{trace.opt_entries.shape}"
         )
-    pair_sizes = m.sizes[m.comp_objects[entries]]
+    ctx = EvalContext.for_model(m)
+    pair_sizes = ctx.comp_sizes[entries]
 
     # local stream: HTML + local MOs, one rate factor per HTTP request
     html_factors = perturbation.sample_local_rate(rng, n_req)
@@ -220,9 +222,8 @@ def _simulate_partition_masks(
     optional_times = np.empty(0)
     if n_opt:
         e = trace.opt_entries
-        opt_pages = m.opt_pages[e]
-        opt_srv = m.page_server[opt_pages]
-        opt_sizes = m.sizes[m.opt_objects[e]]
+        opt_srv = ctx.opt_server[e]
+        opt_sizes = ctx.opt_sizes[e]
         is_local = opt_local
         optional_times = np.empty(n_opt)
         n_loc = int(is_local.sum())

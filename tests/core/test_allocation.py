@@ -253,3 +253,87 @@ class TestBulkMutation:
         a.set_comp_local_bulk(np.array([4]), False)
         assert a.mark_count(1, 3) == 1
         assert 3 in a.replicas[1]
+
+
+class TestCopyTransplantWithBulk:
+    """Deep-copy/transplant semantics around the bulk mutators.
+
+    ``copy`` and ``transplant_allocation`` both rebuild or duplicate the
+    per-server mark counts; the bulk mutators update those counts with a
+    bincount over pair ids.  These tests pin the interaction: edits on
+    one side must never leak to the other, and the counts must stay
+    consistent (``check_invariants``) after any mix of scalar and bulk
+    edits on either side.
+    """
+
+    def test_copy_isolates_bulk_edits(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.array([0, 2, 4]), True)
+        b = a.copy()
+        b.set_comp_local_bulk(np.array([0, 2]), False)
+        b.set_opt_local_bulk(np.array([0]), True)
+        # the original is untouched, including its mark counts
+        assert a.comp_local[[0, 2, 4]].all()
+        assert not a.opt_local.any()
+        a.check_invariants()
+        b.check_invariants()
+        ref = Allocation(micro_model, b.comp_local, b.opt_local)
+        assert b._mark_counts == ref._mark_counts
+
+    def test_bulk_edits_on_copy_match_scalar_on_original(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local(1, True)
+        dup = a.copy()
+        dup.set_comp_local_bulk(np.array([3, 5]), True)
+        scalar = a.copy()
+        for e in (3, 5):
+            scalar.set_comp_local(e, True)
+        assert dup == scalar
+        assert dup._mark_counts == scalar._mark_counts
+
+    def test_transplant_after_bulk_edits(self, micro_model):
+        from repro.core.allocation import transplant_allocation
+        from repro.experiments.scaling import clone_with_capacities
+
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.array([4, 7]), True)
+        a.set_opt_local_bulk(np.array([1]), True)
+        a.store(0, 3)  # stored-but-unmarked survives the move
+        clone = clone_with_capacities(micro_model, storage=1e9)
+        moved = transplant_allocation(a, clone)
+        assert moved.model is clone
+        assert moved.ctx is not a.ctx  # fresh model, fresh context
+        assert np.array_equal(moved.comp_local, a.comp_local)
+        assert 3 in moved.replicas[0]
+        moved.check_invariants()
+        # bulk edits on the transplant do not reach back
+        moved.set_comp_local_bulk(np.array([4, 7]), False)
+        assert a.comp_local[[4, 7]].all()
+        assert a.mark_count(1, 3) == 2
+        a.check_invariants()
+        moved.check_invariants()
+
+    def test_invariants_after_mixed_scalar_bulk_edits(self, micro_model):
+        a = Allocation(micro_model)
+        a.set_comp_local_bulk(np.array([0, 2, 4, 7]), True)
+        a.set_comp_local(2, False)
+        a.set_opt_local(0, True)
+        a.set_opt_local_bulk(np.array([0, 1]), False)
+        a.set_comp_local_bulk(np.array([2, 5]), True)
+        a.set_comp_local(5, False)
+        a.check_invariants()
+        # scalar replay of the same edit history (replica sets record
+        # every object ever marked, so the reference must replay the
+        # set-then-unset steps too, not just the surviving marks)
+        loop = Allocation(micro_model)
+        for e in (0, 2, 4, 7):
+            loop.set_comp_local(e, True)
+        loop.set_comp_local(2, False)
+        loop.set_opt_local(0, True)
+        for e in (0, 1):
+            loop.set_opt_local(e, False)
+        for e in (2, 5):
+            loop.set_comp_local(e, True)
+        loop.set_comp_local(5, False)
+        assert a == loop
+        assert a._mark_counts == loop._mark_counts

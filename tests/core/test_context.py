@@ -1,0 +1,168 @@
+"""Tests for repro.core.context: EvalContext + IncrementalObjective."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation, ReverseIndex
+from repro.core.context import (
+    EvalContext,
+    IncrementalObjective,
+    clear_derived_state,
+    rebuild_contexts,
+    resolve_kernel,
+)
+from repro.core.cost_model import CostModel
+from repro.core.partition import partition_all
+
+
+class TestResolveKernel:
+    def test_default(self):
+        assert resolve_kernel(None) == "batched"
+
+    def test_explicit(self):
+        assert resolve_kernel("scalar") == "scalar"
+        assert resolve_kernel("batched") == "batched"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel("simd")
+
+
+class TestCaching:
+    def test_for_model_cached(self, micro_model):
+        a = EvalContext.for_model(micro_model)
+        b = EvalContext.for_model(micro_model)
+        assert a is b
+
+    def test_kernel_siblings_share_columns(self, micro_model):
+        batched = EvalContext.for_model(micro_model, kernel="batched")
+        scalar = EvalContext.for_model(micro_model, kernel="scalar")
+        assert batched is not scalar
+        assert batched.comp_sizes is scalar.comp_sizes
+        assert batched.pair_indptr is scalar.pair_indptr
+        assert batched.html_request_load is scalar.html_request_load
+
+    def test_rebuild_contexts_disables_cache(self, micro_model):
+        cached = EvalContext.for_model(micro_model)
+        with rebuild_contexts():
+            fresh = EvalContext.for_model(micro_model)
+            assert fresh is not cached
+        assert EvalContext.for_model(micro_model) is cached
+
+    def test_clear_derived_state(self, micro_model):
+        before = EvalContext.for_model(micro_model)
+        clear_derived_state(micro_model)
+        after = EvalContext.for_model(micro_model)
+        assert after is not before
+
+
+class TestColumns:
+    def test_entry_columns_match_model_gathers(self, micro_model):
+        m = micro_model
+        ctx = EvalContext.for_model(m)
+        assert np.array_equal(ctx.comp_server, m.page_server[m.comp_pages])
+        assert np.array_equal(ctx.comp_sizes, m.sizes[m.comp_objects])
+        assert np.array_equal(ctx.comp_freq, m.frequencies[m.comp_pages])
+        assert np.array_equal(ctx.opt_sizes, m.sizes[m.opt_objects])
+        assert np.array_equal(
+            ctx.opt_freq_weight,
+            (m.frequencies[m.opt_pages] * m.optional_rate_scale[m.opt_pages])
+            * m.opt_probs,
+        )
+
+    def test_per_server_fixed_terms(self, micro_model):
+        m = micro_model
+        ctx = EvalContext.for_model(m)
+        assert np.array_equal(ctx.html_bytes_by_server, m.html_bytes_by_server())
+
+    def test_groups_match_reverse_index(self, micro_model):
+        m = micro_model
+        ctx = EvalContext.for_model(m)
+        rev = ReverseIndex.for_model(m)
+        for i in range(m.n_servers):
+            entries, starts, counts = ctx.comp_group(i)
+            # entries are grouped by object with ascending entry ids —
+            # the ReverseIndex tuple order
+            for k in range(m.n_objects):
+                ce, _ = rev.entries_for(i, k)
+                sl = starts[k], starts[k] + counts[k]
+                assert tuple(entries[sl[0] : sl[1]].tolist()) == ce
+
+    def test_pair_table_covers_every_entry(self, micro_model):
+        m = micro_model
+        ctx = EvalContext.for_model(m)
+        assert np.array_equal(
+            ctx.pair_server[ctx.comp_pair], ctx.comp_server
+        )
+        assert np.array_equal(
+            ctx.pair_object[ctx.comp_pair], m.comp_objects
+        )
+        assert np.array_equal(ctx.pair_server[ctx.opt_pair], ctx.opt_server)
+        assert np.array_equal(ctx.pair_object[ctx.opt_pair], m.opt_objects)
+
+
+class TestIncrementalObjective:
+    def test_resync_bit_identical_to_cost_model(self, micro_model):
+        alloc = partition_all(micro_model)
+        cost = CostModel(micro_model, alpha1=2.0, alpha2=1.0)
+        inc = IncrementalObjective(alloc.ctx, alloc, alpha1=2.0, alpha2=1.0)
+        assert inc.D == cost.D(alloc)
+        assert inc.D1 == cost.D1(alloc)
+        assert inc.D2 == cost.D2(alloc)
+
+    def test_flip_tracks_exact_evaluator(self, micro_model):
+        rng = np.random.default_rng(7)
+        alloc = partition_all(micro_model)
+        cost = CostModel(micro_model, alpha1=2.0, alpha2=1.0)
+        inc = IncrementalObjective(alloc.ctx, alloc, alpha1=2.0, alpha2=1.0)
+        shadow = alloc.copy()
+        for _ in range(25):
+            if rng.random() < 0.5 and len(shadow.comp_local):
+                e = rng.integers(0, len(shadow.comp_local), size=2)
+                to = bool(rng.random() < 0.5)
+                inc.flip_comp(e, to)
+                shadow.set_comp_local_bulk(np.unique(e), to)
+            elif len(shadow.opt_local):
+                e = rng.integers(0, len(shadow.opt_local), size=2)
+                to = bool(rng.random() < 0.5)
+                inc.flip_opt(e, to)
+                shadow.set_opt_local_bulk(np.unique(e), to)
+            exact = cost.D(shadow)
+            assert inc.D == pytest.approx(exact, rel=1e-12, abs=1e-9)
+        # the escape hatch lands exactly on the full evaluator
+        assert inc.resync() == cost.D(shadow)
+
+    def test_noop_flips_ignored(self, micro_model):
+        alloc = partition_all(micro_model)
+        inc = IncrementalObjective(alloc.ctx, alloc)
+        d0 = inc.D
+        already = alloc.comp_local.nonzero()[0]
+        assert inc.flip_comp(already, True) == d0
+        assert inc.flip_comp(np.array([], dtype=np.intp), False) == d0
+
+    def test_duplicate_entries_flip_once(self, micro_model):
+        alloc = Allocation(micro_model)
+        cost = CostModel(micro_model)
+        inc = IncrementalObjective(alloc.ctx, alloc)
+        inc.flip_comp(np.array([2, 2, 0, 2]), True)
+        shadow = Allocation(micro_model)
+        shadow.set_comp_local_bulk(np.array([0, 2]), True)
+        assert inc.resync() == cost.D(shadow)
+
+    def test_resync_every_clears_drift(self, micro_model):
+        alloc = Allocation(micro_model)
+        cost = CostModel(micro_model)
+        inc = IncrementalObjective(alloc.ctx, alloc, resync_every=1)
+        shadow = Allocation(micro_model)
+        for e in range(min(4, len(alloc.comp_local))):
+            inc.flip_comp(np.array([e]), True)
+            shadow.set_comp_local(e, True)
+            # resync_every=1 forces an exact recompute after every flip
+            assert inc.D == cost.D(shadow)
+
+    def test_invalid_args_rejected(self, micro_model):
+        alloc = Allocation(micro_model)
+        with pytest.raises(ValueError, match="alpha"):
+            IncrementalObjective(alloc.ctx, alloc, alpha1=0.0)
+        with pytest.raises(ValueError, match="resync_every"):
+            IncrementalObjective(alloc.ctx, alloc, resync_every=0)
