@@ -22,6 +22,15 @@ scale** (``REPRO_BENCH_SCALE=paper``; measured ≈7× there); smaller
 scales assert a looser sanity floor because a sub-second run's ratio is
 dominated by fixed costs.
 
+A third arm times the **sharded** process-parallel kernel
+(:mod:`repro.core.shard`): the same constrained run split into
+``SHARD_COUNT`` per-server shards on a persistent worker pool, with the
+reconciled result asserted **bit-identical** to the shared arm's
+(allocation marks, replica sets, objective and phase list).  The
+acceptance floor there is **≥2× at paper scale with ≥4 cores**
+(skipped on smaller machines — a 1-core box serialises the shards and
+only measures dispatch overhead).
+
 Capacities are set to the fractions (storage 0.6, processing 0.6,
 repository 0.7 of the unconstrained footprint) that force all four
 phases to run — an unconstrained model is partition-only and would not
@@ -39,6 +48,7 @@ import pytest
 from repro.core.context import rebuild_contexts
 from repro.core.partition import partition_all
 from repro.core.policy import RepositoryReplicationPolicy
+from repro.core.shard import default_pool, shutdown_shard_pool
 from repro.experiments.scaling import (
     clone_with_capacities,
     processing_capacities_for_fraction,
@@ -57,6 +67,12 @@ REPO_FRACTION = 0.7
 #: ratio to be stable).
 PAPER_FLOOR = 1.15
 SANITY_FLOOR = 1.0
+
+#: Sharded-kernel arm: shard count (capped at the model's server count)
+#: and the speedup floor asserted at paper scale on a ≥4-core machine.
+SHARD_COUNT = 4
+SHARD_FLOOR = 2.0
+SHARD_MIN_CORES = 4
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
 REPEATS = int(
@@ -125,6 +141,46 @@ def e2e_results(bench_config, save_timings):
 
     shared = timed(REPEATS, rebuild=False)
     rebuild = timed(REBUILD_REPEATS, rebuild=True)
+
+    # --- sharded arm: same run, per-server shards on a process pool ---
+    shards = min(SHARD_COUNT, model.n_servers)
+    workers = min(shards, os.cpu_count() or 1)
+    sharded_policy = RepositoryReplicationPolicy(
+        alpha1=params.alpha1,
+        alpha2=params.alpha2,
+        kernel="sharded",
+        shards=shards,
+        pool=default_pool(workers),
+    )
+    sharded: list[float] = []
+    try:
+        # Warm-up outside the timings: pool spin-up + first model
+        # transfer (subsequent runs hit the workers' digest cache).
+        sharded_warm = sharded_policy.run(fresh())
+        for _ in range(REPEATS):
+            m = fresh()
+            t0 = time.perf_counter()
+            result = sharded_policy.run(m)
+            sharded.append(time.perf_counter() - t0)
+            assert result.objective == warm.objective
+    finally:
+        shutdown_shard_pool()
+    # Bit-identity of the reconciled run against the unsharded kernel —
+    # not approximate equality: same marks, replicas, phases, objectives.
+    assert np.array_equal(
+        sharded_warm.allocation.comp_local, warm.allocation.comp_local
+    )
+    assert np.array_equal(
+        sharded_warm.allocation.opt_local, warm.allocation.opt_local
+    )
+    assert all(
+        sharded_warm.allocation.replicas[i] == warm.allocation.replicas[i]
+        for i in range(model.n_servers)
+    )
+    assert sharded_warm.phases_run == warm.phases_run
+    assert sharded_warm.objective == warm.objective
+    assert sharded_warm.unconstrained_objective == warm.unconstrained_objective
+
     results = {
         "seed": SEED,
         "scale": SCALE,
@@ -142,6 +198,11 @@ def e2e_results(bench_config, save_timings):
         "shared_median": _median(shared),
         "rebuild_median": _median(rebuild),
         "speedup": _median(rebuild) / _median(shared),
+        "shards": shards,
+        "shard_workers": workers,
+        "sharded_seconds": sharded,
+        "sharded_median": _median(sharded),
+        "sharded_speedup": _median(shared) / _median(sharded),
     }
     save_timings("policy_end_to_end", results)
     return results
@@ -158,3 +219,19 @@ def test_bench_policy_end_to_end_floor(e2e_results):
 
 def test_bench_policy_end_to_end_all_phases(e2e_results):
     assert len(e2e_results["phases_run"]) == 4
+
+
+def test_bench_sharded_kernel_floor(e2e_results):
+    """The sharded kernel beats the single-process run ≥2x at paper
+    scale with 4 workers; elsewhere the arm only pins bit-identity
+    (asserted inside the fixture) and records its timings."""
+    cores = os.cpu_count() or 1
+    if SCALE != "paper" or cores < SHARD_MIN_CORES:
+        pytest.skip(
+            f"sharded floor needs paper scale and >={SHARD_MIN_CORES} cores "
+            f"(scale={SCALE!r}, cores={cores})"
+        )
+    assert e2e_results["sharded_speedup"] >= SHARD_FLOOR, (
+        f"sharded speedup {e2e_results['sharded_speedup']:.2f}x below the "
+        f"{SHARD_FLOOR}x floor with {e2e_results['shard_workers']} workers"
+    )

@@ -15,6 +15,13 @@ EvalContext refactor honest:
 * ``repro.obs`` imports nothing above ``util`` — observability must be
   embeddable everywhere, so it can depend on nothing that depends on it.
 
+On top of the layer rules, ``MODULE_FORBIDDEN`` pins *module-specific*
+contracts with their rationale: ``core/shard.py`` fans work out to
+processes but must receive its pool **by injection** (the ``ShardPool``
+protocol) — importing ``repro.experiments`` (e.g. the executor's
+persistent pool) from there would invert the layering that lets the
+sharded kernel run inside executor workers in the first place.
+
 The check is purely static (``ast`` parse, no imports executed), walks
 every module including function-local imports, and prints each
 violation as ``file:line: <importing layer> imports <forbidden>``.
@@ -62,6 +69,19 @@ FORBIDDEN: dict[str, frozenset[str]] = {
 }
 
 
+#: module (path relative to src/repro) -> (forbidden subpackages, why).
+#: These refine the layer rules with a per-file contract and a message
+#: explaining the sanctioned alternative.
+MODULE_FORBIDDEN: dict[str, tuple[frozenset[str], str]] = {
+    "core/shard.py": (
+        frozenset({"experiments"}),
+        "the sharded kernel must take its worker pool by injection "
+        "(ShardPool protocol) — pass experiments.executor."
+        "persistent_pool(n) in from above, never import it here",
+    ),
+}
+
+
 def _layer_of(path: pathlib.Path) -> str:
     """The top-level subpackage (or module stem) a file belongs to."""
     rel = path.relative_to(PACKAGE_ROOT)
@@ -93,13 +113,22 @@ def check() -> list[str]:
     violations = []
     for path in sorted(PACKAGE_ROOT.rglob("*.py")):
         layer = _layer_of(path)
-        forbidden = FORBIDDEN.get(layer)
-        if not forbidden:
+        forbidden = FORBIDDEN.get(layer, frozenset())
+        module_key = path.relative_to(PACKAGE_ROOT).as_posix()
+        module_forbidden, module_why = MODULE_FORBIDDEN.get(
+            module_key, (frozenset(), "")
+        )
+        if not forbidden and not module_forbidden:
             continue
         tree = ast.parse(path.read_text(), filename=str(path))
         for lineno, target in _imported_subpackages(tree):
-            if target in forbidden:
-                rel = path.relative_to(REPO_ROOT)
+            rel = path.relative_to(REPO_ROOT)
+            if target in module_forbidden:
+                violations.append(
+                    f"{rel}:{lineno}: {module_key} imports repro.{target} "
+                    f"({module_why})"
+                )
+            elif target in forbidden:
                 violations.append(
                     f"{rel}:{lineno}: repro.{layer} imports repro.{target}"
                 )
@@ -114,7 +143,11 @@ def main() -> int:
             print(f"  {v}", file=sys.stderr)
         return 1
     n = len(FORBIDDEN)
-    print(f"layering check: OK ({n} constrained layers, no violations)")
+    m = len(MODULE_FORBIDDEN)
+    print(
+        f"layering check: OK ({n} constrained layers, "
+        f"{m} module rules, no violations)"
+    )
     return 0
 
 

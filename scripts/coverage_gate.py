@@ -21,7 +21,10 @@ Under ``--fast`` the gate additionally runs a **parallel smoke job**: the
 executor test file once more with ``REPRO_JOBS=2`` at tiny scale (and
 ``-p no:cacheprovider``, so two concurrent pytest processes can never
 race on ``.pytest_cache``), proving the multi-process path works in the
-gate environment and not just on developer machines.
+gate environment and not just on developer machines — followed by a
+**sharded-kernel smoke**: one tiny-scale CLI ``analyze`` run with
+``REPRO_KERNEL=sharded REPRO_SHARDS=2``, exercising the process-parallel
+policy kernel's fork → pickle → reconcile path end to end.
 """
 
 from __future__ import annotations
@@ -73,6 +76,7 @@ def main(argv: list[str]) -> int:
             "--cov=repro.core.fast_partition",
             "--cov=repro.core.fast_restoration",
             "--cov=repro.core.context",
+            "--cov=repro.core.shard",
         ]
     if fast:
         cmd += ["-m", "not slow"]
@@ -106,7 +110,25 @@ def main(argv: list[str]) -> int:
         REPRO_JOBS="2", REPRO_BENCH_SCALE="tiny", REPRO_BENCH_RUNS="2"
     )
     print("parallel smoke:", " ".join(smoke), "(REPRO_JOBS=2)")
-    return subprocess.call(smoke, cwd=REPO_ROOT, env=smoke_env)
+    code = subprocess.call(smoke, cwd=REPO_ROOT, env=smoke_env)
+    if code != 0:
+        return code
+
+    # Sharded-kernel smoke: one end-to-end CLI run with the process-
+    # parallel policy kernel forced on via the environment, proving the
+    # fork → pickle → reconcile path works in the gate environment.
+    shard_smoke = [
+        sys.executable,
+        "-m",
+        "repro",
+        "--scale",
+        "tiny",
+        "analyze",
+    ]
+    shard_env = dict(env)
+    shard_env.update(REPRO_KERNEL="sharded", REPRO_SHARDS="2")
+    print("sharded smoke:", " ".join(shard_smoke), "(REPRO_KERNEL=sharded)")
+    return subprocess.call(shard_smoke, cwd=REPO_ROOT, env=shard_env)
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.core.partition import resolve_kernel
+from repro.core.shard import resolve_shards
 from repro.experiments.executor import resolve_jobs
 from repro.experiments.runner import ExperimentConfig
 from repro.workload.params import WorkloadParams
@@ -73,10 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2000, help="root seed")
     parser.add_argument(
         "--kernel",
-        choices=("batched", "scalar"),
+        choices=("batched", "scalar", "sharded"),
         default=os.environ.get("REPRO_KERNEL", "batched").lower(),
-        help="PARTITION kernel (default: $REPRO_KERNEL or 'batched'; "
-        "both produce bit-identical allocations)",
+        help="policy kernel (default: $REPRO_KERNEL or 'batched'; all "
+        "choices produce bit-identical allocations; 'sharded' fans "
+        "per-server shards over worker processes)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="server shards for --kernel sharded (default: $REPRO_SHARDS "
+        "if set, else min(servers, cores); results are bit-identical)",
     )
     parser.add_argument(
         "--jobs",
@@ -191,7 +201,9 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     if args.requests:
         params = params.with_(requests_per_server=args.requests)
     model = generate_workload(params, seed=args.seed)
-    result = RepositoryReplicationPolicy(kernel=args.kernel).run(model)
+    result = RepositoryReplicationPolicy(
+        kernel=args.kernel, shards=args.shards
+    ).run(model)
     trace = generate_trace(model, params, seed=args.seed + 1)
     sims = {
         "proposed": simulate_allocation(result.allocation, trace, seed=2),
@@ -225,7 +237,9 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
 
     params = _SCALES[args.scale]()
     model = generate_workload(params, seed=args.seed)
-    result = RepositoryReplicationPolicy(kernel=args.kernel).run(model)
+    result = RepositoryReplicationPolicy(
+        kernel=args.kernel, shards=args.shards
+    ).run(model)
     cost = RepositoryReplicationPolicy(kernel=args.kernel).cost_model(model)
     report = describe_allocation(result.allocation, cost)
     return f"{result.summary()}\n\n{report.render()}"
@@ -272,6 +286,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.jobs = resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(f"--jobs/$REPRO_JOBS: {exc}")
+    try:
+        # explicit --shards, else $REPRO_SHARDS (validated), else auto
+        # at run time (the model's server count is not known here)
+        args.shards = resolve_shards(args.shards)
+    except ValueError as exc:
+        parser.error(f"--shards/$REPRO_SHARDS: {exc}")
     metrics_out = args.metrics_out or obs.env_metrics_path()
     if metrics_out:
         run_info = {
@@ -282,6 +302,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "runs": args.runs,
             "kernel": args.kernel,
             "jobs": args.jobs,
+            "shards": args.shards,
         }
         with obs.collect(run=run_info, out=metrics_out, name=args.command):
             output = _COMMANDS[args.command](args)

@@ -45,13 +45,19 @@ __all__ = [
     "ScalarViews",
     "Kernel",
     "resolve_kernel",
+    "engine_kernel",
     "rebuild_contexts",
     "clear_derived_state",
 ]
 
-Kernel = Literal["batched", "scalar"]
+Kernel = Literal["batched", "scalar", "sharded"]
 
-_KERNELS = ("batched", "scalar")
+_KERNELS = ("batched", "scalar", "sharded")
+
+#: Kernels that name an actual evaluation engine.  ``"sharded"`` is a
+#: *dispatch* kernel: it fans servers out over worker processes and runs
+#: the batched engine inside each shard (see :mod:`repro.core.shard`).
+_ENGINE_KERNELS = ("batched", "scalar")
 
 
 def resolve_kernel(value: str | None, default: Kernel = "batched") -> Kernel:
@@ -73,7 +79,8 @@ def resolve_kernel(value: str | None, default: Kernel = "batched") -> Kernel:
     Raises
     ------
     ValueError
-        If ``value`` names neither ``"batched"`` nor ``"scalar"``.
+        If ``value`` names none of ``"batched"``, ``"scalar"``,
+        ``"sharded"``.
     """
     if value is None or value == "":
         return default
@@ -83,6 +90,17 @@ def resolve_kernel(value: str | None, default: Kernel = "batched") -> Kernel:
             f"kernel must be one of {'|'.join(_KERNELS)}, got {value!r}"
         )
     return kernel  # type: ignore[return-value]
+
+
+def engine_kernel(kernel: Kernel) -> Kernel:
+    """The evaluation engine behind a (validated) kernel name.
+
+    ``"sharded"`` is process-level orchestration, not a third set of
+    numerics: inside every shard (and for any phase a caller runs
+    directly with ``kernel="sharded"``) the batched engine does the
+    work, so all three names produce bit-identical allocations.
+    """
+    return "batched" if kernel == "sharded" else kernel
 
 
 @dataclass(frozen=True)
@@ -401,9 +419,11 @@ class EvalContext:
         """The (cached) context of ``model`` for ``kernel``.
 
         Kernel siblings share every column array by reference — only the
-        first call per model pays the build.
+        first call per model pays the build.  Dispatch kernels collapse
+        onto their engine (``"sharded"`` → ``"batched"``), so a sharded
+        run never builds a third context.
         """
-        kern = resolve_kernel(kernel)
+        kern = engine_kernel(resolve_kernel(kernel))
         if not _CACHE_ENABLED[0]:
             return cls(model, kern)
         cache: dict[str, EvalContext] | None = getattr(model, _CACHE_ATTR, None)

@@ -52,6 +52,7 @@ from repro.core.constraints import (
     storage_used,
 )
 from repro.core.cost_model import CostModel
+from repro.core.context import engine_kernel
 from repro.core.partition import Kernel, resolve_kernel
 from repro.obs.registry import get_registry
 
@@ -307,7 +308,7 @@ def absorb_extra_workload(
         the reference lazy-heap loop.  Both produce bit-identical
         absorption sequences.
     """
-    kernel = resolve_kernel(kernel)
+    kernel = engine_kernel(resolve_kernel(kernel))
     if kernel == "batched":
         # local import keeps the scalar path importable without NumPy
         # fanciness and avoids a module-level cycle
@@ -478,7 +479,7 @@ def offload_repository(
         :func:`absorb_extra_workload` (``"batched"`` or ``"scalar"``).
     """
     cfg = config or OffloadConfig()
-    kernel = resolve_kernel(kernel)
+    kernel = engine_kernel(resolve_kernel(kernel))
     m = alloc.model
     repo_cap = (
         m.repository.processing_capacity if capacity is None else float(capacity)

@@ -33,7 +33,7 @@ from typing import Collection, Literal
 import numpy as np
 
 from repro.core.allocation import Allocation
-from repro.core.context import Kernel, resolve_kernel
+from repro.core.context import Kernel, engine_kernel, resolve_kernel
 from repro.core.types import SystemModel
 from repro.obs.registry import get_registry
 
@@ -193,11 +193,14 @@ def partition_all(
         reference per-page greedy.  Both produce **bit-identical**
         allocations — the scalar path is kept as the differential-testing
         oracle (see ``tests/properties/test_property_fast_partition.py``).
+        ``"sharded"`` (the process-parallel policy kernel of
+        :mod:`repro.core.shard`) maps to the batched engine here —
+        PARTITION called directly is a single-process phase.
     """
     kernel = resolve_kernel(kernel)
     reg = get_registry()
     with reg.span("partition-all"):
-        if kernel == "batched":
+        if engine_kernel(kernel) == "batched":
             from repro.core.fast_partition import partition_all_batched
 
             alloc = partition_all_batched(

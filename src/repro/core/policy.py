@@ -107,9 +107,20 @@ class RepositoryReplicationPolicy:
     offload_config:
         Tunables for the Eq. 9 negotiation.
     kernel:
-        PARTITION kernel: ``"batched"`` (default, vectorized) or
-        ``"scalar"`` (the reference oracle).  Bit-identical results; see
-        :mod:`repro.core.fast_partition`.
+        Policy kernel: ``"batched"`` (default, vectorized), ``"scalar"``
+        (the reference oracle), or ``"sharded"`` (per-server shards on a
+        process pool; see :mod:`repro.core.shard`).  All three produce
+        bit-identical results.
+    shards:
+        Shard count for ``kernel="sharded"`` (default: ``REPRO_SHARDS``
+        if set, else ``min(n_servers, cpu_count)``).  Ignored by the
+        single-process kernels.
+    pool:
+        Worker pool for ``kernel="sharded"`` — anything with a
+        ``submit()`` method (e.g.
+        ``repro.experiments.executor.persistent_pool(n)`` or
+        :class:`repro.core.shard.InlineShardPool`).  ``None`` uses the
+        shard module's private persistent pool.
 
     Examples
     --------
@@ -129,12 +140,16 @@ class RepositoryReplicationPolicy:
         optional_policy: OptionalPolicy = "all",
         offload_config: OffloadConfig | None = None,
         kernel: Kernel = "batched",
+        shards: int | None = None,
+        pool=None,
     ):
         self.alpha1 = alpha1
         self.alpha2 = alpha2
         self.optional_policy: OptionalPolicy = optional_policy
         self.offload_config = offload_config or OffloadConfig()
         self.kernel: Kernel = kernel
+        self.shards = shards
+        self.pool = pool
 
     def cost_model(self, model: SystemModel) -> CostModel:
         """The cost model this policy optimises against."""
@@ -167,6 +182,22 @@ class RepositoryReplicationPolicy:
         return holder["result"]
 
     def _run(self, model: SystemModel) -> PolicyResult:
+        if self.kernel == "sharded":
+            # Process-parallel dispatch: per-server shards run PARTITION
+            # and the restorations in workers, the parent reconciles and
+            # replays OFF_LOADING — bit-identical to the inline pipeline
+            # below (see repro.core.shard).
+            from repro.core.shard import run_sharded_policy
+
+            return run_sharded_policy(
+                model,
+                alpha1=self.alpha1,
+                alpha2=self.alpha2,
+                optional_policy=self.optional_policy,
+                offload_config=self.offload_config,
+                shards=self.shards,
+                pool=self.pool,
+            )
         reg = obs.get_registry()
         cost = self.cost_model(model)
         spans: dict[str, obs.SpanRecord] = {}

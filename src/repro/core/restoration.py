@@ -40,6 +40,7 @@ from repro.core.allocation import Allocation, ReverseIndex
 from repro.core.constraints import local_processing_load
 from repro.core.cost_model import CostModel
 from repro.core.fast_partition import partition_pages_batched
+from repro.core.context import engine_kernel
 from repro.core.partition import Kernel, partition_page, resolve_kernel
 from repro.obs.registry import get_registry
 
@@ -392,7 +393,7 @@ def restore_storage_capacity(
     InfeasibleError
         If a server's HTML alone exceeds its storage capacity.
     """
-    kernel = resolve_kernel(kernel)
+    kernel = engine_kernel(resolve_kernel(kernel))
     reg = get_registry()
     stats = StorageRestorationStats()
     servers = (
@@ -596,7 +597,7 @@ def restore_processing_capacity(
     InfeasibleError
         If a server's HTML request load alone exceeds ``C(S_i)``.
     """
-    kernel = resolve_kernel(kernel)
+    kernel = engine_kernel(resolve_kernel(kernel))
     reg = get_registry()
     stats = ProcessingRestorationStats()
     servers = (

@@ -1,0 +1,554 @@
+"""Sharded process-parallel policy kernel (``kernel="sharded"``).
+
+The paper's pipeline pins every page to exactly one server, which makes
+the hot phases *per-server decomposable*:
+
+* **PARTITION** (Section 4.2) is per page — a page's greedy depends only
+  on its own server's link parameters and its own objects;
+* **storage restoration** (Eq. 10) and **processing restoration**
+  (Eq. 8) are per server — every candidate score, eviction,
+  re-partition and switch reads and writes only the target server's
+  pages, entries and replica set.
+
+Only **OFF_LOADING_REPOSITORY** (Eq. 9) is globally coupled: the
+repository load sums over *all* servers, and each negotiation round
+splits ``NewReq`` proportionally over the global ``L1``/``L2`` slack
+frontier.  The sharded kernel therefore:
+
+1. splits the servers into ``shards`` groups (deterministic balanced
+   LPT over per-server entry counts, :func:`plan_shards`);
+2. runs PARTITION + both restorations for each group in a worker
+   process (:func:`_run_shard`), each worker deriving its own
+   :class:`~repro.core.context.EvalContext` columns, CSR groups and
+   page streams for exactly its servers' pages;
+3. reconciles in the parent: scatters the per-shard mark/replica
+   frontiers back into one global :class:`~repro.core.allocation.Allocation`,
+   recomputes the objectives and the constraint report over the merged
+   state, and replays the globally-coupled OFF_LOADING rounds on it —
+   bit-identically to the unsharded run (DESIGN.md Appendix F).
+
+Bit-identity is the contract, not an aspiration: the merged allocation,
+objective, stats and phase list equal the ``"batched"`` kernel's exactly
+(property-tested in ``tests/properties/test_property_sharded_policy.py``
+and pinned by the golden regressions).  Two details make that hold:
+
+* objectives are evaluated in the **parent** over merged marks — a
+  per-shard partial ``np.dot`` would change float summation order;
+* restoration stats are merged in **global server order**, reproducing
+  the reference loop's accumulation sequence.
+
+Worker processes come from an *injected* pool: anything with a
+``submit(fn, *args) -> future`` method (the layering lint enforces that
+this module never imports ``repro.experiments`` — pass
+``repro.experiments.executor.persistent_pool(n)`` in from above, or let
+:func:`default_pool` build a private stdlib pool).  Models ship to
+workers pre-pickled once and are cached per worker process by content
+digest, so repeated runs over structurally identical models pay the
+unpickle only once.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import pickle
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.allocation import Allocation
+from repro.core.constraints import evaluate_constraints
+from repro.core.context import EvalContext
+from repro.core.cost_model import CostModel
+from repro.core.fast_partition import optional_marks_batched, partition_pages_batched
+from repro.core.offload import OffloadConfig, OffloadOutcome, offload_repository
+from repro.core.restoration import (
+    ProcessingRestorationStats,
+    StorageRestorationStats,
+    restore_processing_capacity,
+    restore_storage_capacity,
+)
+from repro.core.types import SystemModel
+from repro.obs.manifest import WORKER_ENV_VAR
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.util.validation import env_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.policy import PolicyResult
+
+__all__ = [
+    "ShardPool",
+    "InlineShardPool",
+    "default_pool",
+    "shutdown_shard_pool",
+    "resolve_shards",
+    "plan_shards",
+    "run_sharded_policy",
+]
+
+
+# ----------------------------------------------------------------------
+# pool injection
+# ----------------------------------------------------------------------
+class ShardPool(Protocol):
+    """What the sharded driver needs from a worker pool.
+
+    :class:`concurrent.futures.ProcessPoolExecutor` satisfies it, as
+    does the persistent pool in ``repro.experiments.executor`` — which
+    must be *passed in* by an upper layer, never imported from here.
+    """
+
+    def submit(self, fn, /, *args, **kwargs) -> Any:  # pragma: no cover
+        """Schedule ``fn(*args, **kwargs)``; return a future with ``result()``."""
+        ...
+
+
+class InlineShardPool:
+    """Serial in-process pool: ``submit`` runs the task immediately.
+
+    The deterministic no-subprocess harness for the differential tests
+    (Hypothesis drives hundreds of examples; forking per example would
+    dominate) and a zero-dependency fallback anywhere process pools are
+    unavailable.  Because it runs in-process, the driver skips the
+    pickle round-trip entirely (``inline = True``).
+    """
+
+    inline = True
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirror executor semantics
+            future.set_exception(exc)
+        return future
+
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def _shard_worker_init() -> None:
+    """Tag the process as a worker so run manifests get per-worker paths."""
+    os.environ[WORKER_ENV_VAR] = str(os.getpid())
+
+
+def default_pool(workers: int) -> ProcessPoolExecutor:
+    """A persistent private pool of at least ``workers`` processes.
+
+    Used when no pool is injected.  Persistent for the same reason the
+    experiment executor's pool is: workers cache unpickled models by
+    content digest, so back-to-back runs (benchmark repeats, golden
+    tests) skip the per-run model transfer cost.
+    """
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers, initializer=_shard_worker_init
+        )
+        _POOL_SIZE = workers
+    return _POOL
+
+
+def shutdown_shard_pool() -> None:
+    """Tear down the private default pool (benchmark cold starts)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_shard_pool)
+
+
+# ----------------------------------------------------------------------
+# shard-count resolution and planning
+# ----------------------------------------------------------------------
+def resolve_shards(
+    shards: int | None = None, n_servers: int | None = None
+) -> int | None:
+    """Resolve the shard count: explicit value, else ``REPRO_SHARDS``, else auto.
+
+    Mirrors ``repro.experiments.executor.resolve_jobs``: explicit
+    non-positive / non-integer values and malformed environment values
+    raise :class:`ValueError` naming the offending source.  With
+    ``n_servers`` known, auto resolves to
+    ``min(n_servers, cpu_count)`` and any request exceeding the server
+    count is rejected — a shard owns whole servers, so there is nothing
+    for an extra shard to do.  Without ``n_servers`` (e.g. CLI argument
+    validation before a model exists) an unset value stays ``None``.
+    """
+    if shards is None:
+        shards = env_positive_int("REPRO_SHARDS", default=None)
+    elif isinstance(shards, bool) or not isinstance(shards, int):
+        raise ValueError(f"shards must be a positive integer, got {shards!r}")
+    elif shards <= 0:
+        raise ValueError(f"shards must be a positive integer, got {shards}")
+    if shards is None:
+        if n_servers is None:
+            return None
+        shards = max(1, min(n_servers, os.cpu_count() or 1))
+    if n_servers is not None and shards > n_servers:
+        raise ValueError(
+            f"shards must not exceed the model's server count "
+            f"({n_servers}), got {shards}"
+        )
+    return shards
+
+
+def _server_weights(model: SystemModel) -> np.ndarray:
+    """Per-server work proxy: compulsory + optional entry counts.
+
+    The restoration loops' cost scales with the number of matrix entries
+    a server owns, so balancing entry counts balances shard wall-clock.
+    Computed from the flat model arrays — no context build needed.
+    """
+    comp_per_page = np.diff(model.comp_indptr)
+    opt_per_page = np.diff(model.opt_indptr)
+    return np.bincount(
+        model.page_server,
+        weights=(comp_per_page + opt_per_page).astype(float),
+        minlength=model.n_servers,
+    )
+
+
+def plan_shards(model: SystemModel, shards: int) -> tuple[tuple[int, ...], ...]:
+    """Deterministically split the servers into ``shards`` balanced groups.
+
+    Longest-processing-time greedy over :func:`_server_weights`: servers
+    in decreasing weight order (ties by ascending id) each go to the
+    currently lightest group (load ties broken by fewest members, then
+    lowest group index — so zero-weight servers spread out instead of
+    piling into group 0).  With ``shards <= n_servers`` every group
+    therefore receives at least one server; a group holding only
+    zero-weight servers (servers with no pages) is a valid *empty
+    shard* — its worker is a structured no-op.
+
+    Returns the groups with each group's server ids ascending.  Group
+    composition is a pure function of the model, so two runs over equal
+    models shard identically.
+    """
+    n_servers = model.n_servers
+    if shards < 1 or shards > n_servers:
+        raise ValueError(
+            f"shards must be between 1 and the model's server count "
+            f"({n_servers}), got {shards}"
+        )
+    weights = _server_weights(model)
+    order = sorted(range(n_servers), key=lambda i: (-weights[i], i))
+    loads = [0.0] * shards
+    groups: list[list[int]] = [[] for _ in range(shards)]
+    for i in order:
+        g = min(range(shards), key=lambda s: (loads[s], len(groups[s]), s))
+        groups[g].append(i)
+        loads[g] += float(weights[i])
+    return tuple(tuple(sorted(g)) for g in groups)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardOptions:
+    """Per-run knobs shipped to every shard worker."""
+
+    alpha1: float
+    alpha2: float
+    optional_policy: str
+    record: bool
+
+
+@dataclass
+class _ShardResult:
+    """One shard's candidate frontier, shipped back for reconciliation.
+
+    The mark arrays are full-length flat booleans (entries outside the
+    shard stay ``False``) so the parent merge is a plain bitwise OR —
+    at Table 1 scale that is ~150 KB per shard, far below any index
+    bookkeeping scheme's complexity budget.
+    """
+
+    server_ids: tuple[int, ...]
+    n_pages: int
+    n_entries: int
+    comp_partition: np.ndarray
+    opt_partition: np.ndarray
+    comp_final: np.ndarray
+    opt_final: np.ndarray
+    replicas: list[tuple[int, list[int]]]
+    storage_ran: bool
+    processing_ran: bool
+    storage_stats: list[tuple[int, StorageRestorationStats]]
+    processing_stats: list[tuple[int, ProcessingRestorationStats]]
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+    snapshot: dict | None = None
+
+
+#: Worker-side cache of unpickled models, keyed by payload digest.  Two
+#: entries cover the common interleavings (e.g. a benchmark alternating
+#: between a constrained and an unconstrained clone).
+_WORKER_MODELS: "OrderedDict[str, SystemModel]" = OrderedDict()
+_WORKER_MODEL_CAP = 2
+
+
+def _model_from_payload(payload: tuple) -> SystemModel:
+    kind = payload[0]
+    if kind == "model":
+        return payload[1]
+    _, digest, blob = payload
+    model = _WORKER_MODELS.get(digest)
+    if model is None:
+        model = pickle.loads(blob)
+        _WORKER_MODELS[digest] = model
+        while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
+            _WORKER_MODELS.popitem(last=False)
+    else:
+        _WORKER_MODELS.move_to_end(digest)
+    return model
+
+
+def _shard_pipeline(
+    model: SystemModel, server_ids: Sequence[int], opts: _ShardOptions
+) -> _ShardResult:
+    """PARTITION + per-server restorations for one group of servers.
+
+    Phase gating matches the reference pipeline exactly: the reference
+    gates each restoration on the *global* constraint report, but
+    restoring a non-violating server is a no-op, so gating on "any of
+    *my* servers violated" yields the same allocation — and the parent
+    ORs the per-shard flags to reconstruct the global phase list.
+    """
+    t0 = time.perf_counter()
+    ctx = EvalContext.for_model(model)
+    cost = CostModel(model, opts.alpha1, opts.alpha2)
+    member = np.zeros(model.n_servers, dtype=bool)
+    member[list(server_ids)] = True
+    pages = np.flatnonzero(member[model.page_server])
+    phase_seconds: dict[str, float] = {}
+
+    t = time.perf_counter()
+    alloc = Allocation(model)
+    if len(pages):
+        comp_marks, _, _ = partition_pages_batched(model, page_ids=pages)
+        alloc.set_comp_local_bulk(np.flatnonzero(comp_marks), True)
+    opt_marks = optional_marks_batched(model, opts.optional_policy)
+    opt_marks &= member[ctx.opt_server]
+    alloc.set_opt_local_bulk(np.flatnonzero(opt_marks), True)
+    phase_seconds["partition"] = time.perf_counter() - t
+    comp_partition = alloc.comp_local.copy()
+    opt_partition = alloc.opt_local.copy()
+
+    report = evaluate_constraints(alloc)
+    storage_stats: list[tuple[int, StorageRestorationStats]] = []
+    storage_ran = any(member[i] for i in report.violated_servers_storage())
+    if storage_ran:
+        t = time.perf_counter()
+        for i in server_ids:
+            storage_stats.append(
+                (i, restore_storage_capacity(alloc, cost, server_id=i))
+            )
+        phase_seconds["storage-restoration"] = time.perf_counter() - t
+        report = evaluate_constraints(alloc)
+
+    processing_stats: list[tuple[int, ProcessingRestorationStats]] = []
+    processing_ran = any(member[i] for i in report.violated_servers_processing())
+    if processing_ran:
+        t = time.perf_counter()
+        for i in server_ids:
+            processing_stats.append(
+                (i, restore_processing_capacity(alloc, cost, server_id=i))
+            )
+        phase_seconds["processing-restoration"] = time.perf_counter() - t
+
+    return _ShardResult(
+        server_ids=tuple(int(i) for i in server_ids),
+        n_pages=int(len(pages)),
+        n_entries=int(member[ctx.comp_server].sum() + member[ctx.opt_server].sum()),
+        comp_partition=comp_partition,
+        opt_partition=opt_partition,
+        comp_final=alloc.comp_local,
+        opt_final=alloc.opt_local,
+        replicas=[(int(i), sorted(alloc.replicas[i])) for i in server_ids],
+        storage_ran=storage_ran,
+        processing_ran=processing_ran,
+        storage_stats=storage_stats,
+        processing_stats=processing_stats,
+        phase_seconds=phase_seconds,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _run_shard(
+    payload: tuple, server_ids: tuple[int, ...], opts: _ShardOptions
+) -> _ShardResult:
+    """Worker entry point: resolve the model, record into a private
+    registry when the parent is collecting, return the shard frontier."""
+    model = _model_from_payload(payload)
+    registry = MetricsRegistry() if opts.record else None
+    with use_registry(registry):
+        result = _shard_pipeline(model, server_ids, opts)
+    if registry is not None:
+        result.snapshot = registry.snapshot()
+    return result
+
+
+# ----------------------------------------------------------------------
+# parent side: fan out, reconcile, replay the global phases
+# ----------------------------------------------------------------------
+def run_sharded_policy(
+    model: SystemModel,
+    alpha1: float = 2.0,
+    alpha2: float = 1.0,
+    optional_policy: str = "all",
+    offload_config: OffloadConfig | None = None,
+    shards: int | None = None,
+    pool: ShardPool | None = None,
+) -> "PolicyResult":
+    """The full policy pipeline, sharded over a worker pool.
+
+    Bit-identical to ``RepositoryReplicationPolicy(kernel="batched")``
+    on allocation, objectives, stats, constraint report and phase list
+    — see the module docstring for why.
+
+    Parameters
+    ----------
+    shards:
+        Group count; resolved via :func:`resolve_shards` (explicit →
+        ``REPRO_SHARDS`` → ``min(n_servers, cpu_count)``).
+    pool:
+        Injected :class:`ShardPool`; defaults to this module's private
+        persistent :func:`default_pool`.  Pass
+        :class:`InlineShardPool` to run serially in-process.
+    """
+    from repro.core.policy import PolicyResult
+
+    reg = obs.get_registry()
+    cost = CostModel(model, alpha1, alpha2)
+    n_shards = resolve_shards(shards, n_servers=model.n_servers)
+    groups = plan_shards(model, n_shards)
+    opts = _ShardOptions(
+        alpha1=alpha1,
+        alpha2=alpha2,
+        optional_policy=optional_policy,
+        record=reg.enabled,
+    )
+    if pool is None:
+        pool = default_pool(len(groups))
+    if getattr(pool, "inline", False):
+        payload: tuple = ("model", model)
+    else:
+        blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = ("blob", hashlib.sha256(blob).hexdigest(), blob)
+
+    spans: dict[str, obs.SpanRecord] = {}
+    with reg.span("policy"):
+        with reg.span("shard-fanout") as fan:
+            spans["shard-fanout"] = fan
+            futures = [
+                pool.submit(_run_shard, payload, group, opts)
+                for group in groups
+            ]
+            results = [f.result() for f in futures]
+
+        ne_c = len(model.comp_objects)
+        ne_o = len(model.opt_objects)
+        comp_part = np.zeros(ne_c, dtype=bool)
+        opt_part = np.zeros(ne_o, dtype=bool)
+        comp_fin = np.zeros(ne_c, dtype=bool)
+        opt_fin = np.zeros(ne_o, dtype=bool)
+        replicas: list[set[int] | None] = [None] * model.n_servers
+        for r in results:
+            comp_part |= r.comp_partition
+            opt_part |= r.opt_partition
+            comp_fin |= r.comp_final
+            opt_fin |= r.opt_final
+            for i, stored in r.replicas:
+                replicas[i] = set(stored)
+        assert all(r is not None for r in replicas), "shard plan missed a server"
+
+        unconstrained_d = cost.D(Allocation(model, comp_part, opt_part))
+        phases: list[str] = ["partition"]
+
+        # Stats merge in global server order — the reference loop's
+        # accumulation sequence, so float partial sums match bitwise.
+        storage_stats = StorageRestorationStats()
+        if any(r.storage_ran for r in results):
+            phases.append("storage-restoration")
+            by_server = {i: s for r in results for i, s in r.storage_stats}
+            for i in sorted(by_server):
+                storage_stats.merge(by_server[i])
+
+        processing_stats = ProcessingRestorationStats()
+        if any(r.processing_ran for r in results):
+            phases.append("processing-restoration")
+            by_server = {i: s for r in results for i, s in r.processing_stats}
+            for i in sorted(by_server):
+                processing_stats.merge(by_server[i])
+
+        alloc = Allocation(model, comp_fin, opt_fin, replicas=replicas)
+        report = evaluate_constraints(alloc)
+
+        # OFF_LOADING negotiates against the *global* Eq. 9 frontier
+        # (repository load and L1/L2 slack sum over every server), so it
+        # replays in the parent over the merged allocation.
+        offload_outcome: OffloadOutcome | None = None
+        if not report.repo_ok:
+            with reg.span("off-loading") as sp:
+                spans["off-loading"] = sp
+                offload_outcome = offload_repository(
+                    alloc, cost, offload_config or OffloadConfig()
+                )
+            phases.append("off-loading")
+            report = evaluate_constraints(alloc)
+
+        objective = cost.D(alloc)
+
+    phase_seconds: dict[str, float] = {}
+    if reg.enabled:
+        for idx, r in enumerate(results):
+            reg.gauge(f"shard.{idx}.servers", float(len(r.server_ids)))
+            reg.gauge(f"shard.{idx}.pages", float(r.n_pages))
+            reg.gauge(f"shard.{idx}.entries", float(r.n_entries))
+            reg.gauge(f"shard.{idx}.seconds", r.seconds)
+            if r.snapshot is not None:
+                reg.merge_snapshot(r.snapshot)
+        reg.gauge("shard.count", float(len(groups)))
+        # Per-phase wall clock: the slowest shard bounds each fanned-out
+        # phase; the reconcile-side phases time their own spans.
+        for name in ("partition", "storage-restoration", "processing-restoration"):
+            worst = max(
+                (r.phase_seconds.get(name, 0.0) for r in results), default=0.0
+            )
+            if name in phases or name == "partition":
+                phase_seconds[name] = worst
+        phase_seconds["shard-fanout"] = spans["shard-fanout"].seconds
+        if "off-loading" in spans:
+            phase_seconds["off-loading"] = spans["off-loading"].seconds
+        reg.count("policy.runs")
+        reg.count("policy.kernel.sharded")
+        reg.gauge("policy.objective", objective)
+        reg.gauge("policy.unconstrained_objective", unconstrained_d)
+        reg.gauge("policy.feasible", float(report.ok))
+        reg.gauge("policy.phases_run", float(len(phases)))
+
+    return PolicyResult(
+        allocation=alloc,
+        objective=objective,
+        constraints=report,
+        storage_stats=storage_stats,
+        processing_stats=processing_stats,
+        offload_outcome=offload_outcome,
+        unconstrained_objective=unconstrained_d,
+        phases_run=phases,
+        phase_seconds=phase_seconds,
+    )

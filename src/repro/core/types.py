@@ -427,6 +427,21 @@ class SystemModel:
         """Sum of all MO sizes (useful for storage normalisation)."""
         return float(self.sizes.sum())
 
+    def __getstate__(self) -> dict:
+        """Pickle without the lazily-attached derived-state caches.
+
+        Consumers attach caches under underscore-prefixed attributes
+        (``_repro_eval_context_cache``, ``_repro_reverse_index_cache``,
+        ``_fast_comp_cache``); shipping them to worker processes would
+        triple the payload for state every worker rebuilds lazily anyway.
+        Dropping them keeps the bytes a pure function of the model, so
+        the shard executor's content-addressed worker cache gets hits
+        across structurally identical clones.
+        """
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_")
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SystemModel(servers={self.n_servers}, pages={self.n_pages}, "

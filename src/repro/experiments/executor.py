@@ -52,6 +52,7 @@ __all__ = [
     "resolve_jobs",
     "map_runs",
     "map_run_points",
+    "persistent_pool",
     "shutdown_pool",
 ]
 
@@ -100,6 +101,18 @@ def _get_pool(jobs: int) -> ProcessPoolExecutor:
         )
         _POOL_SIZE = jobs
     return _POOL
+
+
+def persistent_pool(jobs: int | None = None) -> ProcessPoolExecutor:
+    """The persistent worker pool, for injection into lower layers.
+
+    ``repro.core.shard`` takes its worker pool as a parameter (the
+    layering lint forbids it importing this module); callers that want
+    the sharded policy kernel to share this executor's warm workers pass
+    ``pool=persistent_pool(n)`` to the policy.  ``jobs`` resolves like
+    :func:`resolve_jobs` (explicit → ``REPRO_JOBS`` → 1).
+    """
+    return _get_pool(resolve_jobs(jobs))
 
 
 def shutdown_pool() -> None:

@@ -1,0 +1,229 @@
+"""Edge-case tests for the shard planner and the reconcile step.
+
+The property harness (``tests/properties/test_property_sharded_policy.py``)
+sweeps random universes; this file pins the *structural* corners the
+sharded kernel must survive:
+
+* a shard whose servers own **zero pages** (a structured no-op worker),
+* one server **dominating** the work — the planner must isolate it and
+  the merge must still replay the global greedy order,
+* **exact-capacity boundaries** straddling shards (one server exactly at
+  its Eq. 10 capacity, another just below, in different groups),
+* invalid shard counts (``shards > n_servers``, non-positive) raising
+  validated errors,
+* one **real subprocess** identity run, so the pickle → worker →
+  reconcile path is covered outside the inline pool.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.partition import partition_all
+from repro.core.policy import RepositoryReplicationPolicy
+from repro.core.shard import (
+    InlineShardPool,
+    plan_shards,
+    resolve_shards,
+    run_sharded_policy,
+    shutdown_shard_pool,
+)
+from repro.core.types import (
+    ObjectSpec,
+    PageSpec,
+    RepositorySpec,
+    ServerSpec,
+    SystemModel,
+)
+from repro.experiments.scaling import (
+    clone_with_capacities,
+    storage_capacities_for_fraction,
+)
+from repro.workload import WorkloadParams, generate_workload
+from tests.conftest import build_micro_model
+
+
+def _server(i, rate=10.0, storage=math.inf, processing=math.inf):
+    return ServerSpec(
+        server_id=i,
+        storage_capacity=storage,
+        processing_capacity=processing,
+        rate=rate,
+        overhead=1.0,
+        repo_rate=2.0,
+        repo_overhead=2.0,
+    )
+
+
+def _page(j, server, compulsory, optional=(), freq=1.0):
+    return PageSpec(
+        page_id=j,
+        server=server,
+        html_size=100,
+        frequency=freq,
+        compulsory=tuple(compulsory),
+        optional=tuple(optional),
+        optional_prob=0.5 if optional else 0.0,
+    )
+
+
+def _model_with_idle_server() -> SystemModel:
+    """Three servers; server 1 owns no pages at all."""
+    servers = [_server(0), _server(1), _server(2)]
+    objects = [ObjectSpec(k, 100 * (k + 1)) for k in range(4)]
+    pages = [
+        _page(0, 0, (0, 1), optional=(3,)),
+        _page(1, 2, (1, 2)),
+        _page(2, 2, (0, 3)),
+    ]
+    return SystemModel(servers, RepositorySpec(), pages, objects)
+
+
+def _assert_identical(sharded, batched):
+    a, b = sharded.allocation, batched.allocation
+    assert np.array_equal(a.comp_local, b.comp_local)
+    assert np.array_equal(a.opt_local, b.opt_local)
+    for i in range(a.model.n_servers):
+        assert a.replicas[i] == b.replicas[i]
+    assert sharded.objective == batched.objective
+    assert sharded.unconstrained_objective == batched.unconstrained_objective
+    assert sharded.phases_run == batched.phases_run
+    assert sharded.storage_stats == batched.storage_stats
+    assert sharded.processing_stats == batched.processing_stats
+    assert sharded.offload_outcome == batched.offload_outcome
+    a.check_invariants()
+
+
+class TestEmptyShard:
+    def test_plan_gives_idle_server_its_own_group(self):
+        model = _model_with_idle_server()
+        groups = plan_shards(model, 3)
+        assert sorted(i for g in groups for i in g) == [0, 1, 2]
+        assert (1,) in groups  # zero-weight server isolated, not dropped
+
+    def test_identity_with_pageless_server(self):
+        model = _model_with_idle_server()
+        batched = RepositoryReplicationPolicy().run(model)
+        for shards in (1, 2, 3):
+            sharded = RepositoryReplicationPolicy(
+                kernel="sharded", shards=shards, pool=InlineShardPool()
+            ).run(model)
+            _assert_identical(sharded, batched)
+            assert sharded.allocation.replicas[1] == set()
+
+    def test_identity_constrained_with_pageless_server(self):
+        model = _model_with_idle_server()
+        ref = partition_all(model)
+        m2 = clone_with_capacities(
+            model,
+            storage=storage_capacities_for_fraction(model, ref, 0.4) + 1.0,
+        )
+        batched = RepositoryReplicationPolicy().run(m2)
+        assert "storage-restoration" in batched.phases_run
+        sharded = RepositoryReplicationPolicy(
+            kernel="sharded", shards=3, pool=InlineShardPool()
+        ).run(m2)
+        _assert_identical(sharded, batched)
+
+
+class TestDominantShard:
+    def test_planner_isolates_the_heavy_server(self):
+        """One server owning nearly all entries gets a group to itself;
+        the light servers share the other group."""
+        servers = [_server(0), _server(1), _server(2)]
+        objects = [ObjectSpec(k, 50 + k) for k in range(8)]
+        pages = [_page(j, 0, (j % 8, (j + 1) % 8, (j + 3) % 8)) for j in range(6)]
+        pages.append(_page(6, 1, (0,)))
+        pages.append(_page(7, 2, (1,)))
+        model = SystemModel(servers, RepositorySpec(), pages, objects)
+        groups = plan_shards(model, 2)
+        assert (0,) in groups
+        assert (1, 2) in groups
+
+    def test_identity_when_one_shard_does_all_restoration(self):
+        """Tighten only server 0's storage: its shard runs the whole
+        eviction greedy while the other shard skips the phase — the OR'd
+        phase list and merged stats must equal the global run's."""
+        model = build_micro_model(storage=(700.0, math.inf))
+        batched = RepositoryReplicationPolicy().run(model)
+        assert "storage-restoration" in batched.phases_run
+        sharded = RepositoryReplicationPolicy(
+            kernel="sharded", shards=2, pool=InlineShardPool()
+        ).run(model)
+        _assert_identical(sharded, batched)
+
+
+class TestExactCapacityBoundary:
+    def test_exact_fit_server_untouched_across_shards(self):
+        """Server 0 sits *exactly* at its Eq. 10 capacity (not a
+        violation), server 1 just below its own — in separate shards.
+        Only server 1 may evict; server 0's replicas survive unchanged."""
+        model = build_micro_model()
+        ref = partition_all(model)
+        full = model.html_bytes_by_server() + ref.stored_bytes_all()
+        m2 = clone_with_capacities(
+            model, storage=np.array([full[0], full[1] - 1.0])
+        )
+        batched = RepositoryReplicationPolicy().run(m2)
+        assert batched.phases_run.count("storage-restoration") == 1
+        sharded = RepositoryReplicationPolicy(
+            kernel="sharded", shards=2, pool=InlineShardPool()
+        ).run(m2)
+        _assert_identical(sharded, batched)
+        assert sharded.allocation.replicas[0] == ref.replicas[0]
+        assert (
+            model.html_bytes_by_server()[1]
+            + sharded.allocation.stored_bytes(1)
+            <= full[1] - 1.0
+        )
+
+
+class TestInvalidShardCounts:
+    def test_more_shards_than_servers_rejected(self):
+        model = build_micro_model()
+        with pytest.raises(ValueError, match="server count"):
+            plan_shards(model, 3)
+        with pytest.raises(ValueError, match="server count"):
+            resolve_shards(3, n_servers=2)
+        with pytest.raises(ValueError, match="server count"):
+            run_sharded_policy(model, shards=5, pool=InlineShardPool())
+
+    def test_non_positive_rejected(self):
+        model = build_micro_model()
+        with pytest.raises(ValueError, match="shards"):
+            plan_shards(model, 0)
+        with pytest.raises(ValueError, match="shards"):
+            resolve_shards(0)
+        with pytest.raises(ValueError, match="shards"):
+            resolve_shards(-2, n_servers=4)
+
+    def test_unset_without_model_stays_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(None) is None
+
+    def test_auto_capped_by_server_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(None, n_servers=1) == 1
+
+
+class TestRealProcessPool:
+    def test_subprocess_identity_small_scale(self):
+        """One real fork-and-pickle round trip: the default process pool
+        must reconcile to the same result as the batched kernel."""
+        model = generate_workload(WorkloadParams.small(), seed=11)
+        ref = partition_all(model)
+        m2 = clone_with_capacities(
+            model,
+            storage=storage_capacities_for_fraction(model, ref, 0.5) + 1.0,
+        )
+        batched = RepositoryReplicationPolicy().run(m2)
+        try:
+            sharded = RepositoryReplicationPolicy(
+                kernel="sharded", shards=2
+            ).run(m2)
+        finally:
+            shutdown_shard_pool()
+        _assert_identical(sharded, batched)

@@ -21,6 +21,7 @@ from repro.experiments.executor import (
     resolve_jobs,
     shutdown_pool,
 )
+from repro.core.shard import resolve_shards
 from repro.experiments.fig2_processing import run_fig2
 from repro.experiments.runner import ExperimentConfig, prepare_run
 from repro.obs.registry import MetricsRegistry, use_registry
@@ -65,6 +66,39 @@ class TestResolveJobs:
     def test_explicit_rejects_bad_values(self, value):
         with pytest.raises(ValueError, match="jobs"):
             resolve_jobs(value)
+
+
+class TestResolveShards:
+    """``REPRO_SHARDS`` resolution mirrors ``REPRO_JOBS`` (same
+    ``env_positive_int`` machinery); lives here so the two env knobs'
+    contracts are pinned side by side."""
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "7")
+        assert resolve_shards(3, n_servers=10) == 3
+
+    def test_env_value_used_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(None, n_servers=10) == 4
+
+    def test_auto_caps_at_server_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(None, n_servers=1) == 1
+
+    @pytest.mark.parametrize("value", ["0", "-3", "2.5", "abc"])
+    def test_env_rejects_bad_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SHARDS", value)
+        with pytest.raises(ValueError, match="REPRO_SHARDS"):
+            resolve_shards(None)
+
+    @pytest.mark.parametrize("value", [0, -1, 2.5, True, "2"])
+    def test_explicit_rejects_bad_values(self, value):
+        with pytest.raises(ValueError, match="shards"):
+            resolve_shards(value)
+
+    def test_rejects_more_shards_than_servers(self):
+        with pytest.raises(ValueError, match="server count"):
+            resolve_shards(8, n_servers=4)
 
 
 class TestArtifactCache:

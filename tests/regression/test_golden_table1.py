@@ -25,6 +25,12 @@ from tests.regression.refresh_goldens import (
 
 KERNELS = ("batched", "scalar")
 
+#: Full-policy scenarios additionally run under the sharded
+#: process-parallel kernel (``repro.core.shard``): its reconciled output
+#: must be byte-identical to the batched goldens, so no separate
+#: snapshots exist — a divergence fails against the same numbers.
+POLICY_KERNELS = ("batched", "scalar", "sharded")
+
 #: Objective values are deterministic given the seed; the loose relative
 #: tolerance only absorbs float-summation differences across NumPy
 #: versions, not algorithmic drift.
@@ -58,13 +64,13 @@ def test_small_constrained_golden(goldens, kernel):
     assert_matches_golden(observed, goldens["small_constrained_frac50"])
 
 
-@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("kernel", POLICY_KERNELS)
 def test_small_processing_golden(goldens, kernel):
     observed = compute_small_processing(kernel)
     assert_matches_golden(observed, goldens["small_processing_frac50"])
 
 
-@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("kernel", POLICY_KERNELS)
 def test_small_offload_golden(goldens, kernel):
     observed = compute_small_offload(kernel)
     assert_matches_golden(observed, goldens["small_offload_frac50"])
