@@ -79,6 +79,13 @@ MODULE_FORBIDDEN: dict[str, tuple[frozenset[str], str]] = {
         "(ShardPool protocol) — pass experiments.executor."
         "persistent_pool(n) in from above, never import it here",
     ),
+    "core/context.py": (
+        frozenset({"dynamic", "experiments"}),
+        "the frequency-clone adoption hook (adopt_frequency_context) is "
+        "called *from* repro.dynamic.drift — the dependency must point "
+        "down only, or the incremental re-planner would drag the "
+        "dynamic/experiment stack into every kernel import",
+    ),
 }
 
 

@@ -24,7 +24,11 @@ race on ``.pytest_cache``), proving the multi-process path works in the
 gate environment and not just on developer machines — followed by a
 **sharded-kernel smoke**: one tiny-scale CLI ``analyze`` run with
 ``REPRO_KERNEL=sharded REPRO_SHARDS=2``, exercising the process-parallel
-policy kernel's fork → pickle → reconcile path end to end.
+policy kernel's fork → pickle → reconcile path end to end — and a
+**dynamic smoke**: one small-scale CLI ``dynamic`` run with the
+``incremental`` strategy, exercising the incremental re-replication
+engine (dirty-set detection, frequency-context adoption, localized
+repair) end to end.
 """
 
 from __future__ import annotations
@@ -77,6 +81,7 @@ def main(argv: list[str]) -> int:
             "--cov=repro.core.fast_restoration",
             "--cov=repro.core.context",
             "--cov=repro.core.shard",
+            "--cov=repro.dynamic.incremental",
         ]
     if fast:
         cmd += ["-m", "not slow"]
@@ -128,7 +133,29 @@ def main(argv: list[str]) -> int:
     shard_env = dict(env)
     shard_env.update(REPRO_KERNEL="sharded", REPRO_SHARDS="2")
     print("sharded smoke:", " ".join(shard_smoke), "(REPRO_KERNEL=sharded)")
-    return subprocess.call(shard_smoke, cwd=REPO_ROOT, env=shard_env)
+    code = subprocess.call(shard_smoke, cwd=REPO_ROOT, env=shard_env)
+    if code != 0:
+        return code
+
+    # Dynamic smoke: the incremental re-replication strategy end to end
+    # through the CLI (dirty-set detection, frequency-context adoption,
+    # localized repair), at small scale with a short trace.
+    dyn_smoke = [
+        sys.executable,
+        "-m",
+        "repro",
+        "--scale",
+        "small",
+        "--requests",
+        "200",
+        "dynamic",
+        "--epochs",
+        "3",
+        "--strategies",
+        "static,incremental",
+    ]
+    print("dynamic smoke:", " ".join(dyn_smoke))
+    return subprocess.call(dyn_smoke, cwd=REPO_ROOT, env=env)
 
 
 if __name__ == "__main__":

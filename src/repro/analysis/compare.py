@@ -51,6 +51,13 @@ class AllocationDiff:
         return sum(s.bytes_added for s in self.servers)
 
     @property
+    def total_bytes_removed(self) -> float:
+        """Server-side deletion volume of a switchover.  Free in transfer
+        terms but operationally real (cache invalidation, GC pressure) —
+        the dynamic harness reports both directions."""
+        return sum(s.bytes_removed for s in self.servers)
+
+    @property
     def total_replicas_added(self) -> int:
         """Count of new replicas across all servers."""
         return sum(len(s.added) for s in self.servers)

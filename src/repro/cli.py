@@ -116,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     dyn = sub.add_parser("dynamic", help="extension E1: re-allocation cadence")
     dyn.add_argument("--epochs", type=int, default=6)
     dyn.add_argument("--drift-every", type=int, default=2)
+    dyn.add_argument(
+        "--strategies",
+        default=None,
+        metavar="LIST",
+        help="comma-separated subset of static,periodic,incremental,oracle "
+        "(default: all four; named RNG streams keep the rest paired)",
+    )
     sub.add_parser("demo", help="one policy-vs-baselines comparison")
     sub.add_parser(
         "analyze", help="run the policy once and describe the allocation"
@@ -182,11 +189,28 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> str:
-    from repro.dynamic import EpochConfig, run_dynamic_experiment
+    from repro.dynamic import STRATEGIES, EpochConfig, run_dynamic_experiment
 
     params = _SCALES[args.scale]()
-    cfg = EpochConfig(n_epochs=args.epochs, drift_every=args.drift_every)
-    return run_dynamic_experiment(params, cfg, seed=args.seed).render()
+    epoch_kwargs = {}
+    if args.requests:
+        epoch_kwargs["requests_per_server"] = args.requests
+    cfg = EpochConfig(
+        n_epochs=args.epochs, drift_every=args.drift_every, **epoch_kwargs
+    )
+    strategies = None
+    if args.strategies:
+        strategies = [
+            s.strip() for s in args.strategies.split(",") if s.strip()
+        ]
+        bad = [s for s in strategies if s not in STRATEGIES]
+        if bad:
+            raise SystemExit(
+                f"--strategies: unknown {bad}; valid: {','.join(STRATEGIES)}"
+            )
+    return run_dynamic_experiment(
+        params, cfg, seed=args.seed, strategies=strategies
+    ).render()
 
 
 def _cmd_demo(args: argparse.Namespace) -> str:

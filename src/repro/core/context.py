@@ -48,6 +48,8 @@ __all__ = [
     "engine_kernel",
     "rebuild_contexts",
     "clear_derived_state",
+    "is_frequency_clone",
+    "adopt_frequency_context",
 ]
 
 Kernel = Literal["batched", "scalar", "sharded"]
@@ -158,6 +160,111 @@ def clear_derived_state(model: SystemModel) -> None:
     for attr in _MODEL_CACHE_ATTRS:
         if hasattr(model, attr):
             delattr(model, attr)
+
+
+#: Shared-slot names that depend on the page frequencies.  A
+#: frequency-only model clone (see :func:`adopt_frequency_context`)
+#: recomputes exactly these; everything else in ``_SHARED_SLOTS`` is
+#: structural and transfers by reference.
+_FREQUENCY_SLOTS = frozenset(
+    {
+        "frequencies",
+        "comp_freq",
+        "opt_freq_weight",
+        "html_request_load",
+        "scalars",
+    }
+)
+
+
+def is_frequency_clone(base: SystemModel, model: SystemModel) -> bool:
+    """Whether ``model`` differs from ``base`` only in page frequencies.
+
+    Checks every structural input the :class:`EvalContext` columns are
+    derived from — page/object layout, sizes, per-server network
+    attributes and capacities, optional probabilities and rate scales.
+    ``True`` means all non-frequency derived state (CSR groups, pair
+    tables, size expansions, Eq. 6 single-download times) is valid for
+    ``model`` as-is, so :func:`adopt_frequency_context` may transfer it
+    instead of rebuilding.  O(entries) array comparisons — orders of
+    magnitude cheaper than a context rebuild.
+    """
+    if base is model:
+        return True
+    return (
+        base.n_pages == model.n_pages
+        and base.n_servers == model.n_servers
+        and base.n_objects == model.n_objects
+        and np.array_equal(base.comp_objects, model.comp_objects)
+        and np.array_equal(base.opt_objects, model.opt_objects)
+        and np.array_equal(base.page_server, model.page_server)
+        and np.array_equal(base.sizes, model.sizes)
+        and np.array_equal(base.html_sizes, model.html_sizes)
+        and np.array_equal(base.opt_probs, model.opt_probs)
+        and np.array_equal(base.optional_rate_scale, model.optional_rate_scale)
+        and np.array_equal(base.server_rate, model.server_rate)
+        and np.array_equal(base.server_overhead, model.server_overhead)
+        and np.array_equal(base.server_repo_rate, model.server_repo_rate)
+        and np.array_equal(base.server_repo_overhead, model.server_repo_overhead)
+        and np.array_equal(base.server_storage, model.server_storage)
+        and np.array_equal(base.server_capacity, model.server_capacity)
+        and base.repository == model.repository
+    )
+
+
+def adopt_frequency_context(base: SystemModel, model: SystemModel) -> bool:
+    """Seed ``model``'s derived-state caches from ``base``'s.
+
+    ``model`` must be a frequency-only clone of ``base`` (same pages,
+    objects, servers, sizes; only ``frequencies`` may differ — verified,
+    raising :class:`ValueError` otherwise).  When ``base`` carries a
+    cached :class:`EvalContext`, a refreshed context is installed on
+    ``model``: structural columns (sizes, CSR groups, pair tables,
+    stream-seed expansions) are shared **by reference** and only the
+    frequency-derived columns are recomputed.  The (purely structural)
+    reverse index and plain-list PARTITION views transfer too.
+
+    Returns ``True`` when a context was transferred, ``False`` when
+    ``base`` had none cached (nothing to do — ``model`` will build its
+    own lazily).  The dynamic re-replication loop calls this through
+    ``repro.dynamic.drift.replace_frequencies`` so consecutive epoch
+    models never rebuild structural state.
+    """
+    if not is_frequency_clone(base, model):
+        raise ValueError(
+            "adopt_frequency_context requires a frequency-only clone: "
+            "the models differ structurally"
+        )
+    if base is model:
+        return True
+    # Structural caches outside the context: plain-list PARTITION views
+    # (sizes/order only) and the (server, object) -> entries reverse
+    # index.  Both are pure functions of the structure.
+    src_fast = getattr(base, "_fast_comp_cache", None)
+    if src_fast is not None and getattr(model, "_fast_comp_cache", None) is None:
+        model._fast_comp_cache = src_fast
+    src_rev = getattr(base, "_repro_reverse_index_cache", None)
+    if src_rev is not None and (
+        getattr(model, "_repro_reverse_index_cache", None) is None
+    ):
+        from repro.core.allocation import ReverseIndex
+
+        rev = ReverseIndex.__new__(ReverseIndex)
+        rev.model = model
+        rev.comp_entries = src_rev.comp_entries
+        rev.opt_entries = src_rev.opt_entries
+        setattr(model, "_repro_reverse_index_cache", rev)
+
+    src_cache: dict[str, EvalContext] | None = getattr(base, _CACHE_ATTR, None)
+    if not src_cache or not _CACHE_ENABLED[0]:
+        return False
+    if getattr(model, _CACHE_ATTR, None):
+        return False  # model already has its own contexts; keep them
+    kern, src_ctx = next(iter(src_cache.items()))
+    ctx = EvalContext(model, kern, _share=src_ctx)
+    ctx._refresh_frequency_columns()
+    setattr(model, _CACHE_ATTR, {kern: ctx})
+    return True
 
 
 #: Attribute names copied by reference between kernel-sibling contexts.
@@ -368,6 +475,37 @@ class EvalContext:
             starts.append(cnt.cumsum() - cnt)
             counts.append(cnt)
         return order, srv_indptr, tuple(starts), tuple(counts)
+
+    def _refresh_frequency_columns(self) -> None:
+        """Recompute the frequency-derived columns from ``self.model``.
+
+        Called on a context whose structural columns were shared from a
+        frequency-only sibling (see :func:`adopt_frequency_context`).
+        Exactly the ``_FREQUENCY_SLOTS`` are rebuilt — the expressions
+        are copied verbatim from :meth:`_build`, so a refreshed context
+        is bit-identical to a from-scratch build on the same model
+        (property-tested in ``tests/core/test_context.py``).
+        """
+        m = self.model
+        self.frequencies = m.frequencies
+        self.comp_freq = m.frequencies[self.comp_pages]
+        self.opt_freq_weight = (
+            m.frequencies[self.opt_pages]
+            * m.optional_rate_scale[self.opt_pages]
+            * self.opt_probs
+        )
+        load = np.zeros(m.n_servers)
+        np.add.at(load, self.page_server, m.frequencies)
+        self.html_request_load = load
+        old = self.scalars
+        self.scalars = ScalarViews(
+            ovhd_local=old.ovhd_local,
+            spb_local=old.spb_local,
+            ovhd_repo=old.ovhd_repo,
+            spb_repo=old.spb_repo,
+            html=old.html,
+            freq=m.frequencies.tolist(),
+        )
 
     # ------------------------------------------------------------------
     # access

@@ -33,6 +33,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -58,6 +59,36 @@ _TOL = 1e-9
 #: the scalar greedy wins on fixed dispatch overhead (results are
 #: bit-identical either way).
 _BATCH_MIN_PAGES = 8
+
+
+def _resolve_servers(
+    n_servers: int,
+    server_id: int | None,
+    servers: Iterable[int] | None,
+) -> list[int]:
+    """Normalize the two server-restriction parameters to a sorted list.
+
+    ``server_id`` (legacy single-server form) and ``servers`` (the
+    incremental re-planner's localized-repair form) are mutually
+    exclusive; with neither, every server is visited.  Duplicates
+    collapse and the ascending order matches the full sweep, so a
+    restricted run over all servers is bit-identical to the default.
+    """
+    if servers is not None:
+        if server_id is not None:
+            raise ValueError(
+                "restoration accepts either server_id or servers, not both"
+            )
+        out = sorted({int(i) for i in servers})
+        for i in out:
+            if not 0 <= i < n_servers:
+                raise ValueError(
+                    f"server index {i} out of range [0, {n_servers})"
+                )
+        return out
+    if server_id is None:
+        return list(range(n_servers))
+    return [server_id]
 
 
 class InfeasibleError(RuntimeError):
@@ -365,6 +396,7 @@ def restore_storage_capacity(
     server_id: int | None = None,
     amortise: bool = True,
     kernel: Kernel = "batched",
+    servers: Iterable[int] | None = None,
 ) -> StorageRestorationStats:
     """Restore Eq. 10 in place; return accounting statistics.
 
@@ -376,6 +408,11 @@ def restore_storage_capacity(
         Cost model supplying the objective ``D``.
     server_id:
         Restrict to one server; default repairs every violating server.
+    servers:
+        Restrict to an explicit server subset (ascending sweep, as the
+        default full sweep would visit them).  Mutually exclusive with
+        ``server_id``.  The incremental re-planner passes the servers
+        whose load or storage actually changed.
     amortise:
         Divide each candidate's objective damage by its size (the paper's
         criterion, "more judicious over large ... objects").  ``False``
@@ -396,15 +433,13 @@ def restore_storage_capacity(
     kernel = engine_kernel(resolve_kernel(kernel))
     reg = get_registry()
     stats = StorageRestorationStats()
-    servers = (
-        range(alloc.model.n_servers) if server_id is None else [server_id]
-    )
+    server_list = _resolve_servers(alloc.model.n_servers, server_id, servers)
     rescore: dict = {}
     with reg.span("restore-storage"):
         if kernel == "batched":
             from repro.core.fast_restoration import restore_storage_batched
 
-            for i in servers:
+            for i in server_list:
                 stats.merge(
                     restore_storage_batched(
                         alloc,
@@ -417,7 +452,7 @@ def restore_storage_capacity(
                 )
         else:
             state = _PageState(cost, alloc)
-            for i in servers:
+            for i in server_list:
                 stats.merge(
                     _restore_storage_one_server(
                         alloc, cost, state, i, amortise=amortise,
@@ -584,13 +619,16 @@ def restore_processing_capacity(
     cost: CostModel,
     server_id: int | None = None,
     kernel: Kernel = "batched",
+    servers: Iterable[int] | None = None,
 ) -> ProcessingRestorationStats:
     """Restore Eq. 8 in place; return accounting statistics.
 
     ``kernel="batched"`` (default) runs the vectorised engine of
     :mod:`repro.core.fast_restoration`; ``"scalar"`` keeps the reference
     loop.  Decision sequences, stats and final allocations are
-    bit-identical either way.
+    bit-identical either way.  ``servers`` restricts the sweep to an
+    explicit subset (mutually exclusive with ``server_id``); see
+    :func:`restore_storage_capacity`.
 
     Raises
     ------
@@ -600,21 +638,19 @@ def restore_processing_capacity(
     kernel = engine_kernel(resolve_kernel(kernel))
     reg = get_registry()
     stats = ProcessingRestorationStats()
-    servers = (
-        range(alloc.model.n_servers) if server_id is None else [server_id]
-    )
+    server_list = _resolve_servers(alloc.model.n_servers, server_id, servers)
     rescore: dict = {}
     with reg.span("restore-processing"):
         if kernel == "batched":
             from repro.core.fast_restoration import restore_processing_batched
 
-            for i in servers:
+            for i in server_list:
                 stats.merge(
                     restore_processing_batched(alloc, cost, i, counters=rescore)
                 )
         else:
             state = _PageState(cost, alloc)
-            for i in servers:
+            for i in server_list:
                 stats.merge(
                     _restore_processing_one_server(alloc, cost, state, i)
                 )

@@ -12,22 +12,34 @@ package builds that machinery:
   request traces (what a real deployment plans from),
 * :mod:`repro.dynamic.epochs` — an epoch-driven harness comparing
   re-allocation cadences: allocate-once (static), re-allocate every
-  ``k`` epochs (the paper's off-peak-hours proposal), and an oracle that
-  re-allocates with perfect knowledge each epoch.
+  ``k`` epochs (the paper's off-peak-hours proposal), the incremental
+  re-planner, and an oracle that re-allocates with perfect knowledge
+  each epoch,
+* :mod:`repro.dynamic.incremental` — the incremental re-replication
+  engine: dirty-set detection, localized PARTITION + restoration, and
+  hysteresis-gated fallback to a from-scratch solve.
 
 The headline finding (bench E1): under hot-set rotation a stale
 allocation degrades by tens of percent within a few epochs, while
 nightly re-allocation tracks the oracle closely — quantifying the
-paper's qualitative argument for periodic off-peak re-runs.
+paper's qualitative argument for periodic off-peak re-runs.  The
+incremental re-planner reaches the same neighbourhood at a fraction of
+the per-epoch planning cost when only a few pages drift.
 """
 
 from repro.dynamic.drift import jitter_frequencies, rotate_hot_set
 from repro.dynamic.epochs import (
+    STRATEGIES,
     DynamicExperimentResult,
     EpochConfig,
     run_dynamic_experiment,
 )
 from repro.dynamic.estimator import estimate_frequencies, with_frequencies
+from repro.dynamic.incremental import (
+    IncrementalConfig,
+    IncrementalReplanner,
+    ReplanStats,
+)
 
 __all__ = [
     "rotate_hot_set",
@@ -37,4 +49,8 @@ __all__ = [
     "EpochConfig",
     "DynamicExperimentResult",
     "run_dynamic_experiment",
+    "STRATEGIES",
+    "IncrementalConfig",
+    "IncrementalReplanner",
+    "ReplanStats",
 ]

@@ -5,12 +5,22 @@ immutable servers/objects and re-built pages with updated frequencies —
 page structure (which MOs a page embeds) never changes, only who is
 popular.  Per-server total request rates are preserved, so capacity
 percentages keep their meaning across epochs.
+
+Because every clone produced here is frequency-only by construction,
+:func:`replace_frequencies` seeds the clone's derived-state caches from
+the source model (:func:`repro.core.context.adopt_frequency_context`):
+structural EvalContext columns — sizes, CSR groups, pair tables — carry
+over by reference and only the frequency columns are recomputed, so
+consecutive epoch models never rebuild structural state.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
+from repro.core.context import adopt_frequency_context
 from repro.core.types import PageSpec, SystemModel
 from repro.util.rng import as_generator
 
@@ -18,7 +28,12 @@ __all__ = ["rotate_hot_set", "jitter_frequencies", "replace_frequencies"]
 
 
 def replace_frequencies(model: SystemModel, frequencies: np.ndarray) -> SystemModel:
-    """Rebuild ``model`` with the given per-page frequencies."""
+    """Rebuild ``model`` with the given per-page frequencies.
+
+    The clone adopts ``model``'s cached derived state (context, reverse
+    index, PARTITION views) with only frequency columns recomputed —
+    see the module docstring.
+    """
     frequencies = np.asarray(frequencies, dtype=float)
     if frequencies.shape != (model.n_pages,):
         raise ValueError(
@@ -40,13 +55,16 @@ def replace_frequencies(model: SystemModel, frequencies: np.ndarray) -> SystemMo
         )
         for j, p in enumerate(model.pages)
     ]
-    return SystemModel(model.servers, model.repository, pages, model.objects)
+    clone = SystemModel(model.servers, model.repository, pages, model.objects)
+    adopt_frequency_context(model, clone)
+    return clone
 
 
 def rotate_hot_set(
     model: SystemModel,
     fraction: float = 0.5,
     seed: int | np.random.Generator | None = 0,
+    servers: Iterable[int] | None = None,
 ) -> SystemModel:
     """Breaking news: part of the hot set goes cold and vice versa.
 
@@ -62,18 +80,35 @@ def rotate_hot_set(
         Share of each server's hot set that rotates.
     seed:
         RNG selecting which pages swap.
+    servers:
+        Rotate only these servers' hot sets (default: all).  A news
+        cycle rarely hits every site at once; localized drift is what
+        the incremental re-planner exploits.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     rng = as_generator(seed)
     freqs = model.frequencies.copy()
-    for i in range(model.n_servers):
+    if servers is None:
+        server_list = range(model.n_servers)
+    else:
+        server_list = sorted({int(i) for i in servers})
+        for i in server_list:
+            if not 0 <= i < model.n_servers:
+                raise ValueError(
+                    f"server index {i} out of range [0, {model.n_servers})"
+                )
+    for i in server_list:
         ids = np.asarray(model.pages_by_server[i], dtype=np.intp)
         if len(ids) < 2:
             continue
         f = freqs[ids]
         n_hot = max(1, int(np.ceil(0.10 * len(ids))))
-        order = np.argsort(f)[::-1]
+        # Stable sort on the negated array: equal-frequency pages keep
+        # ascending page-id order in the hot/cold split.  A plain
+        # ``argsort(f)[::-1]`` reverses the (unstable) introsort's tie
+        # order, making the split platform/numpy-version dependent.
+        order = np.argsort(-f, kind="stable")
         hot = ids[order[:n_hot]]
         cold = ids[order[n_hot:]]
         n_swap = int(round(fraction * len(hot)))

@@ -2,22 +2,30 @@
 
 Time is divided into epochs (think: days).  Each epoch the access
 pattern drifts (hot-set rotation and/or jitter), a fresh request trace
-is sampled from the *current* truth, and three strategies are measured
+is sampled from the *current* truth, and four strategies are measured
 on it:
 
-* ``static``   — the allocation computed in epoch 0, never updated;
-* ``periodic`` — re-run the policy every ``reallocate_every`` epochs
+* ``static``      — the allocation computed in epoch 0, never updated;
+* ``periodic``    — re-run the policy every ``reallocate_every`` epochs
   using the frequencies *observed in the previous epoch's trace* (the
   paper's "executed during off-peak hours" proposal, planning from
   measured statistics);
-* ``oracle``   — re-run every epoch with the true current frequencies.
+* ``incremental`` — same cadence and same observed statistics as
+  ``periodic``, but through :class:`~repro.dynamic.incremental.
+  IncrementalReplanner`: re-partition only the pages whose estimated
+  popularity drifted, repair constraints on the affected servers, and
+  fall back to a full solve only when hysteresis says it pays;
+* ``oracle``      — re-run every epoch with the true current frequencies.
 
-All three face the same traces and perturbation streams (paired).
+All strategies face the same traces and perturbation streams: the RNG
+factory hands out named streams, so enabling or disabling a strategy
+never shifts another one's draws (paired comparisons stay paired).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -25,6 +33,7 @@ from repro.core.allocation import transplant_allocation
 from repro.core.policy import RepositoryReplicationPolicy
 from repro.dynamic.drift import jitter_frequencies, rotate_hot_set
 from repro.dynamic.estimator import estimate_frequencies, with_frequencies
+from repro.dynamic.incremental import IncrementalConfig, IncrementalReplanner
 from repro.simulation.engine import simulate_allocation
 from repro.simulation.perturbation import PAPER_PERTURBATION, PerturbationModel
 from repro.util.rng import RngFactory
@@ -32,7 +41,15 @@ from repro.util.tables import format_table
 from repro.workload.params import WorkloadParams
 from repro.workload.trace import generate_trace
 
-__all__ = ["EpochConfig", "DynamicExperimentResult", "run_dynamic_experiment"]
+__all__ = [
+    "EpochConfig",
+    "DynamicExperimentResult",
+    "run_dynamic_experiment",
+    "STRATEGIES",
+]
+
+#: Every strategy the harness knows, in reporting order.
+STRATEGIES = ("static", "periodic", "incremental", "oracle")
 
 
 @dataclass(frozen=True)
@@ -84,21 +101,32 @@ class EpochConfig:
 
 @dataclass
 class DynamicExperimentResult:
-    """Per-epoch mean page response times of the three strategies."""
+    """Per-epoch mean page response times of the measured strategies.
 
-    epochs: list[int]
-    static: list[float]
-    periodic: list[float]
-    oracle: list[float]
-    reallocations: int
+    Strategy series not requested by the run stay empty lists.  Churn
+    lists are aligned one-entry-per-re-allocation — ``len(churn_bytes)
+    == reallocations`` always, with ``0.0`` recorded for no-op re-plans
+    — and count bytes in **both** directions (copied in / deleted).
+    """
+
+    epochs: list[int] = field(default_factory=list)
+    static: list[float] = field(default_factory=list)
+    periodic: list[float] = field(default_factory=list)
+    oracle: list[float] = field(default_factory=list)
+    incremental: list[float] = field(default_factory=list)
+    reallocations: int = 0
     """How many times the periodic strategy re-ran the policy."""
-    churn_bytes: list[float] = None  # type: ignore[assignment]
+    churn_bytes: list[float] = field(default_factory=list)
     """Replica bytes the periodic strategy copied per re-allocation —
     the off-peak transfer volume a nightly re-plan actually costs."""
-
-    def __post_init__(self) -> None:
-        if self.churn_bytes is None:
-            self.churn_bytes = []
+    churn_bytes_removed: list[float] = field(default_factory=list)
+    """Replica bytes the periodic strategy *deleted* per re-allocation."""
+    incremental_reallocations: int = 0
+    """How many times the incremental strategy re-planned (any mode)."""
+    incremental_full_resolves: int = 0
+    """How many of those re-plans fell back to a from-scratch solve."""
+    incremental_churn_bytes: list[float] = field(default_factory=list)
+    incremental_churn_bytes_removed: list[float] = field(default_factory=list)
 
     def staleness_penalty(self) -> float:
         """Mean relative penalty of never re-allocating, vs the oracle,
@@ -113,34 +141,70 @@ class DynamicExperimentResult:
         o = np.asarray(self.oracle[1:])
         return float((p / o - 1.0).mean()) if len(p) else 0.0
 
+    def incremental_gap(self) -> float:
+        """Mean relative gap of the incremental strategy vs the oracle."""
+        p = np.asarray(self.incremental[1:])
+        o = np.asarray(self.oracle[1:])
+        return float((p / o - 1.0).mean()) if len(p) else 0.0
+
     def render(self) -> str:
-        """ASCII table of the epoch series."""
+        """ASCII table of the epoch series (measured strategies only)."""
+        columns = [
+            ("static (allocate once)", self.static),
+            ("periodic", self.periodic),
+            ("incremental", self.incremental),
+            ("oracle", self.oracle),
+        ]
+        columns = [(h, s) for h, s in columns if s]
         rows = [
-            (
-                e,
-                f"{self.static[i]:.0f}s",
-                f"{self.periodic[i]:.0f}s",
-                f"{self.oracle[i]:.0f}s",
-            )
+            tuple([e] + [f"{series[i]:.0f}s" for _, series in columns])
             for i, e in enumerate(self.epochs)
         ]
         table = format_table(
-            ["epoch", "static (allocate once)", "periodic", "oracle"],
+            ["epoch"] + [h for h, _ in columns],
             rows,
             title="Extension E1: dynamic re-replication under access drift",
         )
-        churn = (
-            f", moving {sum(self.churn_bytes) / 2**20:.0f} MiB of replicas"
-            if self.churn_bytes
-            else ""
-        )
-        return (
-            f"{table}\n"
-            f"staleness penalty (static vs oracle): "
-            f"{self.staleness_penalty():+.1%}; periodic gap: "
-            f"{self.periodic_gap():+.1%} "
-            f"({self.reallocations} re-allocations{churn})"
-        )
+        lines = [table]
+        if self.static and self.oracle:
+            lines.append(
+                "staleness penalty (static vs oracle): "
+                f"{self.staleness_penalty():+.1%}"
+            )
+        if self.periodic:
+            churn = (
+                f", moving {sum(self.churn_bytes) / 2**20:.0f} MiB in / "
+                f"{sum(self.churn_bytes_removed) / 2**20:.0f} MiB out"
+                if self.churn_bytes
+                else ""
+            )
+            gap = (
+                f"periodic gap: {self.periodic_gap():+.1%} "
+                if self.oracle
+                else "periodic: "
+            )
+            lines.append(
+                f"{gap}({self.reallocations} re-allocations{churn})"
+            )
+        if self.incremental:
+            churn = (
+                ", moving "
+                f"{sum(self.incremental_churn_bytes) / 2**20:.0f} MiB in / "
+                f"{sum(self.incremental_churn_bytes_removed) / 2**20:.0f} "
+                "MiB out"
+                if self.incremental_churn_bytes
+                else ""
+            )
+            gap = (
+                f"incremental gap: {self.incremental_gap():+.1%} "
+                if self.oracle
+                else "incremental: "
+            )
+            lines.append(
+                f"{gap}({self.incremental_reallocations} re-plans, "
+                f"{self.incremental_full_resolves} full resolves{churn})"
+            )
+        return "\n".join(lines)
 
 
 def run_dynamic_experiment(
@@ -148,21 +212,42 @@ def run_dynamic_experiment(
     config: EpochConfig | None = None,
     seed: int = 0,
     perturbation: PerturbationModel = PAPER_PERTURBATION,
+    strategies: Iterable[str] | None = None,
+    incremental_config: IncrementalConfig | None = None,
 ) -> DynamicExperimentResult:
     """Run the epoch harness; see module docstring for the protocol.
 
-    Each drifted/jittered epoch model is a fresh ``SystemModel``, so it
-    builds its own :class:`~repro.core.context.EvalContext` on first use
-    and every planner run, transplant, and replay within the epoch then
-    shares those columns; superseded models (and their cached contexts)
+    Each drifted/jittered epoch model is a ``replace_frequencies`` clone,
+    so its :class:`~repro.core.context.EvalContext` adopts the previous
+    epoch's structural columns (only frequency columns are refreshed);
+    every planner run, transplant, and replay within the epoch then
+    shares those columns.  Superseded models (and their cached contexts)
     are garbage-collected when the epoch advances.
+
+    Parameters
+    ----------
+    strategies:
+        Subset of :data:`STRATEGIES` to measure (default: all four).
+        Because every random stream is named, dropping a strategy never
+        changes another's draws.
+    incremental_config:
+        Hysteresis knobs for the ``incremental`` strategy.
     """
+    from repro.analysis.compare import diff_allocations
     from repro.core.partition import partition_all
     from repro.experiments.scaling import (
         clone_with_capacities,
         storage_capacities_for_fraction,
     )
     from repro.workload.generator import generate_workload
+
+    chosen = tuple(STRATEGIES if strategies is None else strategies)
+    unknown = [s for s in chosen if s not in STRATEGIES]
+    if unknown:
+        raise ValueError(
+            f"unknown strategies {unknown}; valid: {list(STRATEGIES)}"
+        )
+    want = set(chosen)
 
     p = (params or WorkloadParams.small()).with_(storage_capacity=np.inf)
     cfg = config or EpochConfig()
@@ -179,11 +264,16 @@ def run_dynamic_experiment(
 
     static_alloc = policy.run(truth).allocation
     periodic_alloc = static_alloc
+    replanner = (
+        IncrementalReplanner(
+            policy, truth, incremental_config, initial_allocation=static_alloc
+        )
+        if "incremental" in want
+        else None
+    )
     reallocations = 0
 
-    result = DynamicExperimentResult(
-        epochs=[], static=[], periodic=[], oracle=[], reallocations=0
-    )
+    result = DynamicExperimentResult()
     prev_trace = None
     for epoch in range(cfg.n_epochs):
         if epoch > 0:
@@ -201,42 +291,73 @@ def run_dynamic_experiment(
         )
         sim_seed = int(factory.generator(f"sim/{epoch}").integers(2**31))
 
-        # periodic: re-plan from last epoch's *observed* statistics
-        if epoch > 0 and epoch % cfg.reallocate_every == 0 and prev_trace is not None:
-            from repro.analysis.compare import diff_allocations
-
+        # periodic + incremental: re-plan from last epoch's *observed*
+        # statistics (the same estimates — the comparison is paired).
+        replan_due = (
+            epoch > 0
+            and epoch % cfg.reallocate_every == 0
+            and prev_trace is not None
+        )
+        if replan_due and ("periodic" in want or replanner is not None):
             est = estimate_frequencies(prev_trace)
             planner_view = with_frequencies(truth, est)
-            new_alloc = policy.run(planner_view).allocation
-            result.churn_bytes.append(
-                diff_allocations(periodic_alloc, new_alloc).total_bytes_added
-            )
-            periodic_alloc = new_alloc
-            reallocations += 1
+            if "periodic" in want:
+                new_alloc = policy.run(planner_view).allocation
+                diff = diff_allocations(periodic_alloc, new_alloc)
+                # Record every re-allocation, no-ops included, in both
+                # directions: len(churn_bytes) == reallocations always.
+                result.churn_bytes.append(diff.total_bytes_added)
+                result.churn_bytes_removed.append(diff.total_bytes_removed)
+                periodic_alloc = new_alloc
+                reallocations += 1
+            if replanner is not None:
+                stats = replanner.replan(planner_view)
+                result.incremental_churn_bytes.append(stats.churn_bytes_added)
+                result.incremental_churn_bytes_removed.append(
+                    stats.churn_bytes_removed
+                )
+                result.incremental_reallocations += 1
 
-        oracle_alloc = policy.run(truth).allocation
+        oracle_alloc = (
+            policy.run(truth).allocation if "oracle" in want else None
+        )
 
         result.epochs.append(epoch)
-        result.static.append(
-            simulate_allocation(
-                transplant_allocation(static_alloc, truth),
-                trace,
-                perturbation,
-                seed=sim_seed,
-            ).mean_page_time
-        )
-        result.periodic.append(
-            simulate_allocation(
-                transplant_allocation(periodic_alloc, truth),
-                trace,
-                perturbation,
-                seed=sim_seed,
-            ).mean_page_time
-        )
-        result.oracle.append(
-            simulate_allocation(oracle_alloc, trace, perturbation, seed=sim_seed)
-            .mean_page_time
-        )
+        if "static" in want:
+            result.static.append(
+                simulate_allocation(
+                    transplant_allocation(static_alloc, truth),
+                    trace,
+                    perturbation,
+                    seed=sim_seed,
+                ).mean_page_time
+            )
+        if "periodic" in want:
+            result.periodic.append(
+                simulate_allocation(
+                    transplant_allocation(periodic_alloc, truth),
+                    trace,
+                    perturbation,
+                    seed=sim_seed,
+                ).mean_page_time
+            )
+        if replanner is not None:
+            result.incremental.append(
+                simulate_allocation(
+                    transplant_allocation(replanner.allocation, truth),
+                    trace,
+                    perturbation,
+                    seed=sim_seed,
+                ).mean_page_time
+            )
+        if oracle_alloc is not None:
+            result.oracle.append(
+                simulate_allocation(
+                    oracle_alloc, trace, perturbation, seed=sim_seed
+                ).mean_page_time
+            )
         prev_trace = trace
     result.reallocations = reallocations
+    if replanner is not None:
+        result.incremental_full_resolves = replanner.full_resolves
     return result

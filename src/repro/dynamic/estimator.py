@@ -44,14 +44,21 @@ def estimate_frequencies(
     if smoothing < 0:
         raise ValueError(f"smoothing must be >= 0, got {smoothing}")
     m = trace.model
-    counts = np.bincount(trace.page_of_request, minlength=m.n_pages).astype(float)
-    counts += smoothing
+    raw = np.bincount(trace.page_of_request, minlength=m.n_pages).astype(float)
+    counts = raw + smoothing
     est = np.zeros(m.n_pages)
     for i in range(m.n_servers):
         ids = np.asarray(m.pages_by_server[i], dtype=np.intp)
         if not len(ids):
             continue
-        n_req = int((trace.server_of_request == i).sum()) + smoothing * len(ids)
+        # The inferred window must cover the same requests the numerator
+        # counts: those addressed *to pages hosted on* server ``i``
+        # (pre-smoothing ``raw[ids]``).  Counting the requests *issued
+        # by* server i's clients instead (``server_of_request == i``)
+        # biases every estimate whenever clients fetch remote pages —
+        # the two happen to coincide for generator-produced traces, so
+        # the bug only bit hand-built / replayed cross-server traces.
+        n_req = float(raw[ids].sum()) + smoothing * len(ids)
         if observation_window is None:
             true_rate = m.frequencies[ids].sum()
             window = n_req / true_rate if true_rate > 0 else 1.0

@@ -116,6 +116,80 @@ class TestStorageRestoration:
         assert not alloc.opt_local.any()
 
 
+class TestServerSubsets:
+    """The ``servers=`` scope used by the incremental re-planner."""
+
+    def test_storage_subset_equals_full_sweep(self):
+        m1, a1, c1 = _constrained_partition(storage=(700.0, 900.0))
+        m2, a2, c2 = _constrained_partition(storage=(700.0, 900.0))
+        restore_storage_capacity(a1, c1)
+        bad = evaluate_constraints(a2).violated_servers_storage()
+        restore_storage_capacity(a2, c2, servers=bad)
+        # sweeping only the violated servers is the full-sweep result:
+        # the per-server loop exits immediately on feasible servers
+        assert np.array_equal(a1.comp_local, a2.comp_local)
+        assert np.array_equal(a1.opt_local, a2.opt_local)
+        assert a1.replicas == a2.replicas
+
+    def test_processing_subset_equals_full_sweep(self):
+        m1, a1, c1 = _constrained_partition(processing=(5.0, 4.0))
+        m2, a2, c2 = _constrained_partition(processing=(5.0, 4.0))
+        restore_processing_capacity(a1, c1)
+        bad = evaluate_constraints(a2).violated_servers_processing()
+        restore_processing_capacity(a2, c2, servers=bad)
+        assert np.array_equal(a1.comp_local, a2.comp_local)
+        assert np.array_equal(a1.opt_local, a2.opt_local)
+        assert a1.replicas == a2.replicas
+
+    def test_subset_leaves_other_servers_untouched(self):
+        m, alloc, cost = _constrained_partition(storage=(700.0, 900.0))
+        marks_s1 = [
+            alloc.page_comp_marks(j).copy() for j in m.pages_by_server[1]
+        ]
+        restore_storage_capacity(alloc, cost, servers=[0])
+        assert storage_used(alloc)[0] <= 700.0 + 1e-9
+        for j, before in zip(m.pages_by_server[1], marks_s1):
+            assert np.array_equal(alloc.page_comp_marks(j), before)
+
+    def test_duplicates_deduped(self):
+        m1, a1, c1 = _constrained_partition(storage=(700.0, 900.0))
+        m2, a2, c2 = _constrained_partition(storage=(700.0, 900.0))
+        restore_storage_capacity(a1, c1, servers=[0, 1])
+        restore_storage_capacity(a2, c2, servers=[1, 0, 0, 1])
+        assert np.array_equal(a1.comp_local, a2.comp_local)
+        assert a1.replicas == a2.replicas
+
+    @pytest.mark.parametrize("kernel", ["batched", "scalar"])
+    def test_kernels_agree_on_subset(self, kernel):
+        m, alloc, cost = _constrained_partition(storage=(700.0, 900.0))
+        restore_storage_capacity(alloc, cost, servers=[0, 1], kernel=kernel)
+        assert evaluate_constraints(alloc).storage_ok
+
+    def test_servers_and_server_id_mutually_exclusive(self, micro_model):
+        alloc = partition_all(micro_model)
+        cost = CostModel(micro_model)
+        with pytest.raises(ValueError, match="not both"):
+            restore_storage_capacity(alloc, cost, server_id=0, servers=[1])
+        with pytest.raises(ValueError, match="not both"):
+            restore_processing_capacity(alloc, cost, server_id=0, servers=[1])
+
+    def test_out_of_range_rejected(self, micro_model):
+        alloc = partition_all(micro_model)
+        cost = CostModel(micro_model)
+        with pytest.raises(ValueError, match="out of range"):
+            restore_storage_capacity(alloc, cost, servers=[2])
+        with pytest.raises(ValueError, match="out of range"):
+            restore_processing_capacity(alloc, cost, servers=[-1])
+
+    def test_empty_subset_noop(self, micro_model):
+        alloc = partition_all(micro_model)
+        cost = CostModel(micro_model)
+        before = alloc.copy()
+        stats = restore_storage_capacity(alloc, cost, servers=[])
+        assert stats.evictions == 0
+        assert alloc == before
+
+
 class TestProcessingRestoration:
     def test_noop_when_satisfied(self, micro_model):
         alloc = partition_all(micro_model)

@@ -1,13 +1,48 @@
 """Tests for repro.dynamic.drift — access-pattern drift operators."""
 
+import math
+
 import numpy as np
 import pytest
 
+from repro.core.types import (
+    ObjectSpec,
+    PageSpec,
+    RepositorySpec,
+    ServerSpec,
+    SystemModel,
+)
 from repro.dynamic.drift import (
     jitter_frequencies,
     replace_frequencies,
     rotate_hot_set,
 )
+
+
+def tied_frequency_model() -> SystemModel:
+    """One server, 20 pages; pages 0-2 share frequency 7.0 (straddling
+    the 10% hot boundary of n_hot=2), the rest strictly decreasing."""
+    servers = [
+        ServerSpec(
+            server_id=0,
+            storage_capacity=math.inf,
+            processing_capacity=math.inf,
+            rate=10.0,
+            overhead=1.0,
+            repo_rate=2.0,
+            repo_overhead=2.0,
+            name="s0",
+        )
+    ]
+    objects = [ObjectSpec(object_id=0, size=100)]
+    freqs = [7.0, 7.0, 7.0] + [6.5 - 0.25 * k for k in range(17)]
+    pages = [
+        PageSpec(
+            page_id=j, server=0, html_size=100, frequency=f, compulsory=(0,)
+        )
+        for j, f in enumerate(freqs)
+    ]
+    return SystemModel(servers, RepositorySpec(math.inf), pages, objects)
 
 
 class TestReplaceFrequencies:
@@ -66,6 +101,45 @@ class TestRotateHotSet:
             if before != after:
                 changed = True
         assert changed
+
+    def test_tied_frequencies_split_stably(self):
+        """Regression: with frequencies tied at the hot boundary the
+        split must keep ascending page-id order.  Pages 0-2 all have
+        f=7.0 and n_hot=2, so the hot set is {0, 1} and page 2 stays
+        cold.  The old ``argsort(f)[::-1]`` reversed the (unstable)
+        introsort's tie order, picking {2, 1} instead — page 0 never
+        rotated and the result depended on the sort implementation."""
+        m = tied_frequency_model()
+        drifted = rotate_hot_set(m, fraction=1.0, seed=0)
+        f = drifted.frequencies
+        # both hot pages swapped away their 7.0 (seed 0's cold partners
+        # exclude the tied page 2) ...
+        assert f[0] != 7.0
+        assert f[1] != 7.0
+        # ... while the tied-but-cold page 2 kept its frequency
+        assert f[2] == 7.0
+
+    def test_tied_frequencies_deterministic(self):
+        m = tied_frequency_model()
+        a = rotate_hot_set(m, fraction=1.0, seed=0)
+        b = rotate_hot_set(m, fraction=1.0, seed=0)
+        assert np.array_equal(a.frequencies, b.frequencies)
+
+    def test_servers_scope_limits_rotation(self, small_model):
+        drifted = rotate_hot_set(small_model, 1.0, seed=3, servers=[0])
+        for i in range(1, small_model.n_servers):
+            ids = np.asarray(small_model.pages_by_server[i], dtype=np.intp)
+            assert np.array_equal(
+                drifted.frequencies[ids], small_model.frequencies[ids]
+            )
+        ids0 = np.asarray(small_model.pages_by_server[0], dtype=np.intp)
+        assert not np.array_equal(
+            drifted.frequencies[ids0], small_model.frequencies[ids0]
+        )
+
+    def test_servers_out_of_range_rejected(self, small_model):
+        with pytest.raises(ValueError, match="out of range"):
+            rotate_hot_set(small_model, 0.5, servers=[small_model.n_servers])
 
     def test_bad_fraction_rejected(self, small_model):
         with pytest.raises(ValueError, match="fraction"):

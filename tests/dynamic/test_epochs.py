@@ -90,6 +90,49 @@ class TestRunDynamicExperiment:
 
 
     def test_churn_tracked_per_reallocation(self, result):
+        # one entry per re-allocation, no-ops included — the old
+        # dataclass workaround allowed the lists to fall out of step
         assert len(result.churn_bytes) == result.reallocations
+        assert len(result.churn_bytes_removed) == result.reallocations
         assert all(b >= 0 for b in result.churn_bytes)
-        assert "MiB of replicas" in result.render()
+        assert all(b >= 0 for b in result.churn_bytes_removed)
+        assert "MiB in" in result.render()
+
+    def test_incremental_strategy_measured(self, result):
+        assert len(result.incremental) == len(result.epochs)
+        assert result.incremental[0] == pytest.approx(result.static[0])
+        assert (
+            len(result.incremental_churn_bytes)
+            == result.incremental_reallocations
+        )
+        assert (
+            len(result.incremental_churn_bytes_removed)
+            == result.incremental_reallocations
+        )
+        assert 0 <= result.incremental_full_resolves <= (
+            result.incremental_reallocations
+        )
+        # under drift the incremental plan should stay in the oracle's
+        # neighbourhood, far from pathological
+        assert -0.2 < result.incremental_gap() < 2.0
+
+    def test_strategy_subset_is_paired(self):
+        # dropping strategies must not shift the others' random streams
+        cfg = EpochConfig(n_epochs=2, requests_per_server=200)
+        full = run_dynamic_experiment(WorkloadParams.tiny(), cfg, seed=1)
+        sub = run_dynamic_experiment(
+            WorkloadParams.tiny(), cfg, seed=1, strategies=["static", "oracle"]
+        )
+        assert sub.static == full.static
+        assert sub.oracle == full.oracle
+        assert sub.periodic == []
+        assert sub.incremental == []
+        assert sub.reallocations == 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategies"):
+            run_dynamic_experiment(
+                WorkloadParams.tiny(),
+                EpochConfig(n_epochs=1),
+                strategies=["nightly"],
+            )

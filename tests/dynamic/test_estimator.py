@@ -2,9 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dynamic.estimator import estimate_frequencies, with_frequencies
-from repro.workload.trace import generate_trace
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+from repro.workload.trace import RequestTrace, generate_trace
 
 
 class TestEstimateFrequencies:
@@ -51,6 +55,56 @@ class TestEstimateFrequencies:
         est1 = estimate_frequencies(trace, observation_window=10.0)
         est2 = estimate_frequencies(trace, observation_window=20.0)
         assert np.allclose(est1, 2.0 * est2)
+
+    def test_cross_server_trace_window_unbiased(self, micro_model):
+        """Regression: the inferred per-server window must cover the
+        requests *addressed to* server i's pages, not those *issued by*
+        its clients.  Generator traces make the two coincide, so this
+        hand-builds a trace where clients at server 1 fetch server 0's
+        pages remotely — the old ``server_of_request == i`` window
+        under-counted server 0 (3 local issues vs 4 addressed requests)
+        and inflated every estimate on it by 4/3."""
+        m = micro_model  # pages 0,1 hosted on s0; 2,3 on s1
+        pages = np.array([0, 0, 0, 1, 2], dtype=np.intp)
+        issuers = np.array([1, 1, 0, 0, 0], dtype=np.intp)
+        trace = RequestTrace(
+            model=m,
+            page_of_request=pages,
+            server_of_request=issuers,
+            opt_entries=np.empty(0, dtype=np.intp),
+            opt_owner=np.empty(0, dtype=np.intp),
+        )
+        est = estimate_frequencies(trace, smoothing=0.0)
+        for i in range(m.n_servers):
+            ids = np.asarray(m.pages_by_server[i], dtype=np.intp)
+            assert est[ids].sum() == pytest.approx(
+                m.frequencies[ids].sum(), rel=1e-12
+            )
+        # and the split follows the observed counts: page 0 got 3 of the
+        # 4 requests to server 0, whose true total rate is 3 req/s
+        assert est[0] == pytest.approx(3.0 * 3 / 4)
+        assert est[1] == pytest.approx(3.0 * 1 / 4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_converges_as_trace_grows(self, seed):
+        """Hypothesis: the estimate approaches the true frequencies as
+        the observation grows — the L1 error (relative to total rate)
+        shrinks and is small for a long trace, for any sampling seed."""
+        model = generate_workload(WorkloadParams.tiny(), seed=5)
+
+        def l1_err(n_req):
+            trace = generate_trace(
+                model, WorkloadParams.tiny(), seed=seed,
+                requests_per_server=n_req,
+            )
+            est = estimate_frequencies(trace, smoothing=0.0)
+            diff = np.abs(est - model.frequencies).sum()
+            return diff / model.frequencies.sum()
+
+        err_short, err_long = l1_err(50), l1_err(5000)
+        assert err_long < 0.2
+        assert err_long <= err_short + 0.02
 
     def test_negative_smoothing_rejected(self, small_model, small_params):
         trace = generate_trace(small_model, small_params, seed=2, requests_per_server=10)

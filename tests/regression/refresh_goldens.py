@@ -15,6 +15,10 @@ seeded workloads so performance PRs cannot silently change allocations:
 * ``small_offload_frac50`` — repository capacity clamped to 50% of the
   post-restoration repository load, exercising the OFF_LOADING
   negotiation and its server-side absorption loop.
+* ``dynamic_incremental`` — four epochs of the incremental re-planner
+  under localized hot-set rotation at 60% storage, pinning the dirty-set
+  detection, per-server rebuild, and churn accounting of the dynamic
+  extension.
 
 Refreshing (ONLY after an intentional algorithmic change, never to make
 a perf PR pass):
@@ -143,6 +147,51 @@ def compute_small_offload(kernel: str = "batched") -> dict:
     }
 
 
+def compute_dynamic_incremental(kernel: str = "batched") -> dict:
+    """Incremental re-planner trajectory on the seeded small workload.
+
+    Four epochs of localized hot-set rotation (one server per epoch) at
+    60% storage: every epoch stays on the incremental path, pinning the
+    dirty-set detection, the per-server rebuild, the localized Eq. 8-10
+    repair, and the churn accounting.
+    """
+    from repro.dynamic.drift import rotate_hot_set
+    from repro.dynamic.incremental import (
+        IncrementalConfig,
+        IncrementalReplanner,
+    )
+
+    model = generate_workload(_relaxed(WorkloadParams.small()), seed=SEED)
+    reference = partition_all(model, kernel=kernel)
+    caps = storage_capacities_for_fraction(model, reference, 0.6)
+    truth = clone_with_capacities(model, storage=caps)
+    policy = RepositoryReplicationPolicy(kernel=kernel)
+    replanner = IncrementalReplanner(
+        policy, truth, IncrementalConfig(audit_every=0)
+    )
+    epochs = []
+    for epoch in range(1, 5):
+        truth = rotate_hot_set(
+            truth, fraction=0.5, seed=epoch, servers=[epoch % truth.n_servers]
+        )
+        stats = replanner.replan(truth)
+        epochs.append(
+            {
+                "mode": stats.mode,
+                "n_dirty": stats.n_dirty,
+                "rebuilt_servers": list(stats.rebuilt_servers),
+                "objective": stats.objective,
+                "churn_bytes_added": stats.churn_bytes_added,
+                "churn_bytes_removed": stats.churn_bytes_removed,
+            }
+        )
+    return {
+        "epochs": epochs,
+        "full_resolves": replanner.full_resolves,
+        "incremental_replans": replanner.incremental_replans,
+    }
+
+
 def compute_goldens(kernel: str = "batched") -> dict:
     return {
         "seed": SEED,
@@ -150,6 +199,7 @@ def compute_goldens(kernel: str = "batched") -> dict:
         "small_constrained_frac50": compute_small_constrained(kernel),
         "small_processing_frac50": compute_small_processing(kernel),
         "small_offload_frac50": compute_small_offload(kernel),
+        "dynamic_incremental": compute_dynamic_incremental(kernel),
     }
 
 
