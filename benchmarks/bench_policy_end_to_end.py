@@ -27,7 +27,7 @@ A third arm times the **sharded** process-parallel kernel
 ``SHARD_COUNT`` per-server shards on a persistent worker pool, with the
 reconciled result asserted **bit-identical** to the shared arm's
 (allocation marks, replica sets, objective and phase list).  The
-acceptance floor there is **≥2× at paper scale with ≥4 cores**
+acceptance floor there is **≥3× at paper scale with ≥4 cores**
 (skipped on smaller machines — a 1-core box serialises the shards and
 only measures dispatch overhead).
 
@@ -70,8 +70,10 @@ SANITY_FLOOR = 1.0
 
 #: Sharded-kernel arm: shard count (capped at the model's server count)
 #: and the speedup floor asserted at paper scale on a ≥4-core machine.
+#: Raised from 2x once workers stopped paying O(model) setup: shard-local
+#: contexts + shm column transport + the parallel off-loading scatter.
 SHARD_COUNT = 4
-SHARD_FLOOR = 2.0
+SHARD_FLOOR = 3.0
 SHARD_MIN_CORES = 4
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
@@ -222,7 +224,7 @@ def test_bench_policy_end_to_end_all_phases(e2e_results):
 
 
 def test_bench_sharded_kernel_floor(e2e_results):
-    """The sharded kernel beats the single-process run ≥2x at paper
+    """The sharded kernel beats the single-process run ≥3x at paper
     scale with 4 workers; elsewhere the arm only pins bit-identity
     (asserted inside the fixture) and records its timings."""
     cores = os.cpu_count() or 1

@@ -79,6 +79,27 @@ MODULE_FORBIDDEN: dict[str, tuple[frozenset[str], str]] = {
         "(ShardPool protocol) — pass experiments.executor."
         "persistent_pool(n) in from above, never import it here",
     ),
+    "core/shm.py": (
+        frozenset(
+            {
+                "analysis",
+                "baselines",
+                "cli",
+                "core",
+                "dynamic",
+                "experiments",
+                "io",
+                "network",
+                "obs",
+                "refdb",
+                "simulation",
+                "workload",
+            }
+        ),
+        "the shared-memory arena sits below the core layer proper — it "
+        "imports nothing above util, so any layer (including future "
+        "non-core pools) can use it without dragging the kernels in",
+    ),
     "core/context.py": (
         frozenset({"dynamic", "experiments"}),
         "the frequency-clone adoption hook (adopt_frequency_context) is "

@@ -22,9 +22,11 @@ executor test file once more with ``REPRO_JOBS=2`` at tiny scale (and
 ``-p no:cacheprovider``, so two concurrent pytest processes can never
 race on ``.pytest_cache``), proving the multi-process path works in the
 gate environment and not just on developer machines — followed by a
-**sharded-kernel smoke**: one tiny-scale CLI ``analyze`` run with
-``REPRO_KERNEL=sharded REPRO_SHARDS=2``, exercising the process-parallel
-policy kernel's fork → pickle → reconcile path end to end — and a
+**sharded-kernel smoke**: tiny-scale CLI ``analyze`` runs with
+``REPRO_KERNEL=sharded REPRO_SHARDS=2`` — once with the default
+transport and once with ``REPRO_SHM=0`` — exercising both the
+shared-memory and the pickle-fallback fork → ship → reconcile paths end
+to end — and a
 **dynamic smoke**: one small-scale CLI ``dynamic`` run with the
 ``incremental`` strategy, exercising the incremental re-replication
 engine (dirty-set detection, frequency-context adoption, localized
@@ -81,6 +83,7 @@ def main(argv: list[str]) -> int:
             "--cov=repro.core.fast_restoration",
             "--cov=repro.core.context",
             "--cov=repro.core.shard",
+            "--cov=repro.core.shm",
             "--cov=repro.dynamic.incremental",
         ]
     if fast:
@@ -134,6 +137,20 @@ def main(argv: list[str]) -> int:
     shard_env.update(REPRO_KERNEL="sharded", REPRO_SHARDS="2")
     print("sharded smoke:", " ".join(shard_smoke), "(REPRO_KERNEL=sharded)")
     code = subprocess.call(shard_smoke, cwd=REPO_ROOT, env=shard_env)
+    if code != 0:
+        return code
+
+    # The same sharded run with shared-memory transport forced OFF,
+    # proving the pickle fallback stays healthy on platforms without
+    # usable /dev/shm (the bug class this guards against: a change that
+    # only works when ShmArena is available).
+    shm_off_env = dict(shard_env)
+    shm_off_env.update(REPRO_SHM="0")
+    print(
+        "sharded smoke:", " ".join(shard_smoke),
+        "(REPRO_KERNEL=sharded REPRO_SHM=0)",
+    )
+    code = subprocess.call(shard_smoke, cwd=REPO_ROOT, env=shm_off_env)
     if code != 0:
         return code
 

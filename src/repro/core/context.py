@@ -37,7 +37,7 @@ from typing import Iterator, Literal
 
 import numpy as np
 
-from repro.core.types import SystemModel
+from repro.core.types import SystemModel, restrict_to_servers
 
 __all__ = [
     "EvalContext",
@@ -123,10 +123,14 @@ class ScalarViews:
 
 
 _CACHE_ATTR = "_repro_eval_context_cache"
+#: Per-model cache of server-subset contexts, keyed by
+#: ``(server-id tuple, engine kernel)`` (see ``EvalContext.for_servers``).
+_SUBSET_CACHE_ATTR = "_repro_subset_context_cache"
 
 #: Derived-state cache attributes attached to SystemModel instances.
 _MODEL_CACHE_ATTRS = (
     _CACHE_ATTR,
+    _SUBSET_CACHE_ATTR,
     "_repro_reverse_index_cache",
     "_fast_comp_cache",
 )
@@ -341,6 +345,13 @@ class EvalContext:
       :meth:`comp_group`), feeding the eviction scorer and the reverse
       index without any per-phase scan-and-sort.
     """
+
+    #: Global↔local maps of a server-subset context (see
+    #: :meth:`for_servers`); ``None`` on a full-model context.
+    global_servers: np.ndarray | None = None
+    global_pages: np.ndarray | None = None
+    global_comp_entries: np.ndarray | None = None
+    global_opt_entries: np.ndarray | None = None
 
     def __init__(
         self,
@@ -573,6 +584,57 @@ class EvalContext:
             share = next(iter(cache.values()), None)
             ctx = cls(model, kern, _share=share)
             cache[kern] = ctx
+        return ctx
+
+    @classmethod
+    def for_servers(
+        cls,
+        model: SystemModel,
+        servers,
+        kernel: str | None = "batched",
+    ) -> "EvalContext":
+        """A context over only the sub-universe hosted by ``servers``.
+
+        Builds a :func:`repro.core.types.restrict_to_servers` submodel
+        (vectorised column slicing — objects keep global ids, pages and
+        entries are renumbered densely in global order) and runs the
+        normal :meth:`_build` over it, so **every** derived structure —
+        entry columns, Eq. 3-5 stream seeds, pair table, per-server CSR
+        groups, scalar views — is sized to the subset.  This is what
+        makes a shard worker's setup cost proportional to its shard
+        instead of to the whole model (DESIGN.md Appendix H).
+
+        The returned context carries the global↔local index maps as
+        ``global_servers`` / ``global_pages`` / ``global_comp_entries``
+        / ``global_opt_entries`` (ascending global ids per local
+        position), and its model is cached under the parent model per
+        server subset so repeated requests (e.g. benchmark runs) build
+        once.  Because the restriction preserves relative order
+        everywhere — including the filtered ``comp_sorted`` permutation
+        — any per-server decision sequence computed on the subset is
+        bit-identical to the same computation on the full model masked
+        to those servers (property-tested in
+        ``tests/properties/test_property_sharded_policy.py``).
+        """
+        key = tuple(int(i) for i in servers)
+        kern = engine_kernel(resolve_kernel(kernel))
+        cache: dict | None = None
+        if _CACHE_ENABLED[0]:
+            cache = getattr(model, _SUBSET_CACHE_ATTR, None)
+            if cache is None:
+                cache = {}
+                setattr(model, _SUBSET_CACHE_ATTR, cache)
+            ctx = cache.get((key, kern))
+            if ctx is not None:
+                return ctx
+        sub, maps = restrict_to_servers(model, key)
+        ctx = cls.for_model(sub, kern)
+        ctx.global_servers = maps["servers"]
+        ctx.global_pages = maps["pages"]
+        ctx.global_comp_entries = maps["comp_entries"]
+        ctx.global_opt_entries = maps["opt_entries"]
+        if cache is not None:
+            cache[(key, kern)] = ctx
         return ctx
 
 

@@ -63,6 +63,7 @@ __all__ = [
     "compute_server_status",
     "compute_all_server_statuses",
     "absorb_extra_workload",
+    "absorb_round_serial",
     "plan_offload_round",
     "offload_repository",
 ]
@@ -421,6 +422,47 @@ def absorb_extra_workload(
     return absorbed
 
 
+def absorb_round_serial(
+    alloc: Allocation,
+    cost: CostModel,
+    requests: list[tuple[int, float, bool]],
+    *,
+    allow_swap: bool = True,
+    kernel: Kernel = "batched",
+) -> dict[int, float]:
+    """Default (serial) scatter: absorb each round request in plan order.
+
+    This is the **scatter** half of the off-loading round's
+    scatter/gather split.  ``requests`` holds one
+    ``(server_id, new_req, allow_new_replicas)`` triple per server the
+    repository addressed this round; the scatter must mutate ``alloc``
+    to the post-absorption state of every listed server and return the
+    workload each actually achieved.
+
+    The contract a replacement scatter (e.g. the process-parallel one in
+    :mod:`repro.core.shard`) must honour: per-server absorptions are
+    **independent** — a server appears at most once per round, and
+    absorption at one server reads and writes only that server's pages,
+    entries and replica set, so any execution order (or parallel
+    execution) produces the same marks as this serial reference.  The
+    round's order-sensitive bookkeeping (absorbed accumulation, L3
+    demotion, the Eq. 9 load recompute) stays in
+    :func:`offload_repository` — the gather side.
+    """
+    achieved: dict[int, float] = {}
+    for server_id, req, allow_new in requests:
+        achieved[server_id] = absorb_extra_workload(
+            alloc,
+            cost,
+            server_id,
+            req,
+            allow_new_replicas=allow_new,
+            allow_swap=allow_swap,
+            kernel=kernel,
+        )
+    return achieved
+
+
 # ----------------------------------------------------------------------
 # repository-side loop
 # ----------------------------------------------------------------------
@@ -460,6 +502,7 @@ def offload_repository(
     config: OffloadConfig | None = None,
     capacity: float | None = None,
     kernel: Kernel = "batched",
+    scatter=None,
 ) -> OffloadOutcome:
     """Run the OFF_LOADING_REPOSITORY protocol, mutating ``alloc``.
 
@@ -477,6 +520,13 @@ def offload_repository(
     kernel:
         Candidate-scoring kernel forwarded to
         :func:`absorb_extra_workload` (``"batched"`` or ``"scalar"``).
+    scatter:
+        Absorption-round executor with the signature and contract of
+        :func:`absorb_round_serial` (the default).  The sharded kernel
+        injects a process-parallel scatter here; because per-server
+        absorptions are independent, every conforming scatter yields
+        bit-identical marks, and this function keeps all the
+        order-sensitive gather bookkeeping either way.
     """
     cfg = config or OffloadConfig()
     kernel = engine_kernel(resolve_kernel(kernel))
@@ -496,6 +546,7 @@ def offload_repository(
         return outcome
 
     reg = get_registry()
+    absorb_round = absorb_round_serial if scatter is None else scatter
     demoted: set[int] = set()
     load = initial
     with reg.span("off-loading"):
@@ -508,20 +559,24 @@ def offload_repository(
                 break
             outcome.rounds += 1
             outcome.messages += len(plan)  # NewReq messages
+            # Scatter: each server appears at most once per round and
+            # absorption at one server never changes another's
+            # constraint slack, so the round-start statuses stay exact
+            # for every request and the absorptions commute.
+            requests = [
+                (i, req, statuses[i].free_space > _TOL)
+                for i, req in plan.items()
+            ]
+            achieved_by = absorb_round(
+                alloc,
+                cost,
+                requests,
+                allow_swap=cfg.allow_swap,
+                kernel=kernel,
+            )
+            # Gather: the order-sensitive bookkeeping, in plan order.
             for i, req in plan.items():
-                # each server appears at most once per round and absorption
-                # at one server never changes another's constraint slack,
-                # so the round-start status is still exact here
-                st = statuses[i]
-                achieved = absorb_extra_workload(
-                    alloc,
-                    cost,
-                    i,
-                    req,
-                    allow_new_replicas=st.free_space > _TOL,
-                    allow_swap=cfg.allow_swap,
-                    kernel=kernel,
-                )
+                achieved = achieved_by[i]
                 outcome.absorbed_by_server[i] = (
                     outcome.absorbed_by_server.get(i, 0.0) + achieved
                 )

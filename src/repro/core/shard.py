@@ -8,43 +8,60 @@ the hot phases *per-server decomposable*:
 * **storage restoration** (Eq. 10) and **processing restoration**
   (Eq. 8) are per server — every candidate score, eviction,
   re-partition and switch reads and writes only the target server's
-  pages, entries and replica set.
+  pages, entries and replica set;
+* even **OFF_LOADING**'s server-side *absorption* (the inner loop of
+  Eq. 9's negotiation) only touches the absorbing server — only the
+  repository-side round bookkeeping (``NewReq`` shares, ``L3``
+  demotion, message counts) is order-sensitive.
 
-Only **OFF_LOADING_REPOSITORY** (Eq. 9) is globally coupled: the
-repository load sums over *all* servers, and each negotiation round
-splits ``NewReq`` proportionally over the global ``L1``/``L2`` slack
-frontier.  The sharded kernel therefore:
+The sharded kernel exploits all three:
 
-1. splits the servers into ``shards`` groups (deterministic balanced
+1. it splits the servers into ``shards`` groups (deterministic balanced
    LPT over per-server entry counts, :func:`plan_shards`);
-2. runs PARTITION + both restorations for each group in a worker
-   process (:func:`_run_shard`), each worker deriving its own
-   :class:`~repro.core.context.EvalContext` columns, CSR groups and
-   page streams for exactly its servers' pages;
-3. reconciles in the parent: scatters the per-shard mark/replica
-   frontiers back into one global :class:`~repro.core.allocation.Allocation`,
-   recomputes the objectives and the constraint report over the merged
-   state, and replays the globally-coupled OFF_LOADING rounds on it —
-   bit-identically to the unsharded run (DESIGN.md Appendix F).
+2. each worker process builds a **shard-local**
+   :class:`~repro.core.context.EvalContext` via
+   :meth:`~repro.core.context.EvalContext.for_servers` — columns, CSR
+   groups and page streams for exactly its servers' pages, so worker
+   setup is O(shard) instead of O(model) — and runs PARTITION + both
+   restorations on the restricted model (:func:`_run_shard`);
+3. the parent reconciles: scatters the per-shard mark/replica frontiers
+   (shipped as *global* entry indices) back into one global
+   :class:`~repro.core.allocation.Allocation`, recomputes objectives
+   and constraints over the merged state, and replays the
+   OFF_LOADING rounds with the repository-side bookkeeping in-process
+   while each round's per-server absorptions scatter to the pool
+   (:class:`_ShardedScatter` → :func:`_absorb_server`).
 
 Bit-identity is the contract, not an aspiration: the merged allocation,
 objective, stats and phase list equal the ``"batched"`` kernel's exactly
 (property-tested in ``tests/properties/test_property_sharded_policy.py``
-and pinned by the golden regressions).  Two details make that hold:
+and pinned by the golden regressions).  Three details make that hold:
 
 * objectives are evaluated in the **parent** over merged marks — a
   per-shard partial ``np.dot`` would change float summation order;
 * restoration stats are merged in **global server order**, reproducing
-  the reference loop's accumulation sequence.
+  the reference loop's accumulation sequence;
+* the restricted model preserves *order*: objects keep their global
+  ids, pages/entries are renumbered by a strictly increasing map, so
+  every score, float partial sum and index tie-break inside a shard
+  matches the full-model run restricted to that shard (DESIGN.md
+  Appendix H).
+
+Transport: models ship to workers through a
+:class:`~repro.core.shm.ShmArena` (one shared-memory segment holding
+the immutable flat columns; workers rebuild a
+:class:`~repro.core.types.ColumnarModel` over zero-copy views) when
+shared memory is available, falling back to a content-addressed pickle
+blob otherwise (``REPRO_SHM`` / the ``shm`` parameter override, see
+:func:`repro.core.shm.resolve_shm`).  Shard results ride back the same
+way.  Both sides cache by content digest in small LRUs that release
+their shm handles on eviction.
 
 Worker processes come from an *injected* pool: anything with a
 ``submit(fn, *args) -> future`` method (the layering lint enforces that
 this module never imports ``repro.experiments`` — pass
 ``repro.experiments.executor.persistent_pool(n)`` in from above, or let
-:func:`default_pool` build a private stdlib pool).  Models ship to
-workers pre-pickled once and are cached per worker process by content
-digest, so repeated runs over structurally identical models pay the
-unpickle only once.
+:func:`default_pool` build a private stdlib pool).
 """
 
 from __future__ import annotations
@@ -57,7 +74,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -67,14 +84,20 @@ from repro.core.constraints import evaluate_constraints
 from repro.core.context import EvalContext
 from repro.core.cost_model import CostModel
 from repro.core.fast_partition import optional_marks_batched, partition_pages_batched
-from repro.core.offload import OffloadConfig, OffloadOutcome, offload_repository
+from repro.core.offload import (
+    OffloadConfig,
+    OffloadOutcome,
+    absorb_extra_workload,
+    offload_repository,
+)
 from repro.core.restoration import (
     ProcessingRestorationStats,
     StorageRestorationStats,
     restore_processing_capacity,
     restore_storage_capacity,
 )
-from repro.core.types import SystemModel
+from repro.core.shm import ShmArena, resolve_shm
+from repro.core.types import MODEL_COLUMN_FIELDS, ColumnarModel, SystemModel
 from repro.obs.manifest import WORKER_ENV_VAR
 from repro.obs.registry import MetricsRegistry, use_registry
 from repro.util.validation import env_positive_int
@@ -115,8 +138,9 @@ class InlineShardPool:
     The deterministic no-subprocess harness for the differential tests
     (Hypothesis drives hundreds of examples; forking per example would
     dominate) and a zero-dependency fallback anywhere process pools are
-    unavailable.  Because it runs in-process, the driver skips the
-    pickle round-trip entirely (``inline = True``).
+    unavailable.  Because it runs in-process, the driver skips both the
+    pickle round-trip and the shared-memory transport (``inline =
+    True``).
     """
 
     inline = True
@@ -159,12 +183,13 @@ def default_pool(workers: int) -> ProcessPoolExecutor:
 
 
 def shutdown_shard_pool() -> None:
-    """Tear down the private default pool (benchmark cold starts)."""
+    """Tear down the private default pool and release parent shm arenas."""
     global _POOL, _POOL_SIZE
     if _POOL is not None:
         _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
         _POOL_SIZE = 0
+    _PARENT_ARENAS.clear()
 
 
 atexit.register(shutdown_shard_pool)
@@ -255,6 +280,152 @@ def plan_shards(model: SystemModel, shards: int) -> tuple[tuple[int, ...], ...]:
 
 
 # ----------------------------------------------------------------------
+# content-addressed model transport
+# ----------------------------------------------------------------------
+class _Lru:
+    """Tiny ordered LRU with an eviction callback.
+
+    Both model caches (worker-side unpickled/attached models, parent-side
+    model arenas) hold shared-memory resources that must be released the
+    moment an entry falls out — a plain dict would leak segments until
+    process exit.
+    """
+
+    def __init__(
+        self, cap: int, on_evict: Callable[[str, Any], None] | None = None
+    ):
+        self._cap = cap
+        self._on_evict = on_evict
+        self._data: OrderedDict[str, Any] = OrderedDict()
+
+    def get(self, key: str) -> Any | None:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._cap:
+            k, v = self._data.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict(k, v)
+
+    def values(self):
+        return self._data.values()
+
+    def clear(self) -> None:
+        while self._data:
+            k, v = self._data.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict(k, v)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _model_digest(model: SystemModel) -> str:
+    """Content digest of the model's flat columns (cached on the model).
+
+    Hashes the raw column buffers plus the repository spec and shape
+    header — no full-model pickle, so the shm fast path never serialises
+    the arrays at all.  Cached under an underscore attribute, which the
+    model's ``__getstate__`` strips, so the digest never travels.
+    """
+    cached = getattr(model, "_repro_model_digest", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(
+        pickle.dumps(
+            (model.repository, model.n_servers, model.n_pages, model.n_objects),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    )
+    for name in MODEL_COLUMN_FIELDS:
+        a = np.ascontiguousarray(getattr(model, name))
+        h.update(name.encode())
+        h.update(memoryview(a).cast("B"))
+    digest = h.hexdigest()
+    model._repro_model_digest = digest
+    return digest
+
+
+#: Parent-side arenas holding each model's columns in shared memory,
+#: keyed by content digest.  Two entries cover the common interleavings
+#: (e.g. a benchmark alternating between a constrained and an
+#: unconstrained clone); eviction destroys the segment — safe because
+#: every payload referencing an arena is consumed within its own
+#: ``run_sharded_policy`` call, before any other model can evict it.
+_PARENT_ARENAS = _Lru(2, lambda _digest, arena: arena.destroy())
+
+
+def _model_arena(model: SystemModel) -> tuple[str, ShmArena]:
+    """The (digest, arena) pair for ``model``, creating the arena once."""
+    digest = _model_digest(model)
+    arena = _PARENT_ARENAS.get(digest)
+    if arena is None:
+        arena = ShmArena.create(
+            {name: getattr(model, name) for name in MODEL_COLUMN_FIELDS},
+            owner=True,
+        )
+        _PARENT_ARENAS.put(digest, arena)
+    return digest, arena
+
+
+def _evict_worker_model(_digest: str, value: tuple) -> None:
+    """Release an evicted worker model's shm mapping.
+
+    Safe even though the evicted model's columns are views into the
+    arena: the LRU held the only strong reference, so by the time the
+    callback runs nothing can read those views again (closing with live
+    views dangles them on Linux — see :meth:`ShmArena.close`).  The
+    segment itself is owned (and unlinked) by the parent.
+    """
+    _model, arena = value
+    if arena is not None:
+        arena.close()
+
+
+#: Worker-side cache of materialised models, keyed by payload digest —
+#: ``(model, arena-or-None)`` values, arena present for shm payloads.
+_WORKER_MODELS = _Lru(2, _evict_worker_model)
+
+
+def _model_from_payload(payload: tuple) -> SystemModel:
+    """Materialise the run's model inside a worker (or inline).
+
+    Three payload kinds: ``("model", m)`` passes the object through
+    (inline pool — same process); ``("blob", digest, blob)`` unpickles a
+    full model; ``("shm", digest, handle, repo_blob)`` attaches the
+    parent's column arena and rebuilds a zero-copy
+    :class:`~repro.core.types.ColumnarModel` over its views.  The two
+    shipped kinds cache by digest so repeated runs over the same model
+    pay materialisation once per worker.
+    """
+    kind = payload[0]
+    if kind == "model":
+        return payload[1]
+    digest = payload[1]
+    cached = _WORKER_MODELS.get(digest)
+    if cached is not None:
+        return cached[0]
+    if kind == "shm":
+        _, _, handle, repo_blob = payload
+        arena = ShmArena.attach(handle, owner=False)
+        model: SystemModel = ColumnarModel.from_columns(
+            arena.arrays(), pickle.loads(repo_blob)
+        )
+    else:
+        _, _, blob = payload
+        arena = None
+        model = pickle.loads(blob)
+    _WORKER_MODELS.put(digest, (model, arena))
+    return model
+
+
+# ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -265,26 +436,44 @@ class _ShardOptions:
     alpha2: float
     optional_policy: str
     record: bool
+    use_shm: bool = False
+
+
+#: Result arrays eligible for the shared-memory return path.
+_RESULT_ARRAY_FIELDS = (
+    "comp_partition_idx",
+    "opt_partition_idx",
+    "comp_final_idx",
+    "opt_final_idx",
+    "replica_objects",
+    "replica_indptr",
+)
 
 
 @dataclass
 class _ShardResult:
     """One shard's candidate frontier, shipped back for reconciliation.
 
-    The mark arrays are full-length flat booleans (entries outside the
-    shard stay ``False``) so the parent merge is a plain bitwise OR —
-    at Table 1 scale that is ~150 KB per shard, far below any index
-    bookkeeping scheme's complexity budget.
+    Marks travel as **global entry indices** (only the set positions)
+    rather than full-length booleans: a shard can only set entries it
+    owns, so the parent reconcile is a plain index assignment, and the
+    payload shrinks from O(model) to O(shard frontier).  Replicas are a
+    CSR pair (``replica_objects`` concatenated per server in
+    ``server_ids`` order, ``replica_indptr`` bounds).  When the run uses
+    shared memory the arrays ride a worker-created
+    :class:`~repro.core.shm.ShmArena` whose ownership transfers to the
+    parent (:meth:`ship_shm` / :meth:`load_shm`).
     """
 
     server_ids: tuple[int, ...]
     n_pages: int
     n_entries: int
-    comp_partition: np.ndarray
-    opt_partition: np.ndarray
-    comp_final: np.ndarray
-    opt_final: np.ndarray
-    replicas: list[tuple[int, list[int]]]
+    comp_partition_idx: np.ndarray | None
+    opt_partition_idx: np.ndarray | None
+    comp_final_idx: np.ndarray | None
+    opt_final_idx: np.ndarray | None
+    replica_objects: np.ndarray | None
+    replica_indptr: np.ndarray | None
     storage_ran: bool
     processing_ran: bool
     storage_stats: list[tuple[int, StorageRestorationStats]]
@@ -292,29 +481,40 @@ class _ShardResult:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
     snapshot: dict | None = None
+    shm_handle: dict | None = None
+    shm_bytes: int = 0
 
+    def ship_shm(self) -> None:
+        """Move the result arrays into a shm segment (worker side).
 
-#: Worker-side cache of unpickled models, keyed by payload digest.  Two
-#: entries cover the common interleavings (e.g. a benchmark alternating
-#: between a constrained and an unconstrained clone).
-_WORKER_MODELS: "OrderedDict[str, SystemModel]" = OrderedDict()
-_WORKER_MODEL_CAP = 2
+        The worker creates the segment as a *non-owner* — the parent,
+        the only reader, adopts ownership on :meth:`load_shm` and
+        unlinks after reconcile, so a worker crash between the two never
+        strands anonymous segments beyond the run's pool lifetime.
+        """
+        arena = ShmArena.create(
+            {f: getattr(self, f) for f in _RESULT_ARRAY_FIELDS}, owner=False
+        )
+        self.shm_bytes = arena.nbytes
+        self.shm_handle = arena.handle
+        for f in _RESULT_ARRAY_FIELDS:
+            setattr(self, f, None)
+        arena.close()
 
+    def load_shm(self) -> ShmArena | None:
+        """Re-point the result arrays at the shm views (parent side)."""
+        if self.shm_handle is None:
+            return None
+        arena = ShmArena.attach(self.shm_handle, owner=True)
+        for f in _RESULT_ARRAY_FIELDS:
+            setattr(self, f, arena.get(f))
+        self.shm_handle = None
+        return arena
 
-def _model_from_payload(payload: tuple) -> SystemModel:
-    kind = payload[0]
-    if kind == "model":
-        return payload[1]
-    _, digest, blob = payload
-    model = _WORKER_MODELS.get(digest)
-    if model is None:
-        model = pickle.loads(blob)
-        _WORKER_MODELS[digest] = model
-        while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
-            _WORKER_MODELS.popitem(last=False)
-    else:
-        _WORKER_MODELS.move_to_end(digest)
-    return model
+    def release_arrays(self) -> None:
+        """Drop the array references so a backing arena can close cleanly."""
+        for f in _RESULT_ARRAY_FIELDS:
+            setattr(self, f, None)
 
 
 def _shard_pipeline(
@@ -322,63 +522,88 @@ def _shard_pipeline(
 ) -> _ShardResult:
     """PARTITION + per-server restorations for one group of servers.
 
+    Runs on the **restricted model**: ``EvalContext.for_servers`` builds
+    columns, streams and CSR groups for exactly this group's pages, so
+    the worker never touches (or pays for) the other shards' entries.
+    Identity with the full-model run holds because the restriction is
+    order-preserving (module docstring); results are mapped back to
+    global entry ids through the context's ``global_*`` index columns.
+
     Phase gating matches the reference pipeline exactly: the reference
-    gates each restoration on the *global* constraint report, but
-    restoring a non-violating server is a no-op, so gating on "any of
-    *my* servers violated" yields the same allocation — and the parent
-    ORs the per-shard flags to reconstruct the global phase list.
+    gates each restoration on the *global* constraint report, but both
+    constraints are per-server decomposable and restoring a
+    non-violating server is a no-op, so gating on the local report
+    yields the same allocation — and the parent ORs the per-shard flags
+    to reconstruct the global phase list.
     """
     t0 = time.perf_counter()
-    ctx = EvalContext.for_model(model)
-    cost = CostModel(model, opts.alpha1, opts.alpha2)
-    member = np.zeros(model.n_servers, dtype=bool)
-    member[list(server_ids)] = True
-    pages = np.flatnonzero(member[model.page_server])
+    ctx = EvalContext.for_servers(model, server_ids)
+    sub = ctx.model
+    cost = CostModel(sub, opts.alpha1, opts.alpha2)
     phase_seconds: dict[str, float] = {}
 
     t = time.perf_counter()
-    alloc = Allocation(model)
-    if len(pages):
-        comp_marks, _, _ = partition_pages_batched(model, page_ids=pages)
+    alloc = Allocation(sub)
+    if sub.n_pages:
+        comp_marks, _, _ = partition_pages_batched(sub)
         alloc.set_comp_local_bulk(np.flatnonzero(comp_marks), True)
-    opt_marks = optional_marks_batched(model, opts.optional_policy)
-    opt_marks &= member[ctx.opt_server]
+    opt_marks = optional_marks_batched(sub, opts.optional_policy)
     alloc.set_opt_local_bulk(np.flatnonzero(opt_marks), True)
     phase_seconds["partition"] = time.perf_counter() - t
     comp_partition = alloc.comp_local.copy()
     opt_partition = alloc.opt_local.copy()
 
     report = evaluate_constraints(alloc)
+    n_local = len(server_ids)
     storage_stats: list[tuple[int, StorageRestorationStats]] = []
-    storage_ran = any(member[i] for i in report.violated_servers_storage())
+    storage_ran = bool(report.violated_servers_storage())
     if storage_ran:
         t = time.perf_counter()
-        for i in server_ids:
-            storage_stats.append(
-                (i, restore_storage_capacity(alloc, cost, server_id=i))
-            )
+        for li in range(n_local):
+            stats = restore_storage_capacity(alloc, cost, server_id=li)
+            # eviction records carry server ids — map back to global
+            # (object ids are already global in the restricted model)
+            stats.evicted_objects = [
+                (int(server_ids[s]), k) for s, k in stats.evicted_objects
+            ]
+            storage_stats.append((int(server_ids[li]), stats))
         phase_seconds["storage-restoration"] = time.perf_counter() - t
         report = evaluate_constraints(alloc)
 
     processing_stats: list[tuple[int, ProcessingRestorationStats]] = []
-    processing_ran = any(member[i] for i in report.violated_servers_processing())
+    processing_ran = bool(report.violated_servers_processing())
     if processing_ran:
         t = time.perf_counter()
-        for i in server_ids:
+        for li in range(n_local):
             processing_stats.append(
-                (i, restore_processing_capacity(alloc, cost, server_id=i))
+                (
+                    int(server_ids[li]),
+                    restore_processing_capacity(alloc, cost, server_id=li),
+                )
             )
         phase_seconds["processing-restoration"] = time.perf_counter() - t
 
+    replica_indptr = np.zeros(n_local + 1, dtype=np.int64)
+    for li in range(n_local):
+        replica_indptr[li + 1] = replica_indptr[li] + len(alloc.replicas[li])
+    replica_objects = np.zeros(int(replica_indptr[-1]), dtype=np.int64)
+    for li in range(n_local):
+        replica_objects[replica_indptr[li] : replica_indptr[li + 1]] = sorted(
+            alloc.replicas[li]
+        )
+
+    ge_c = ctx.global_comp_entries
+    ge_o = ctx.global_opt_entries
     return _ShardResult(
         server_ids=tuple(int(i) for i in server_ids),
-        n_pages=int(len(pages)),
-        n_entries=int(member[ctx.comp_server].sum() + member[ctx.opt_server].sum()),
-        comp_partition=comp_partition,
-        opt_partition=opt_partition,
-        comp_final=alloc.comp_local,
-        opt_final=alloc.opt_local,
-        replicas=[(int(i), sorted(alloc.replicas[i])) for i in server_ids],
+        n_pages=int(sub.n_pages),
+        n_entries=int(len(sub.comp_objects) + len(sub.opt_objects)),
+        comp_partition_idx=ge_c[comp_partition],
+        opt_partition_idx=ge_o[opt_partition],
+        comp_final_idx=ge_c[alloc.comp_local],
+        opt_final_idx=ge_o[alloc.opt_local],
+        replica_objects=replica_objects,
+        replica_indptr=replica_indptr,
         storage_ran=storage_ran,
         processing_ran=processing_ran,
         storage_stats=storage_stats,
@@ -399,7 +624,166 @@ def _run_shard(
         result = _shard_pipeline(model, server_ids, opts)
     if registry is not None:
         result.snapshot = registry.snapshot()
+    if opts.use_shm:
+        result.ship_shm()
     return result
+
+
+# ----------------------------------------------------------------------
+# parallel off-loading scatter
+# ----------------------------------------------------------------------
+def _absorb_server(
+    payload: tuple,
+    opts: _ShardOptions,
+    server_id: int,
+    target: float,
+    allow_new_replicas: bool,
+    allow_swap: bool,
+    kernel: str,
+    comp_marks: np.ndarray,
+    opt_marks: np.ndarray,
+    replica_objs: np.ndarray,
+) -> dict:
+    """Score and apply one server's absorption on its restricted model.
+
+    The worker receives the server's current mark slices (ascending
+    global entry order — exactly the single-server restricted model's
+    entry order) and replica set, replays
+    :func:`~repro.core.offload.absorb_extra_workload` on a one-server
+    :class:`~repro.core.context.EvalContext`, and returns the mark
+    *deltas* in global entry ids plus the final replica set.  Per-server
+    decomposability (see ``absorb_round_serial``'s contract) makes this
+    bit-identical to absorbing in the parent.
+    """
+    model = _model_from_payload(payload)
+    ctx = EvalContext.for_servers(model, (int(server_id),))
+    sub = ctx.model
+    comp0 = np.asarray(comp_marks, dtype=bool)
+    opt0 = np.asarray(opt_marks, dtype=bool)
+    alloc = Allocation(
+        sub, comp0, opt0, replicas=[set(int(k) for k in replica_objs)]
+    )
+    cost = CostModel(sub, opts.alpha1, opts.alpha2)
+    registry = MetricsRegistry() if opts.record else None
+    with use_registry(registry):
+        achieved = absorb_extra_workload(
+            alloc,
+            cost,
+            0,
+            float(target),
+            allow_new_replicas=bool(allow_new_replicas),
+            allow_swap=bool(allow_swap),
+            kernel=kernel,
+        )
+    ge_c = ctx.global_comp_entries
+    ge_o = ctx.global_opt_entries
+    replicas = alloc.replicas[0]
+    return {
+        "achieved": float(achieved),
+        "comp_set": ge_c[alloc.comp_local & ~comp0],
+        "comp_clear": ge_c[comp0 & ~alloc.comp_local],
+        "opt_set": ge_o[alloc.opt_local & ~opt0],
+        "opt_clear": ge_o[opt0 & ~alloc.opt_local],
+        "replicas": np.fromiter(
+            sorted(replicas), dtype=np.int64, count=len(replicas)
+        ),
+        "snapshot": registry.snapshot() if registry is not None else None,
+    }
+
+
+def _entries_by_server(
+    entry_server: np.ndarray, n_servers: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable ``(order, bounds)`` grouping entry ids by owning server.
+
+    ``order[bounds[i]:bounds[i+1]]`` is server ``i``'s flat entry ids in
+    ascending order — the same order ``restrict_to_servers`` selects
+    them, which is what keeps the scatter's mark slices aligned with the
+    worker's single-server context.
+    """
+    order = np.argsort(entry_server, kind="stable")
+    bounds = np.searchsorted(entry_server[order], np.arange(n_servers + 1))
+    return order, bounds
+
+
+class _ShardedScatter:
+    """Process-parallel absorption scatter for ``offload_repository``.
+
+    Satisfies the :func:`~repro.core.offload.absorb_round_serial`
+    contract: every round, each addressed server's absorption runs in a
+    pool worker against a single-server restricted context
+    (:func:`_absorb_server`); the parent applies the returned deltas in
+    **plan order**, so the mutation sequence the order-sensitive gather
+    observes matches the serial reference exactly.
+    """
+
+    def __init__(
+        self, pool: ShardPool, payload: tuple, model: SystemModel,
+        opts: _ShardOptions,
+    ):
+        self._pool = pool
+        self._payload = payload
+        self._opts = opts
+        ctx = EvalContext.for_model(model)
+        self._comp_order, self._comp_bounds = _entries_by_server(
+            ctx.comp_server, model.n_servers
+        )
+        self._opt_order, self._opt_bounds = _entries_by_server(
+            ctx.opt_server, model.n_servers
+        )
+
+    def _server_entries(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        comp = self._comp_order[self._comp_bounds[i] : self._comp_bounds[i + 1]]
+        opt = self._opt_order[self._opt_bounds[i] : self._opt_bounds[i + 1]]
+        return comp, opt
+
+    def __call__(
+        self,
+        alloc: Allocation,
+        cost: CostModel,
+        requests: list[tuple[int, float, bool]],
+        *,
+        allow_swap: bool = True,
+        kernel: str = "batched",
+    ) -> dict[int, float]:
+        jobs = []
+        for i, req, allow_new in requests:
+            comp_e, opt_e = self._server_entries(i)
+            jobs.append(
+                (
+                    i,
+                    self._pool.submit(
+                        _absorb_server,
+                        self._payload,
+                        self._opts,
+                        int(i),
+                        float(req),
+                        bool(allow_new),
+                        bool(allow_swap),
+                        kernel,
+                        alloc.comp_local[comp_e],
+                        alloc.opt_local[opt_e],
+                        np.fromiter(
+                            sorted(alloc.replicas[i]),
+                            dtype=np.int64,
+                            count=len(alloc.replicas[i]),
+                        ),
+                    ),
+                )
+            )
+        reg = obs.get_registry()
+        achieved: dict[int, float] = {}
+        for i, future in jobs:
+            res = future.result()
+            alloc.set_comp_local_bulk(res["comp_set"], True)
+            alloc.set_comp_local_bulk(res["comp_clear"], False)
+            alloc.set_opt_local_bulk(res["opt_set"], True)
+            alloc.set_opt_local_bulk(res["opt_clear"], False)
+            alloc.replicas[i] = set(res["replicas"].tolist())
+            achieved[i] = res["achieved"]
+            if res["snapshot"] is not None and reg.enabled:
+                reg.merge_snapshot(res["snapshot"])
+        return achieved
 
 
 # ----------------------------------------------------------------------
@@ -413,6 +797,7 @@ def run_sharded_policy(
     offload_config: OffloadConfig | None = None,
     shards: int | None = None,
     pool: ShardPool | None = None,
+    shm: bool | None = None,
 ) -> "PolicyResult":
     """The full policy pipeline, sharded over a worker pool.
 
@@ -429,6 +814,11 @@ def run_sharded_policy(
         Injected :class:`ShardPool`; defaults to this module's private
         persistent :func:`default_pool`.  Pass
         :class:`InlineShardPool` to run serially in-process.
+    shm:
+        Shared-memory transport override, resolved via
+        :func:`repro.core.shm.resolve_shm` (explicit → ``REPRO_SHM`` →
+        available).  Ignored (off) for inline pools — there is no
+        process boundary to cross.
     """
     from repro.core.policy import PolicyResult
 
@@ -436,19 +826,32 @@ def run_sharded_policy(
     cost = CostModel(model, alpha1, alpha2)
     n_shards = resolve_shards(shards, n_servers=model.n_servers)
     groups = plan_shards(model, n_shards)
+    if pool is None:
+        pool = default_pool(len(groups))
+    inline = bool(getattr(pool, "inline", False))
+    use_shm = False if inline else resolve_shm(shm)
+    pickle_bytes_avoided = 0.0
+    if inline:
+        payload: tuple = ("model", model)
+    elif use_shm:
+        digest, arena = _model_arena(model)
+        payload = (
+            "shm",
+            "shm:" + digest,
+            arena.handle,
+            pickle.dumps(model.repository, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        pickle_bytes_avoided += float(arena.nbytes)
+    else:
+        blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = ("blob", "blob:" + hashlib.sha256(blob).hexdigest(), blob)
     opts = _ShardOptions(
         alpha1=alpha1,
         alpha2=alpha2,
         optional_policy=optional_policy,
         record=reg.enabled,
+        use_shm=use_shm,
     )
-    if pool is None:
-        pool = default_pool(len(groups))
-    if getattr(pool, "inline", False):
-        payload: tuple = ("model", model)
-    else:
-        blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
-        payload = ("blob", hashlib.sha256(blob).hexdigest(), blob)
 
     spans: dict[str, obs.SpanRecord] = {}
     with reg.span("policy"):
@@ -467,13 +870,26 @@ def run_sharded_policy(
         comp_fin = np.zeros(ne_c, dtype=bool)
         opt_fin = np.zeros(ne_o, dtype=bool)
         replicas: list[set[int] | None] = [None] * model.n_servers
+        result_arenas: list[ShmArena] = []
         for r in results:
-            comp_part |= r.comp_partition
-            opt_part |= r.opt_partition
-            comp_fin |= r.comp_final
-            opt_fin |= r.opt_final
-            for i, stored in r.replicas:
-                replicas[i] = set(stored)
+            arena = r.load_shm()
+            if arena is not None:
+                arena.unlink()  # name gone now; memory lives until close
+                result_arenas.append(arena)
+                pickle_bytes_avoided += float(arena.nbytes)
+            comp_part[r.comp_partition_idx] = True
+            opt_part[r.opt_partition_idx] = True
+            comp_fin[r.comp_final_idx] = True
+            opt_fin[r.opt_final_idx] = True
+            indptr = r.replica_indptr
+            objs = r.replica_objects
+            for li, gi in enumerate(r.server_ids):
+                replicas[gi] = set(
+                    objs[int(indptr[li]) : int(indptr[li + 1])].tolist()
+                )
+            r.release_arrays()
+        for arena in result_arenas:
+            arena.close()
         assert all(r is not None for r in replicas), "shard plan missed a server"
 
         unconstrained_d = cost.D(Allocation(model, comp_part, opt_part))
@@ -498,15 +914,21 @@ def run_sharded_policy(
         alloc = Allocation(model, comp_fin, opt_fin, replicas=replicas)
         report = evaluate_constraints(alloc)
 
-        # OFF_LOADING negotiates against the *global* Eq. 9 frontier
-        # (repository load and L1/L2 slack sum over every server), so it
-        # replays in the parent over the merged allocation.
+        # OFF_LOADING's repository-side bookkeeping (NewReq shares, L3
+        # demotion, message counts) negotiates against the *global*
+        # Eq. 9 frontier, so it replays in the parent — but each round's
+        # per-server absorptions are independent, so they scatter back
+        # to the pool.
         offload_outcome: OffloadOutcome | None = None
         if not report.repo_ok:
+            scatter = _ShardedScatter(pool, payload, model, opts)
             with reg.span("off-loading") as sp:
                 spans["off-loading"] = sp
                 offload_outcome = offload_repository(
-                    alloc, cost, offload_config or OffloadConfig()
+                    alloc,
+                    cost,
+                    offload_config or OffloadConfig(),
+                    scatter=scatter,
                 )
             phases.append("off-loading")
             report = evaluate_constraints(alloc)
@@ -519,10 +941,17 @@ def run_sharded_policy(
             reg.gauge(f"shard.{idx}.servers", float(len(r.server_ids)))
             reg.gauge(f"shard.{idx}.pages", float(r.n_pages))
             reg.gauge(f"shard.{idx}.entries", float(r.n_entries))
+            reg.gauge(f"shard.{idx}.context_entries", float(r.n_entries))
             reg.gauge(f"shard.{idx}.seconds", r.seconds)
             if r.snapshot is not None:
                 reg.merge_snapshot(r.snapshot)
         reg.gauge("shard.count", float(len(groups)))
+        reg.gauge("policy.context_entries_full", float(ne_c + ne_o))
+        reg.gauge(
+            "shm.bytes_shared",
+            float(sum(a.nbytes for a in _PARENT_ARENAS.values())),
+        )
+        reg.gauge("shard.pickle_bytes_avoided", pickle_bytes_avoided)
         # Per-phase wall clock: the slowest shard bounds each fanned-out
         # phase; the reconcile-side phases time their own spans.
         for name in ("partition", "storage-restoration", "processing-restoration"):

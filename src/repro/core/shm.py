@@ -1,0 +1,269 @@
+"""Shared-memory arena for zero-copy model/result shipping.
+
+The sharded kernel (:mod:`repro.core.shard`) moves two kinds of bulk
+array data between the parent and its worker processes:
+
+* the model's **immutable flat columns** (``MODEL_COLUMN_FIELDS`` of
+  :mod:`repro.core.types`) — identical for every worker and every run
+  over the same model, yet previously re-pickled per run and
+  re-unpickled per worker;
+* each shard's **result arrays** (mark-index frontiers, replica lists)
+  — produced once in a worker and read exactly once by the parent's
+  reconcile.
+
+:class:`ShmArena` packs a ``{name: ndarray}`` mapping into **one**
+``multiprocessing.shared_memory`` segment with an 64-byte-aligned
+layout, and re-exposes the arrays as zero-copy views on attach.  The
+picklable :attr:`ShmArena.handle` (segment name + layout) is all that
+crosses the process boundary.
+
+Lifecycle (and the CPython < 3.13 resource-tracker pitfall)
+-----------------------------------------------------------
+``SharedMemory.__init__`` registers the segment with the process's
+resource tracker *unconditionally* — on attach as well as on create
+(CPython gh-82300).  Two failure modes follow.  A pool worker forked
+*before* the parent's tracker existed spawns its own tracker on first
+attach, and that tracker **unlinks** the parent's live segment when the
+worker exits.  A worker forked *after* shares the parent's tracker, so
+any per-process unregister silently erases the creator's registration
+too (the tracker keys by name, not by process).  Since "who registered"
+cannot be controlled, the arena takes the tracker out of the picture
+entirely: **every** create and attach unregisters immediately, and
+:meth:`unlink` re-registers just before unlinking so the library's own
+unregister-on-unlink finds the name (no tracker KeyError noise).
+Cleanup is therefore explicit — the designated *owner* process must
+call :meth:`unlink`/:meth:`destroy` (the sharded kernel does so after
+reconcile and from its ``atexit`` pool shutdown).  Ownership follows
+the reader for result arenas (worker creates, parent owns and unlinks
+after reading) and the writer for model arenas (parent creates and
+owns, workers only attach).
+
+Callers must drop every view before :meth:`close`.  Depending on the
+platform's buffer accounting, closing with live views either raises
+:class:`BufferError` inside the stdlib (caught here — ``close``
+returns ``False`` and the mapping stays pinned until the views die) or
+succeeds and leaves the views **dangling** (reads segfault) — CPython
+3.11 + NumPy on Linux does the latter, because NumPy's buffer export
+lands on the memoryview chain rather than the ``mmap``.  The consumers
+in :mod:`repro.core.shard` therefore always null their array
+references before closing.  Once the owner has unlinked, the segment's
+memory is reclaimed when the last mapping goes away (at process exit
+at the latest).
+
+This module sits below the core layer proper: it imports nothing above
+``util`` (enforced by ``scripts/check_layering.py``), so any layer —
+including future non-core pools — can use it without dragging the
+kernels in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["ShmArena", "shm_available", "resolve_shm", "ENV_FLAG"]
+
+#: Environment flag gating shared-memory transport: ``0/false/no/off``
+#: forces the pickle fallback, ``1/true/yes/on`` requests shm (still
+#: subject to availability), unset means "use it when available".
+ENV_FLAG = "REPRO_SHM"
+
+_ALIGN = 64
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is usable here."""
+    try:
+        from multiprocessing import shared_memory
+    except Exception:  # pragma: no cover - platform without shm
+        return False
+    return hasattr(shared_memory, "SharedMemory")
+
+
+def resolve_shm(flag: bool | None = None) -> bool:
+    """Resolve the shm on/off decision: explicit → ``REPRO_SHM`` → probe.
+
+    An explicit ``flag`` wins; otherwise the :data:`ENV_FLAG`
+    environment variable decides (malformed values raise
+    :class:`ValueError` naming the variable); otherwise shm is used
+    whenever the platform provides it.  A ``True`` from any source is
+    still conditioned on :func:`shm_available` — callers always get a
+    decision they can act on, with the pickle path as the fallback.
+    """
+    if flag is not None:
+        return bool(flag) and shm_available()
+    raw = os.environ.get(ENV_FLAG)
+    if raw is not None:
+        value = raw.strip().lower()
+        if value in _FALSE:
+            return False
+        if value in _TRUE:
+            return shm_available()
+        raise ValueError(
+            f"{ENV_FLAG} must be one of "
+            f"{'/'.join(sorted(_TRUE | _FALSE))}, got {raw!r}"
+        )
+    return shm_available()
+
+
+def _untrack(shm) -> None:
+    """Unregister ``shm`` from the resource tracker (see module docstring).
+
+    Best-effort — tracker internals vary across CPython versions, and a
+    failed unregister only risks a spurious unlink at tracker exit,
+    never data loss in the explicit-owner protocol used here.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker not running / renamed
+        pass
+
+
+def _retrack(shm) -> None:
+    """Re-register ``shm`` so the next unregister (inside
+    ``SharedMemory.unlink``) balances instead of KeyError-ing in the
+    tracker process."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker not running / renamed
+        pass
+
+
+class ShmArena:
+    """Named NumPy arrays packed into one shared-memory segment.
+
+    Construct with :meth:`create` (allocates + copies) or
+    :meth:`attach` (maps an existing segment from its picklable
+    :attr:`handle`).  Exactly one process should hold ``owner=True``
+    and eventually call :meth:`unlink` (or :meth:`destroy`).
+    """
+
+    def __init__(self, shm, layout: dict, owner: bool):
+        self._shm = shm
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, arrays: Mapping[str, np.ndarray], owner: bool = True
+    ) -> "ShmArena":
+        """Allocate a segment holding copies of ``arrays``.
+
+        ``owner`` records lifecycle responsibility: the owning process
+        must eventually :meth:`unlink`.  Tracker registration is dropped
+        either way (see the module docstring).
+        """
+        from multiprocessing import shared_memory
+
+        layout: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        staged: list[tuple[np.ndarray, int]] = []
+        offset = 0
+        for name, arr in arrays.items():
+            a = np.ascontiguousarray(arr)
+            offset = -(-offset // _ALIGN) * _ALIGN
+            layout[name] = (offset, a.dtype.str, a.shape)
+            staged.append((a, offset))
+            offset += a.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        _untrack(shm)
+        for a, off in staged:
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=off)
+            dst[...] = a
+        return cls(shm, layout, owner=owner)
+
+    @classmethod
+    def attach(cls, handle: dict, owner: bool = False) -> "ShmArena":
+        """Map an existing segment from a :attr:`handle`.
+
+        ``owner=True`` adopts lifecycle responsibility — this process
+        must eventually :meth:`unlink` (the protocol for worker-created
+        result arenas read once by the parent).
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=handle["name"])
+        _untrack(shm)
+        return cls(shm, dict(handle["layout"]), owner=owner)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def handle(self) -> dict:
+        """Picklable descriptor: segment name plus the array layout."""
+        return {"name": self._shm.name, "layout": self._layout}
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing segment in bytes."""
+        return int(self._shm.size)
+
+    def keys(self):
+        """The packed array names."""
+        return self._layout.keys()
+
+    def get(self, name: str, writeable: bool = False) -> np.ndarray:
+        """Zero-copy view of one packed array (read-only by default)."""
+        offset, dtype, shape = self._layout[name]
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset
+        )
+        view.flags.writeable = writeable
+        return view
+
+    def arrays(self, writeable: bool = False) -> dict[str, np.ndarray]:
+        """All packed arrays as views, keyed by name."""
+        return {name: self.get(name, writeable) for name in self._layout}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> bool:
+        """Drop this process's mapping; ``False`` if views still pin it.
+
+        Only call after releasing every view from :meth:`get` /
+        :meth:`arrays` — on platforms where NumPy's export does not pin
+        the mmap (CPython 3.11 + Linux), a close with live views
+        *succeeds* and the views dangle (see the module docstring).  A
+        ``False`` return is not a leak in the owner-driven protocol:
+        the mapping is released when the views die or at process exit,
+        and the memory itself is reclaimed once the owner has unlinked.
+        """
+        if self._closed:
+            return True
+        try:
+            self._shm.close()
+        except BufferError:
+            return False
+        self._closed = True
+        return True
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner's responsibility, idempotent)."""
+        if self._unlinked:
+            return
+        try:
+            _retrack(self._shm)  # balance unlink's internal unregister
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+        self._unlinked = True
+
+    def destroy(self) -> bool:
+        """:meth:`unlink` then :meth:`close`; returns the close result."""
+        self.unlink()
+        return self.close()

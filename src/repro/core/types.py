@@ -37,6 +37,9 @@ __all__ = [
     "ServerSpec",
     "RepositorySpec",
     "SystemModel",
+    "ColumnarModel",
+    "MODEL_COLUMN_FIELDS",
+    "restrict_to_servers",
 ]
 
 
@@ -447,3 +450,259 @@ class SystemModel:
             f"SystemModel(servers={self.n_servers}, pages={self.n_pages}, "
             f"objects={self.n_objects})"
         )
+
+
+#: The flat array attributes that fully determine a model's vectorised
+#: state (everything :meth:`SystemModel._build_arrays` derives from the
+#: specs).  :class:`ColumnarModel` reconstructs a model from exactly
+#: these plus the repository spec; the shared-memory shipping path in
+#: :mod:`repro.core.shm` / :mod:`repro.core.shard` packs exactly these.
+MODEL_COLUMN_FIELDS: tuple[str, ...] = (
+    "sizes",
+    "html_sizes",
+    "frequencies",
+    "page_server",
+    "optional_rate_scale",
+    "comp_indptr",
+    "opt_indptr",
+    "comp_objects",
+    "comp_pages",
+    "opt_objects",
+    "opt_pages",
+    "opt_probs",
+    "server_rate",
+    "server_overhead",
+    "server_repo_rate",
+    "server_repo_overhead",
+    "server_storage",
+    "server_capacity",
+    "comp_entry_sizes",
+    "comp_sorted",
+)
+
+
+class ColumnarModel(SystemModel):
+    """A :class:`SystemModel` built directly from its flat arrays.
+
+    Two producers need a model *without* paying the spec-tuple path:
+
+    * :func:`restrict_to_servers` — the shard-local submodels of
+      ``EvalContext.for_servers`` (vectorised slicing of the parent's
+      columns; building ``PageSpec`` tuples for a million-page model
+      just to re-flatten them would dominate the shard setup it exists
+      to remove);
+    * the shared-memory model shipping in :mod:`repro.core.shard` —
+      workers attach the parent's column arrays in place and wrap them
+      in a model view.
+
+    The spec tuples (``pages``, ``servers``, ``objects``) and
+    ``pages_by_server`` are materialised **lazily** from the arrays on
+    first access — only the scalar reference kernels (e.g. the
+    ``partition_page`` fallback inside batched restoration) touch them,
+    and then only for the few pages they re-partition.  The
+    reconstructed specs are exact: every spec field round-trips through
+    the arrays bit-identically, so scalar and batched consumers see the
+    same universe (asserted in ``tests/core/test_context_subset.py``).
+    """
+
+    def __init__(self, *args, **kwargs):  # pragma: no cover - guard
+        raise TypeError(
+            "ColumnarModel is constructed via from_columns(), not __init__"
+        )
+
+    @classmethod
+    def from_columns(
+        cls, columns: dict, repository: RepositorySpec
+    ) -> "ColumnarModel":
+        """Wrap pre-built flat arrays (see :data:`MODEL_COLUMN_FIELDS`).
+
+        The arrays are adopted by reference — callers hand over
+        ownership (or immutable/shared views, e.g. shared-memory
+        attachments).
+        """
+        self = cls.__new__(cls)
+        self.repository = repository
+        for name in MODEL_COLUMN_FIELDS:
+            setattr(self, name, columns[name])
+        self.n_pages = len(self.html_sizes)
+        self.n_objects = len(self.sizes)
+        self.n_servers = len(self.server_rate)
+        return self
+
+    # ------------------------------------------------------------------
+    # lazy spec reconstruction
+    # ------------------------------------------------------------------
+    @property
+    def pages(self) -> tuple[PageSpec, ...]:
+        cached = getattr(self, "_lazy_pages", None)
+        if cached is None:
+            comp = self.comp_objects.tolist()
+            opt = self.opt_objects.tolist()
+            ci = self.comp_indptr.tolist()
+            oi = self.opt_indptr.tolist()
+            probs = self.opt_probs.tolist()
+            cached = tuple(
+                PageSpec(
+                    page_id=j,
+                    server=int(self.page_server[j]),
+                    html_size=int(self.html_sizes[j]),
+                    frequency=float(self.frequencies[j]),
+                    compulsory=tuple(comp[ci[j] : ci[j + 1]]),
+                    optional=tuple(opt[oi[j] : oi[j + 1]]),
+                    optional_prob=(
+                        float(probs[oi[j]]) if oi[j] < oi[j + 1] else 0.0
+                    ),
+                    optional_rate_scale=float(self.optional_rate_scale[j]),
+                )
+                for j in range(self.n_pages)
+            )
+            self._lazy_pages = cached
+        return cached
+
+    @property
+    def servers(self) -> tuple[ServerSpec, ...]:
+        cached = getattr(self, "_lazy_servers", None)
+        if cached is None:
+            cached = tuple(
+                ServerSpec(
+                    server_id=i,
+                    storage_capacity=float(self.server_storage[i]),
+                    processing_capacity=float(self.server_capacity[i]),
+                    rate=float(self.server_rate[i]),
+                    overhead=float(self.server_overhead[i]),
+                    repo_rate=float(self.server_repo_rate[i]),
+                    repo_overhead=float(self.server_repo_overhead[i]),
+                )
+                for i in range(self.n_servers)
+            )
+            self._lazy_servers = cached
+        return cached
+
+    @property
+    def objects(self) -> tuple[ObjectSpec, ...]:
+        cached = getattr(self, "_lazy_objects", None)
+        if cached is None:
+            cached = tuple(
+                ObjectSpec(object_id=k, size=int(s))
+                for k, s in enumerate(self.sizes.tolist())
+            )
+            self._lazy_objects = cached
+        return cached
+
+    @property
+    def pages_by_server(self) -> tuple[tuple[int, ...], ...]:
+        cached = getattr(self, "_lazy_pages_by_server", None)
+        if cached is None:
+            order = np.argsort(self.page_server, kind="stable")
+            bounds = self.page_server[order].searchsorted(
+                np.arange(self.n_servers + 1)
+            )
+            lst = order.tolist()
+            cached = tuple(
+                tuple(lst[bounds[i] : bounds[i + 1]])
+                for i in range(self.n_servers)
+            )
+            self._lazy_pages_by_server = cached
+        return cached
+
+
+def restrict_to_servers(
+    model: SystemModel, server_ids: Sequence[int]
+) -> tuple[ColumnarModel, dict[str, np.ndarray]]:
+    """The sub-universe hosted by ``server_ids``, with global↔local maps.
+
+    Pages are pinned to exactly one server (matrix ``A``), so a server
+    subset induces a clean sub-model: its servers (renumbered densely in
+    the given order), their pages (global page order preserved), and
+    those pages' compulsory/optional entries (global entry order
+    preserved).  **Objects keep their global ids** — the object axis is
+    shared with the repository, every entry may reference any object,
+    and keeping ids global is what lets shard workers hand replica sets
+    back to the parent without translation.
+
+    Order preservation is what makes shard-local computation
+    bit-identical to masked global computation (DESIGN.md Appendix H):
+    ascending local ids enumerate the same pages/entries in the same
+    relative order as ascending global ids, and ``comp_sorted`` is
+    *filtered* from the parent's permutation rather than re-sorted, so
+    PARTITION's per-page size-ties resolve identically.
+
+    Parameters
+    ----------
+    server_ids:
+        Strictly increasing global server ids (ascending order is
+        required — it keeps local server enumeration order equal to
+        global enumeration order restricted to the subset).
+
+    Returns
+    -------
+    ``(submodel, maps)`` where ``maps`` holds the global ids of each
+    local axis position: ``"servers"``, ``"pages"``,
+    ``"comp_entries"``, ``"opt_entries"``.
+    """
+    srvs = np.asarray(server_ids, dtype=np.intp)
+    if srvs.ndim != 1 or len(srvs) == 0:
+        raise ValueError("server_ids must be a non-empty 1-D sequence")
+    if len(srvs) > 1 and not (srvs[1:] > srvs[:-1]).all():
+        raise ValueError("server_ids must be strictly increasing")
+    if srvs[0] < 0 or srvs[-1] >= model.n_servers:
+        raise ValueError(
+            f"server_ids must lie in [0, {model.n_servers}), got "
+            f"[{int(srvs[0])}, {int(srvs[-1])}]"
+        )
+    g2l_server = np.full(model.n_servers, -1, dtype=np.intp)
+    g2l_server[srvs] = np.arange(len(srvs), dtype=np.intp)
+
+    page_member = g2l_server[model.page_server] >= 0
+    pages_sel = np.flatnonzero(page_member)
+    n_pages = len(pages_sel)
+
+    comp_sel = np.flatnonzero(page_member[model.comp_pages])
+    opt_sel = np.flatnonzero(page_member[model.opt_pages])
+    comp_counts = np.diff(model.comp_indptr)[pages_sel]
+    opt_counts = np.diff(model.opt_indptr)[pages_sel]
+    comp_indptr = np.zeros(n_pages + 1, dtype=np.intp)
+    np.cumsum(comp_counts, out=comp_indptr[1:])
+    opt_indptr = np.zeros(n_pages + 1, dtype=np.intp)
+    np.cumsum(opt_counts, out=opt_indptr[1:])
+
+    # PARTITION's per-page decreasing-size permutation: filter the
+    # parent's (global) permutation down to the kept entries and remap —
+    # order-preserving, so equal-size tie-breaks match the parent's.
+    g2l_comp = np.full(len(model.comp_objects), -1, dtype=np.intp)
+    g2l_comp[comp_sel] = np.arange(len(comp_sel), dtype=np.intp)
+    kept = page_member[model.comp_pages[model.comp_sorted]]
+    comp_sorted = g2l_comp[model.comp_sorted[kept]]
+
+    columns = {
+        "sizes": model.sizes,  # objects stay global — shared by reference
+        "html_sizes": model.html_sizes[pages_sel],
+        "frequencies": model.frequencies[pages_sel],
+        "page_server": g2l_server[model.page_server[pages_sel]],
+        "optional_rate_scale": model.optional_rate_scale[pages_sel],
+        "comp_indptr": comp_indptr,
+        "opt_indptr": opt_indptr,
+        "comp_objects": model.comp_objects[comp_sel],
+        "comp_pages": np.repeat(
+            np.arange(n_pages, dtype=np.intp), comp_counts
+        ),
+        "opt_objects": model.opt_objects[opt_sel],
+        "opt_pages": np.repeat(np.arange(n_pages, dtype=np.intp), opt_counts),
+        "opt_probs": model.opt_probs[opt_sel],
+        "server_rate": model.server_rate[srvs],
+        "server_overhead": model.server_overhead[srvs],
+        "server_repo_rate": model.server_repo_rate[srvs],
+        "server_repo_overhead": model.server_repo_overhead[srvs],
+        "server_storage": model.server_storage[srvs],
+        "server_capacity": model.server_capacity[srvs],
+        "comp_entry_sizes": model.comp_entry_sizes[comp_sel],
+        "comp_sorted": comp_sorted,
+    }
+    sub = ColumnarModel.from_columns(columns, model.repository)
+    maps = {
+        "servers": srvs,
+        "pages": pages_sel,
+        "comp_entries": comp_sel,
+        "opt_entries": opt_sel,
+    }
+    return sub, maps

@@ -26,6 +26,8 @@ from repro.core.partition import partition_all
 from repro.core.policy import RepositoryReplicationPolicy
 from repro.core.shard import (
     InlineShardPool,
+    _Lru,
+    _model_digest,
     plan_shards,
     resolve_shards,
     run_sharded_policy,
@@ -209,10 +211,96 @@ class TestInvalidShardCounts:
         assert resolve_shards(None, n_servers=1) == 1
 
 
+class TestPlannerDeterminism:
+    def test_single_server_shards(self):
+        """``shards == n_servers``: every group is a singleton, ids
+        ascending, every server present exactly once."""
+        model = _model_with_idle_server()
+        groups = plan_shards(model, model.n_servers)
+        assert sorted(groups) == [(0,), (1,), (2,)]
+
+    def test_weight_ties_break_by_server_id(self):
+        """Equal-weight servers distribute by ascending id, so the plan
+        is a pure function of the model (no dict/hash order leaks)."""
+        servers = [_server(i) for i in range(4)]
+        objects = [ObjectSpec(k, 100) for k in range(2)]
+        # every server owns one page with one compulsory entry: all tied
+        pages = [_page(j, j, (0,)) for j in range(4)]
+        model = SystemModel(servers, RepositorySpec(), pages, objects)
+        assert plan_shards(model, 2) == ((0, 2), (1, 3))
+
+    def test_plan_stable_across_calls_and_equal_models(self):
+        """Re-planning the same (or an equal) model yields the identical
+        grouping — the property the worker-side digest cache and the
+        golden regressions both lean on."""
+        model = generate_workload(WorkloadParams.tiny(), seed=3)
+        clone = generate_workload(WorkloadParams.tiny(), seed=3)
+        for shards in (1, 2):
+            first = plan_shards(model, shards)
+            assert first == plan_shards(model, shards)
+            assert first == plan_shards(clone, shards)
+
+    def test_zero_entry_servers_spread_over_groups(self):
+        """Many pageless servers must not pile into one group (load ties
+        break by member count before group index)."""
+        servers = [_server(i) for i in range(5)]
+        objects = [ObjectSpec(0, 100)]
+        pages = [_page(0, 0, (0,))]  # only server 0 owns a page
+        model = SystemModel(servers, RepositorySpec(), pages, objects)
+        groups = plan_shards(model, 3)
+        assert sorted(i for g in groups for i in g) == [0, 1, 2, 3, 4]
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2, 2]  # idle servers spread, not stacked
+
+
+class TestWorkerModelLru:
+    def test_eviction_callback_fires_in_insertion_order(self):
+        evicted: list[tuple[str, int]] = []
+        lru = _Lru(2, lambda k, v: evicted.append((k, v)))
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh: "b" is now the LRU entry
+        lru.put("c", 3)
+        assert evicted == [("b", 2)]
+        assert len(lru) == 2
+        lru.clear()
+        assert evicted == [("b", 2), ("a", 1), ("c", 3)]
+        assert len(lru) == 0
+
+    def test_worker_cache_evicts_shm_arena_cleanly(self):
+        """An evicted (model, arena) pair must close its arena mapping;
+        the parent-owned segment itself stays alive."""
+        from repro.core.shard import _evict_worker_model
+        from repro.core.shm import ShmArena
+
+        owner = ShmArena.create({"col": np.arange(5)})
+        try:
+            mapping = ShmArena.attach(owner.handle)
+            lru = _Lru(1, _evict_worker_model)
+            lru.put("one", (object(), mapping))
+            lru.put("two", (object(), None))  # evicts "one" → closes arena
+            assert mapping._closed
+            # the owner's segment is untouched by the worker-side close
+            np.testing.assert_array_equal(owner.get("col"), np.arange(5))
+        finally:
+            owner.destroy()
+
+    def test_model_digest_is_content_addressed(self):
+        a = generate_workload(WorkloadParams.tiny(), seed=3)
+        b = generate_workload(WorkloadParams.tiny(), seed=3)
+        c = generate_workload(WorkloadParams.tiny(), seed=4)
+        assert _model_digest(a) == _model_digest(b)
+        assert _model_digest(a) != _model_digest(c)
+        # cached on the attribute, not recomputed
+        assert a._repro_model_digest == _model_digest(a)
+
+
 class TestRealProcessPool:
-    def test_subprocess_identity_small_scale(self):
-        """One real fork-and-pickle round trip: the default process pool
-        must reconcile to the same result as the batched kernel."""
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_subprocess_identity_small_scale(self, shm):
+        """One real fork round trip per transport: both the shm column
+        arena and the pickle fallback must reconcile to the batched
+        kernel's exact result."""
         model = generate_workload(WorkloadParams.small(), seed=11)
         ref = partition_all(model)
         m2 = clone_with_capacities(
@@ -221,9 +309,32 @@ class TestRealProcessPool:
         )
         batched = RepositoryReplicationPolicy().run(m2)
         try:
-            sharded = RepositoryReplicationPolicy(
-                kernel="sharded", shards=2
-            ).run(m2)
+            sharded = run_sharded_policy(m2, shards=2, shm=shm)
+        finally:
+            shutdown_shard_pool()
+        _assert_identical(sharded, batched)
+
+    def test_subprocess_offload_scatter_identity(self):
+        """Constrain the repository so OFF_LOADING runs: the per-round
+        absorptions scatter to real worker processes and the gathered
+        outcome must match the serial reference bit for bit."""
+        from repro.experiments.scaling import (
+            processing_capacities_for_fraction,
+            repo_capacity_for_fraction,
+        )
+
+        model = generate_workload(WorkloadParams.small(), seed=11)
+        ref = partition_all(model)
+        m2 = clone_with_capacities(
+            model,
+            storage=storage_capacities_for_fraction(model, ref, 0.6),
+            processing=processing_capacities_for_fraction(model, 0.7, ref),
+            repo_capacity=repo_capacity_for_fraction(ref, 0.3),
+        )
+        batched = RepositoryReplicationPolicy().run(m2)
+        assert "off-loading" in batched.phases_run
+        try:
+            sharded = run_sharded_policy(m2, shards=2, shm=True)
         finally:
             shutdown_shard_pool()
         _assert_identical(sharded, batched)

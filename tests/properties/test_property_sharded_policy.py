@@ -20,6 +20,15 @@ exactly what lets the *reconcile logic* be tested without paying for
 process forks.  (Real-subprocess identity is covered once, at fixed
 scale, by ``tests/core/test_shard_reconcile.py`` and the benchmark's
 identity assertion.)
+
+Two sub-contracts get their own differential properties on top of the
+end-to-end runs: the **shard-local context build** (PARTITION and
+optional marking over a :func:`~repro.core.context.EvalContext.for_servers`
+restriction must map back through the global entry maps to the masked
+full-model computation, for *any* server subset) and the
+**scatter/gather OFF_LOADING split** (``offload_repository`` driven by
+the process-parallel :class:`~repro.core.shard._ShardedScatter` must
+leave the allocation and outcome bit-identical to the serial default).
 """
 
 from __future__ import annotations
@@ -28,9 +37,22 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.constraints import repository_load
+from repro.core.context import EvalContext
+from repro.core.cost_model import CostModel
+from repro.core.fast_partition import (
+    optional_marks_batched,
+    partition_pages_batched,
+)
+from repro.core.offload import OffloadConfig, offload_repository
 from repro.core.partition import partition_all
 from repro.core.policy import PolicyResult, RepositoryReplicationPolicy
-from repro.core.shard import InlineShardPool, plan_shards
+from repro.core.shard import (
+    InlineShardPool,
+    _ShardedScatter,
+    _ShardOptions,
+    plan_shards,
+)
 from repro.experiments.scaling import (
     clone_with_capacities,
     processing_capacities_for_fraction,
@@ -144,3 +166,89 @@ def test_plan_shards_partitions_servers(model, data):
         assert len(g) >= 1
         assert list(g) == sorted(g)
     assert groups == plan_shards(model, shards)
+
+
+@given(system_models(max_servers=4, max_pages=10), st.data())
+@settings(max_examples=40, deadline=None)
+def test_shard_local_context_matches_masked_full(model, data):
+    """Shard-local context build: PARTITION and optional marking over a
+    ``for_servers`` restriction, mapped back through the context's
+    global entry maps, equal the full-model computation masked to the
+    subset's entries — for any non-empty server subset."""
+    servers = tuple(
+        sorted(
+            data.draw(
+                st.sets(
+                    st.integers(0, model.n_servers - 1), min_size=1
+                ),
+                label="server subset",
+            )
+        )
+    )
+    ctx = EvalContext.for_servers(model, servers)
+    sub = ctx.model
+
+    member = np.zeros(model.n_servers, dtype=bool)
+    member[list(servers)] = True
+    page_member = member[model.page_server]
+    comp_member = page_member[model.comp_pages]
+    opt_member = page_member[model.opt_pages]
+
+    assert sub.n_servers == len(servers)
+    assert sub.n_pages == int(page_member.sum())
+    np.testing.assert_array_equal(
+        ctx.global_comp_entries, np.flatnonzero(comp_member)
+    )
+    np.testing.assert_array_equal(
+        ctx.global_opt_entries, np.flatnonzero(opt_member)
+    )
+
+    full_marks, _, _ = partition_pages_batched(
+        model, page_ids=np.flatnonzero(page_member)
+    )
+    sub_marks, _, _ = partition_pages_batched(sub)
+    got = np.zeros(len(model.comp_objects), dtype=bool)
+    got[ctx.global_comp_entries[sub_marks]] = True
+    np.testing.assert_array_equal(got, full_marks)
+
+    full_opt = optional_marks_batched(model, "beneficial") & opt_member
+    sub_opt = optional_marks_batched(sub, "beneficial")
+    got_opt = np.zeros(len(model.opt_objects), dtype=bool)
+    got_opt[ctx.global_opt_entries[sub_opt]] = True
+    np.testing.assert_array_equal(got_opt, full_opt)
+
+
+@given(system_models(max_servers=4, max_pages=10), st.floats(0.05, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_parallel_scatter_matches_serial_offload(model, rfrac):
+    """Scatter/gather OFF_LOADING: ``offload_repository`` driven by the
+    process-parallel scatter (one single-server restricted absorption
+    per addressed server, deltas applied in plan order) must leave the
+    allocation and the outcome bit-identical to the serial default."""
+    serial_alloc = partition_all(model, optional_policy="none")
+    before = repository_load(serial_alloc)
+    if before <= 0:
+        return
+    capacity = max(rfrac * before, 1e-6)
+    cost = CostModel(model)
+    serial_out = offload_repository(
+        serial_alloc, cost, OffloadConfig(), capacity=capacity
+    )
+
+    par_alloc = partition_all(model, optional_policy="none")
+    opts = _ShardOptions(
+        alpha1=2.0, alpha2=1.0, optional_policy="none", record=False
+    )
+    scatter = _ShardedScatter(
+        InlineShardPool(), ("model", model), model, opts
+    )
+    par_out = offload_repository(
+        par_alloc, cost, OffloadConfig(), capacity=capacity, scatter=scatter
+    )
+
+    assert np.array_equal(serial_alloc.comp_local, par_alloc.comp_local)
+    assert np.array_equal(serial_alloc.opt_local, par_alloc.opt_local)
+    for i in range(model.n_servers):
+        assert serial_alloc.replicas[i] == par_alloc.replicas[i]
+    assert serial_out == par_out
+    par_alloc.check_invariants()
