@@ -175,6 +175,15 @@ def kernel_results(save_artifact, save_timings):
                 "batched_seconds": best["batched"],
                 "speedup": speedup,
             }
+            if phase == "offload":
+                # Negotiation depth next to the timings: the serial
+                # default runs through offload_repository's scatter
+                # seam (lifecycle hooks are a no-op without a sharded
+                # scatter), so rounds/messages drifting here would
+                # flag a protocol change before any golden does.
+                outcome = first["batched"][1]
+                results[wname]["offload_rounds"] = outcome.rounds
+                results[wname]["offload_messages"] = outcome.messages
             totals["scalar"] += best["scalar"]
             totals["batched"] += best["batched"]
             rows.append(

@@ -74,10 +74,16 @@ FORBIDDEN: dict[str, frozenset[str]] = {
 #: explaining the sanctioned alternative.
 MODULE_FORBIDDEN: dict[str, tuple[frozenset[str], str]] = {
     "core/shard.py": (
-        frozenset({"experiments"}),
+        frozenset(
+            {"experiments", "analysis", "cli", "network", "simulation"}
+        ),
         "the sharded kernel must take its worker pool by injection "
         "(ShardPool protocol) — pass experiments.executor."
-        "persistent_pool(n) in from above, never import it here",
+        "persistent_pool(n) in from above, never import it here — and "
+        "its delta-round wire helpers (_absorb_shard_batch, "
+        "_ShardedScatter, the resident-shard store) must stay below "
+        "experiments/cli/network so pool workers import nothing above "
+        "core when they unpickle a batch",
     ),
     "core/shm.py": (
         frozenset(

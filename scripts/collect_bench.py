@@ -57,8 +57,14 @@ def _headline(payload: dict) -> dict:
     return out
 
 
-def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
-    """Gather every ``BENCH_*.json`` under ``out_dir`` into one document."""
+def collect(out_dir: pathlib.Path = OUT_DIR, strict: bool = False) -> dict:
+    """Gather every ``BENCH_*.json`` under ``out_dir`` into one document.
+
+    ``strict`` turns a malformed timing file from a skip-with-warning
+    into a hard :class:`ValueError` — the ``--check`` CI mode uses it so
+    a truncated or hand-mangled bench record fails the gate instead of
+    silently dropping out of the trajectory.
+    """
     sources: list[str] = []
     scales: dict[str, dict] = {}
     for path in sorted(out_dir.glob("*/BENCH_*.json")):
@@ -67,7 +73,20 @@ def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
         try:
             payload = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
+            if strict:
+                raise ValueError(
+                    f"malformed bench record {path}: {exc}"
+                ) from exc
             print(f"collect_bench: skipping malformed {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        if not isinstance(payload, dict):
+            if strict:
+                raise ValueError(
+                    f"malformed bench record {path}: expected a JSON "
+                    f"object, got {type(payload).__name__}"
+                )
+            print(f"collect_bench: skipping malformed {path}: not an object",
                   file=sys.stderr)
             continue
         sources.append(str(path.relative_to(REPO_ROOT)))
@@ -99,8 +118,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    text = render(collect())
     if args.check:
+        try:
+            text = render(collect(strict=True))
+        except ValueError as exc:
+            print(f"collect_bench: {exc}", file=sys.stderr)
+            return 1
         current = args.out.read_text() if args.out.exists() else ""
         if current != text:
             print(
@@ -111,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"collect_bench: {args.out.name} is up to date")
         return 0
+    text = render(collect())
     args.out.write_text(text)
     n_benches = sum(len(v) for v in collect()["scales"].values())
     print(f"collect_bench: wrote {args.out} ({n_benches} bench entries)")

@@ -26,7 +26,10 @@ gate environment and not just on developer machines — followed by a
 ``REPRO_KERNEL=sharded REPRO_SHARDS=2`` — once with the default
 transport and once with ``REPRO_SHM=0`` — exercising both the
 shared-memory and the pickle-fallback fork → ship → reconcile paths end
-to end — and a
+to end — a **delta-rounds smoke** plus a **forced-resync smoke**: the
+off-loading scatter identity tests re-run with ``REPRO_SHM=0`` and with
+``REPRO_OFFLOAD_RESYNC_EVERY=1``, covering the worker-resident delta
+protocol's pickle transport and its epoch-mismatch recovery path — and a
 **dynamic smoke**: one small-scale CLI ``dynamic`` run with the
 ``incremental`` strategy, exercising the incremental re-replication
 engine (dirty-set detection, frequency-context adoption, localized
@@ -52,6 +55,18 @@ def main(argv: list[str]) -> int:
     lint = [sys.executable, str(REPO_ROOT / "scripts" / "check_layering.py")]
     print("layering check:", " ".join(lint))
     code = subprocess.call(lint, cwd=REPO_ROOT)
+    if code != 0:
+        return code
+    # Bench-record check next (also milliseconds): a stale or malformed
+    # BENCH_trajectory.json fails the gate before the test run, so bench
+    # refreshes can never be forgotten silently.
+    bench_check = [
+        sys.executable,
+        str(REPO_ROOT / "scripts" / "collect_bench.py"),
+        "--check",
+    ]
+    print("bench-record check:", " ".join(bench_check))
+    code = subprocess.call(bench_check, cwd=REPO_ROOT)
     if code != 0:
         return code
     if importlib.util.find_spec("pytest_cov") is None:
@@ -151,6 +166,42 @@ def main(argv: list[str]) -> int:
         "(REPRO_KERNEL=sharded REPRO_SHM=0)",
     )
     code = subprocess.call(shard_smoke, cwd=REPO_ROOT, env=shm_off_env)
+    if code != 0:
+        return code
+
+    # Delta-rounds smoke: the off-loading scatter identity tests with
+    # shared memory forced OFF, driving the worker-resident delta-round
+    # protocol (batched absorptions, epoch bookkeeping) through a real
+    # process pool over the pickle transport.
+    delta_smoke = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        "tests/core/test_shard_reconcile.py",
+        "-k",
+        "scatter or delta",
+    ]
+    delta_env = dict(env)
+    delta_env.update(REPRO_SHM="0")
+    print("delta-rounds smoke:", " ".join(delta_smoke), "(REPRO_SHM=0)")
+    code = subprocess.call(delta_smoke, cwd=REPO_ROOT, env=delta_env)
+    if code != 0:
+        return code
+
+    # Forced-resync smoke: the same scatter tests with a full epoch
+    # resync forced on every batch, proving the mismatch-recovery path
+    # (full state re-ship, frontier reads when shm is on) stays
+    # bit-identical — not just the steady-state fast path.
+    resync_env = dict(env)
+    resync_env.update(REPRO_OFFLOAD_RESYNC_EVERY="1")
+    print(
+        "forced-resync smoke:", " ".join(delta_smoke),
+        "(REPRO_OFFLOAD_RESYNC_EVERY=1)",
+    )
+    code = subprocess.call(delta_smoke, cwd=REPO_ROOT, env=resync_env)
     if code != 0:
         return code
 

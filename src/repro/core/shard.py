@@ -30,7 +30,25 @@ The sharded kernel exploits all three:
    and constraints over the merged state, and replays the
    OFF_LOADING rounds with the repository-side bookkeeping in-process
    while each round's per-server absorptions scatter to the pool
-   (:class:`_ShardedScatter` → :func:`_absorb_server`).
+   (:class:`_ShardedScatter` → :func:`_absorb_shard_batch`).
+
+OFF_LOADING rounds are **delta rounds** (DESIGN.md Appendix I): each
+worker keeps its shard's ``Allocation`` + shard-local ``EvalContext``
+*resident* between submissions, keyed by ``(session, shard)`` and
+validated by an exact-match round epoch.  The fan-out seeds the
+resident state for free (a shard's post-restoration allocation *is*
+the merged allocation restricted to that shard), so in steady state a
+round ships only the round's absorption requests down and the flipped
+``(server, object)`` marks back — O(round delta), not O(model).  All
+of a round's absorptions addressed to the same shard travel in **one
+batched submission**, routed to a pinned worker process by
+:class:`_AffinityPool.submit_to`.  An epoch mismatch (different pool,
+evicted state, forced ``REPRO_OFFLOAD_RESYNC_EVERY``) degrades to a
+full resync: the parent re-ships the shard's mark/replica state —
+through the parent-owned shared-memory **mark frontier** the workers
+attach read-only when shm is on, or as pickled arrays otherwise —
+and the round proceeds identically (bit-identity never depends on the
+fast path being taken).
 
 Bit-identity is the contract, not an aspiration: the merged allocation,
 objective, stats and phase list equal the ``"batched"`` kernel's exactly
@@ -68,6 +86,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import itertools
 import os
 import pickle
 import time
@@ -97,7 +116,13 @@ from repro.core.restoration import (
     restore_storage_capacity,
 )
 from repro.core.shm import ShmArena, resolve_shm
-from repro.core.types import MODEL_COLUMN_FIELDS, ColumnarModel, SystemModel
+from repro.core.types import (
+    MODEL_COLUMN_FIELDS,
+    ColumnarModel,
+    SystemModel,
+    pack_replicas,
+    unpack_replicas,
+)
 from repro.obs.manifest import WORKER_ENV_VAR
 from repro.obs.registry import MetricsRegistry, use_registry
 from repro.util.validation import env_positive_int
@@ -154,7 +179,7 @@ class InlineShardPool:
         return future
 
 
-_POOL: ProcessPoolExecutor | None = None
+_POOL: "_AffinityPool | None" = None
 _POOL_SIZE = 0
 
 
@@ -163,21 +188,61 @@ def _shard_worker_init() -> None:
     os.environ[WORKER_ENV_VAR] = str(os.getpid())
 
 
-def default_pool(workers: int) -> ProcessPoolExecutor:
+class _AffinityPool:
+    """``workers`` single-process executors with stable index routing.
+
+    Worker-resident shard state (DESIGN.md Appendix I) only pays off if
+    shard ``g``'s submissions keep landing on the same OS process — a
+    shared :class:`~concurrent.futures.ProcessPoolExecutor` routes to
+    whichever worker is free, which would turn every delta round into
+    an epoch-mismatch resync.  This pool pins routing instead:
+    :meth:`submit_to` sends a task to executor ``idx % workers``, so
+    the sharded driver maps shard → worker one-to-one.  Plain
+    :meth:`submit` (the :class:`ShardPool` protocol) round-robins.
+
+    Pools without ``submit_to`` still work everywhere it is used — the
+    driver falls back to ``submit`` and the epoch validation downgrades
+    misrouted batches to resyncs (correct, just slower).
+    """
+
+    def __init__(self, workers: int):
+        self._execs = tuple(
+            ProcessPoolExecutor(max_workers=1, initializer=_shard_worker_init)
+            for _ in range(workers)
+        )
+        self._rr = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._execs)
+
+    def submit(self, fn, /, *args, **kwargs) -> Any:
+        return self.submit_to(next(self._rr), fn, *args, **kwargs)
+
+    def submit_to(self, idx: int, fn, /, *args, **kwargs) -> Any:
+        """Schedule ``fn`` on the executor pinned to ``idx`` (mod size)."""
+        return self._execs[idx % len(self._execs)].submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        for ex in self._execs:
+            ex.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
+def default_pool(workers: int) -> _AffinityPool:
     """A persistent private pool of at least ``workers`` processes.
 
     Used when no pool is injected.  Persistent for the same reason the
     experiment executor's pool is: workers cache unpickled models by
     content digest, so back-to-back runs (benchmark repeats, golden
-    tests) skip the per-run model transfer cost.
+    tests) skip the per-run model transfer cost — and, since PR 9,
+    worker-resident shard state survives across a run's off-loading
+    rounds.  The pool is an :class:`_AffinityPool`, so shard → process
+    routing is stable.
     """
     global _POOL, _POOL_SIZE
     if _POOL is None or _POOL_SIZE < workers:
         if _POOL is not None:
             _POOL.shutdown(wait=True, cancel_futures=True)
-        _POOL = ProcessPoolExecutor(
-            max_workers=workers, initializer=_shard_worker_init
-        )
+        _POOL = _AffinityPool(workers)
         _POOL_SIZE = workers
     return _POOL
 
@@ -437,6 +502,10 @@ class _ShardOptions:
     optional_policy: str
     record: bool
     use_shm: bool = False
+    session: str | None = None
+    """Run-unique token keying worker-resident shard state.  ``None``
+    disables residency seeding (the state is then built lazily by the
+    first off-loading batch's resync)."""
 
 
 #: Result arrays eligible for the shared-memory return path.
@@ -519,7 +588,7 @@ class _ShardResult:
 
 def _shard_pipeline(
     model: SystemModel, server_ids: Sequence[int], opts: _ShardOptions
-) -> _ShardResult:
+) -> tuple[_ShardResult, EvalContext, CostModel, Allocation]:
     """PARTITION + per-server restorations for one group of servers.
 
     Runs on the **restricted model**: ``EvalContext.for_servers`` builds
@@ -535,6 +604,12 @@ def _shard_pipeline(
     non-violating server is a no-op, so gating on the local report
     yields the same allocation — and the parent ORs the per-shard flags
     to reconstruct the global phase list.
+
+    Returns the shippable :class:`_ShardResult` plus the live
+    ``(ctx, cost, alloc)`` triple so :func:`_run_shard` can seed the
+    worker-resident shard state: the final shard-restricted allocation
+    *is* the parent's merged allocation restricted to this shard at
+    off-loading start, so residency costs zero extra shipping.
     """
     t0 = time.perf_counter()
     ctx = EvalContext.for_servers(model, server_ids)
@@ -594,7 +669,7 @@ def _shard_pipeline(
 
     ge_c = ctx.global_comp_entries
     ge_o = ctx.global_opt_entries
-    return _ShardResult(
+    result = _ShardResult(
         server_ids=tuple(int(i) for i in server_ids),
         n_pages=int(sub.n_pages),
         n_entries=int(len(sub.comp_objects) + len(sub.opt_objects)),
@@ -611,132 +686,412 @@ def _shard_pipeline(
         phase_seconds=phase_seconds,
         seconds=time.perf_counter() - t0,
     )
+    return result, ctx, cost, alloc
 
 
 def _run_shard(
-    payload: tuple, server_ids: tuple[int, ...], opts: _ShardOptions
+    payload: tuple,
+    server_ids: tuple[int, ...],
+    opts: _ShardOptions,
+    shard_id: int = -1,
 ) -> _ShardResult:
     """Worker entry point: resolve the model, record into a private
-    registry when the parent is collecting, return the shard frontier."""
+    registry when the parent is collecting, return the shard frontier.
+
+    When the run carries a residency ``session`` (and a real
+    ``shard_id``), the pipeline's final context/cost/allocation are
+    parked in :data:`_RESIDENT_SHARDS` at epoch 0 so the off-loading
+    scatter's delta rounds start hot."""
     model = _model_from_payload(payload)
     registry = MetricsRegistry() if opts.record else None
     with use_registry(registry):
-        result = _shard_pipeline(model, server_ids, opts)
+        result, ctx, cost, alloc = _shard_pipeline(model, server_ids, opts)
     if registry is not None:
         result.snapshot = registry.snapshot()
+    if opts.session is not None and shard_id >= 0:
+        _RESIDENT_SHARDS.put(
+            (opts.session, int(shard_id)),
+            _ResidentShard(ctx=ctx, cost=cost, alloc=alloc, epoch=0),
+        )
     if opts.use_shm:
         result.ship_shm()
     return result
 
 
 # ----------------------------------------------------------------------
-# parallel off-loading scatter
+# parallel off-loading scatter: worker-resident delta rounds
 # ----------------------------------------------------------------------
-def _absorb_server(
+@dataclass
+class _ResidentShard:
+    """One shard's live state parked in a worker between round batches.
+
+    ``alloc`` mirrors the parent's merged allocation restricted to this
+    shard — exactly current as long as every batch the parent sent for
+    the shard was processed here, which the exact-match ``epoch``
+    validates (per-server absorptions only touch the absorbing server,
+    so nothing outside the shard can invalidate the mirror)."""
+
+    ctx: EvalContext
+    cost: CostModel
+    alloc: Allocation
+    epoch: int
+
+
+#: Worker-side resident shard states, keyed by ``(session, shard id)``.
+#: Bounded so abandoned sessions (benchmark repeats, failed runs) age
+#: out; an evicted entry just means the next batch for that shard
+#: resyncs.  No eviction callback — the values are plain heap state.
+_RESIDENT_SHARDS: _Lru = _Lru(16)
+
+_SESSION_SEQ = itertools.count()
+
+
+def _absorb_shard_batch(
     payload: tuple,
     opts: _ShardOptions,
-    server_id: int,
-    target: float,
-    allow_new_replicas: bool,
+    session: str,
+    shard_id: int,
+    server_ids: tuple[int, ...],
+    epoch: int,
+    requests: list[tuple[int, float, bool]],
     allow_swap: bool,
     kernel: str,
-    comp_marks: np.ndarray,
-    opt_marks: np.ndarray,
-    replica_objs: np.ndarray,
+    sync: tuple | None,
 ) -> dict:
-    """Score and apply one server's absorption on its restricted model.
+    """Absorb one round's requests for one shard on its resident state.
 
-    The worker receives the server's current mark slices (ascending
-    global entry order — exactly the single-server restricted model's
-    entry order) and replica set, replays
-    :func:`~repro.core.offload.absorb_extra_workload` on a one-server
-    :class:`~repro.core.context.EvalContext`, and returns the mark
-    *deltas* in global entry ids plus the final replica set.  Per-server
-    decomposability (see ``absorb_round_serial``'s contract) makes this
-    bit-identical to absorbing in the parent.
+    The delta-round worker half (DESIGN.md Appendix I).  ``requests``
+    holds every ``(global_server_id, target, allow_new)`` of this
+    round addressed to servers in ``server_ids``; all of them replay
+    :func:`~repro.core.offload.absorb_extra_workload` on the shard's
+    resident allocation in one submission — one pickle/shm hop, one
+    context lookup.  Per-server decomposability (the
+    ``absorb_round_serial`` contract) makes any batch grouping
+    bit-identical to the serial reference.
+
+    Epoch protocol: the fast path (``sync is None``) requires the
+    resident state to exist **and** match ``epoch`` exactly — anything
+    else returns ``{"resync": True}`` and the parent resubmits with a
+    ``sync`` payload.  ``sync`` is either ``("state", comp_marks,
+    opt_marks, replica_objects, replica_indptr)`` — the shard's mark
+    slices in ascending global entry order plus its replica CSR — or
+    ``("frontier", handle, replica_objects, replica_indptr)``, where
+    marks are read in place from the parent-owned shared-memory mark
+    frontier instead of travelling in the submission.  Either way the
+    rebuilt state is bit-identical to the lost mirror, so a resync
+    changes transport cost only, never results.
+
+    Returns per-request mark/replica deltas in global ids, concatenated
+    in request order, plus the advanced epoch.
     """
-    model = _model_from_payload(payload)
-    ctx = EvalContext.for_servers(model, (int(server_id),))
-    sub = ctx.model
-    comp0 = np.asarray(comp_marks, dtype=bool)
-    opt0 = np.asarray(opt_marks, dtype=bool)
-    alloc = Allocation(
-        sub, comp0, opt0, replicas=[set(int(k) for k in replica_objs)]
-    )
-    cost = CostModel(sub, opts.alpha1, opts.alpha2)
-    registry = MetricsRegistry() if opts.record else None
-    with use_registry(registry):
-        achieved = absorb_extra_workload(
-            alloc,
-            cost,
-            0,
-            float(target),
-            allow_new_replicas=bool(allow_new_replicas),
-            allow_swap=bool(allow_swap),
-            kernel=kernel,
+    key = (session, int(shard_id))
+    res: _ResidentShard | None = _RESIDENT_SHARDS.get(key)
+    frontier_read = False
+    if sync is None:
+        if res is None or res.epoch != int(epoch):
+            return {"resync": True}
+    else:
+        model = _model_from_payload(payload)
+        ctx = EvalContext.for_servers(model, server_ids)
+        sub = ctx.model
+        if sync[0] == "frontier":
+            _, handle, rep_objs, rep_indptr = sync
+            arena = ShmArena.attach(handle, owner=False)
+            # fancy indexing copies, so no view survives the close
+            comp0 = arena.get("comp_local")[ctx.global_comp_entries]
+            opt0 = arena.get("opt_local")[ctx.global_opt_entries]
+            arena.close()
+            frontier_read = True
+        else:
+            _, comp_state, opt_state, rep_objs, rep_indptr = sync
+            comp0 = np.array(comp_state, dtype=bool)
+            opt0 = np.array(opt_state, dtype=bool)
+        res = _ResidentShard(
+            ctx=ctx,
+            cost=CostModel(sub, opts.alpha1, opts.alpha2),
+            alloc=Allocation(
+                sub, comp0, opt0,
+                replicas=unpack_replicas(rep_objs, rep_indptr),
+            ),
+            epoch=int(epoch),
         )
+        _RESIDENT_SHARDS.put(key, res)
+
+    ctx, cost, alloc = res.ctx, res.cost, res.alloc
+    local_of = {int(g): li for li, g in enumerate(server_ids)}
     ge_c = ctx.global_comp_entries
     ge_o = ctx.global_opt_entries
-    replicas = alloc.replicas[0]
+    registry = MetricsRegistry() if opts.record else None
+    out: list[dict] = []
+    with use_registry(registry):
+        for gi, target, allow_new in requests:
+            li = local_of[int(gi)]
+            comp_e = ctx.comp_entries_of(li)
+            opt_e = ctx.opt_entries_of(li)
+            comp_before = alloc.comp_local[comp_e]  # fancy-index copies
+            opt_before = alloc.opt_local[opt_e]
+            reps_before = set(alloc.replicas[li])
+            achieved = absorb_extra_workload(
+                alloc,
+                cost,
+                li,
+                float(target),
+                allow_new_replicas=bool(allow_new),
+                allow_swap=bool(allow_swap),
+                kernel=kernel,
+            )
+            comp_after = alloc.comp_local[comp_e]
+            opt_after = alloc.opt_local[opt_e]
+            added = sorted(alloc.replicas[li] - reps_before)
+            removed = sorted(reps_before - alloc.replicas[li])
+            out.append(
+                {
+                    "server": int(gi),
+                    "achieved": float(achieved),
+                    "comp_set": ge_c[comp_e[comp_after & ~comp_before]],
+                    "comp_clear": ge_c[comp_e[comp_before & ~comp_after]],
+                    "opt_set": ge_o[opt_e[opt_after & ~opt_before]],
+                    "opt_clear": ge_o[opt_e[opt_before & ~opt_after]],
+                    "replica_add": np.fromiter(
+                        added, dtype=np.int64, count=len(added)
+                    ),
+                    "replica_remove": np.fromiter(
+                        removed, dtype=np.int64, count=len(removed)
+                    ),
+                }
+            )
+    res.epoch = int(epoch) + 1
     return {
-        "achieved": float(achieved),
-        "comp_set": ge_c[alloc.comp_local & ~comp0],
-        "comp_clear": ge_c[comp0 & ~alloc.comp_local],
-        "opt_set": ge_o[alloc.opt_local & ~opt0],
-        "opt_clear": ge_o[opt0 & ~alloc.opt_local],
-        "replicas": np.fromiter(
-            sorted(replicas), dtype=np.int64, count=len(replicas)
-        ),
+        "epoch": res.epoch,
+        "frontier_read": frontier_read,
+        "results": out,
         "snapshot": registry.snapshot() if registry is not None else None,
     }
 
 
-def _entries_by_server(
-    entry_server: np.ndarray, n_servers: int
+def _entries_by_group(
+    entry_group: np.ndarray, n_groups: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Stable ``(order, bounds)`` grouping entry ids by owning server.
+    """Stable ``(order, bounds)`` grouping entry ids by owning group.
 
-    ``order[bounds[i]:bounds[i+1]]`` is server ``i``'s flat entry ids in
+    ``order[bounds[g]:bounds[g+1]]`` is group ``g``'s flat entry ids in
     ascending order — the same order ``restrict_to_servers`` selects
-    them, which is what keeps the scatter's mark slices aligned with the
-    worker's single-server context.
-    """
-    order = np.argsort(entry_server, kind="stable")
-    bounds = np.searchsorted(entry_server[order], np.arange(n_servers + 1))
+    them, which is what keeps a sync payload's mark slices aligned with
+    the worker's shard-restricted context."""
+    order = np.argsort(entry_group, kind="stable")
+    bounds = np.searchsorted(entry_group[order], np.arange(n_groups + 1))
     return order, bounds
+
+
+def _delta_nbytes(r: dict) -> float:
+    """Actual array bytes one request's result delta ships upward."""
+    return float(
+        r["comp_set"].nbytes
+        + r["comp_clear"].nbytes
+        + r["opt_set"].nbytes
+        + r["opt_clear"].nbytes
+        + r["replica_add"].nbytes
+        + r["replica_remove"].nbytes
+    )
 
 
 class _ShardedScatter:
     """Process-parallel absorption scatter for ``offload_repository``.
 
     Satisfies the :func:`~repro.core.offload.absorb_round_serial`
-    contract: every round, each addressed server's absorption runs in a
-    pool worker against a single-server restricted context
-    (:func:`_absorb_server`); the parent applies the returned deltas in
-    **plan order**, so the mutation sequence the order-sensitive gather
-    observes matches the serial reference exactly.
+    contract — and its ``begin``/``finish`` lifecycle hooks — while
+    running each round as **delta rounds over worker-resident shard
+    state**: requests group per shard into one
+    :func:`_absorb_shard_batch` submission (routed to the shard's
+    pinned worker via ``pool.submit_to`` when the pool has it), workers
+    validate the round epoch and ship back only the flipped marks, and
+    the parent applies the returned deltas in **plan order**, so the
+    mutation sequence the order-sensitive gather observes matches the
+    serial reference exactly.
+
+    Parameters
+    ----------
+    groups:
+        The shard plan (ascending server ids per group, together
+        covering every server).  Defaults to one server per shard —
+        the standalone configuration the property harness drives.
+    sync_mode:
+        ``"delta"`` (resident fast path, the default) or ``"full"``
+        (ship the full shard state with every batch — the PR-8-shaped
+        baseline the delta/full byte accounting is measured against).
+    resync_every:
+        Force a full sync on every Nth batch per shard (defaults from
+        ``REPRO_OFFLOAD_RESYNC_EVERY``); exercises the epoch-mismatch
+        recovery path deterministically.
+
+    Transport accounting: :attr:`rounds_bytes` records, per round,
+    the actual bytes shipped (``delta_bytes``) next to what the
+    per-request full-state protocol would have shipped
+    (``full_bytes``), and ``finish`` publishes the
+    ``shard.N.delta_bytes`` / ``shard.N.resyncs`` /
+    ``offload.batched_submissions`` / ``shm.frontier_reads`` gauges.
     """
 
     def __init__(
-        self, pool: ShardPool, payload: tuple, model: SystemModel,
+        self,
+        pool: ShardPool,
+        payload: tuple,
+        model: SystemModel,
         opts: _ShardOptions,
+        *,
+        groups: tuple[tuple[int, ...], ...] | None = None,
+        sync_mode: str = "delta",
+        resync_every: int | None = None,
     ):
+        if sync_mode not in ("delta", "full"):
+            raise ValueError(
+                f'sync_mode must be "delta" or "full", got {sync_mode!r}'
+            )
         self._pool = pool
         self._payload = payload
         self._opts = opts
-        ctx = EvalContext.for_model(model)
-        self._comp_order, self._comp_bounds = _entries_by_server(
-            ctx.comp_server, model.n_servers
+        if groups is None:
+            groups = tuple((i,) for i in range(model.n_servers))
+        self._groups = tuple(tuple(int(i) for i in g) for g in groups)
+        self._sync_mode = sync_mode
+        if resync_every is None:
+            resync_every = env_positive_int(
+                "REPRO_OFFLOAD_RESYNC_EVERY", default=None
+            )
+        self._resync_every = resync_every
+        #: session keying worker-resident state; when the driver seeded
+        #: residency through the fan-out this matches ``opts.session``
+        #: and shards start synced at epoch 0.
+        self._session = (
+            opts.session
+            if opts.session is not None
+            else f"scatter-{os.getpid()}-{next(_SESSION_SEQ)}"
         )
-        self._opt_order, self._opt_bounds = _entries_by_server(
-            ctx.opt_server, model.n_servers
+        self._ctx = EvalContext.for_model(model)
+        shard_of = np.full(model.n_servers, -1, dtype=np.intp)
+        for g, grp in enumerate(self._groups):
+            shard_of[list(grp)] = g
+        self._shard_of = shard_of
+        self._comp_order, self._comp_bounds = _entries_by_group(
+            shard_of[self._ctx.comp_server], len(self._groups)
         )
+        self._opt_order, self._opt_bounds = _entries_by_group(
+            shard_of[self._ctx.opt_server], len(self._groups)
+        )
+        n = len(self._groups)
+        self._epochs = [0] * n
+        self._synced = [opts.session is not None] * n
+        self._batches = [0] * n
+        self._delta_bytes = [0.0] * n
+        self._resyncs = [0] * n
+        self._submissions = 0
+        self._frontier_reads = 0
+        self._total_delta = 0.0
+        self._total_full = 0.0
+        #: per-round ``{"delta_bytes", "full_bytes"}`` records (the
+        #: end-to-end bench persists these into BENCH json).
+        self.rounds_bytes: list[dict[str, float]] = []
+        self._frontier: ShmArena | None = None
+        self._f_comp: np.ndarray | None = None
+        self._f_opt: np.ndarray | None = None
+        self._began = False
+        self._finished = False
 
-    def _server_entries(self, i: int) -> tuple[np.ndarray, np.ndarray]:
-        comp = self._comp_order[self._comp_bounds[i] : self._comp_bounds[i + 1]]
-        opt = self._opt_order[self._opt_bounds[i] : self._opt_bounds[i + 1]]
-        return comp, opt
+    # -- lifecycle (driven by ``offload_repository``) -------------------
+    def begin(self, alloc: Allocation) -> None:
+        """Create the shm mark frontier over the negotiation's marks."""
+        if self._began:
+            return
+        self._began = True
+        if self._opts.use_shm:
+            self._frontier = ShmArena.create(
+                {"comp_local": alloc.comp_local, "opt_local": alloc.opt_local},
+                owner=True,
+            )
+            self._f_comp = self._frontier.get("comp_local", writeable=True)
+            self._f_opt = self._frontier.get("opt_local", writeable=True)
 
+    def finish(self) -> None:
+        """Destroy the frontier and publish gauges (idempotent; runs on
+        every ``offload_repository`` exit path, exceptions included)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._f_comp = None
+        self._f_opt = None
+        if self._frontier is not None:
+            self._frontier.destroy()
+            self._frontier = None
+        reg = obs.get_registry()
+        if reg.enabled:
+            for g in range(len(self._groups)):
+                reg.gauge(f"shard.{g}.delta_bytes", self._delta_bytes[g])
+                reg.gauge(f"shard.{g}.resyncs", float(self._resyncs[g]))
+            reg.gauge("offload.batched_submissions", float(self._submissions))
+            reg.gauge("shm.frontier_reads", float(self._frontier_reads))
+            reg.gauge("offload.delta_bytes", self._total_delta)
+            reg.gauge("offload.full_bytes", self._total_full)
+
+    # -- wire helpers ---------------------------------------------------
+    def _needs_sync(self, g: int) -> bool:
+        if self._sync_mode == "full" or not self._synced[g]:
+            return True
+        every = self._resync_every
+        return every is not None and self._batches[g] % every == 0
+
+    def _sync_payload(self, g: int, alloc: Allocation) -> tuple[tuple, float]:
+        """The shard's full current state, plus its shipped byte count."""
+        grp = self._groups[g]
+        rep_objs, rep_indptr = pack_replicas([alloc.replicas[i] for i in grp])
+        if self._frontier is not None:
+            # marks ride the shared frontier — only the CSR travels
+            payload = ("frontier", self._frontier.handle, rep_objs, rep_indptr)
+            nbytes = float(rep_objs.nbytes + rep_indptr.nbytes)
+        else:
+            comp_idx = self._comp_order[
+                self._comp_bounds[g] : self._comp_bounds[g + 1]
+            ]
+            opt_idx = self._opt_order[
+                self._opt_bounds[g] : self._opt_bounds[g + 1]
+            ]
+            comp_state = alloc.comp_local[comp_idx]
+            opt_state = alloc.opt_local[opt_idx]
+            payload = ("state", comp_state, opt_state, rep_objs, rep_indptr)
+            nbytes = float(
+                comp_state.nbytes
+                + opt_state.nbytes
+                + rep_objs.nbytes
+                + rep_indptr.nbytes
+            )
+        return payload, nbytes
+
+    def _submit(
+        self,
+        g: int,
+        reqs: list[tuple[int, float, bool]],
+        allow_swap: bool,
+        kernel: str,
+        sync: tuple | None,
+    ):
+        self._submissions += 1
+        args = (
+            self._payload,
+            self._opts,
+            self._session,
+            int(g),
+            self._groups[g],
+            int(self._epochs[g]),
+            reqs,
+            bool(allow_swap),
+            str(kernel),
+            sync,
+        )
+        submit_to = getattr(self._pool, "submit_to", None)
+        if submit_to is not None:
+            return submit_to(g, _absorb_shard_batch, *args)
+        return self._pool.submit(_absorb_shard_batch, *args)
+
+    # -- the round ------------------------------------------------------
     def __call__(
         self,
         alloc: Allocation,
@@ -746,49 +1101,129 @@ class _ShardedScatter:
         allow_swap: bool = True,
         kernel: str = "batched",
     ) -> dict[int, float]:
-        jobs = []
+        self.begin(alloc)  # no-op when offload_repository already did
+        by_shard: dict[int, list[tuple[int, float, bool]]] = {}
         for i, req, allow_new in requests:
-            comp_e, opt_e = self._server_entries(i)
-            jobs.append(
-                (
-                    i,
-                    self._pool.submit(
-                        _absorb_server,
-                        self._payload,
-                        self._opts,
-                        int(i),
-                        float(req),
-                        bool(allow_new),
-                        bool(allow_swap),
-                        kernel,
-                        alloc.comp_local[comp_e],
-                        alloc.opt_local[opt_e],
-                        np.fromiter(
-                            sorted(alloc.replicas[i]),
-                            dtype=np.int64,
-                            count=len(alloc.replicas[i]),
-                        ),
-                    ),
-                )
+            g = int(self._shard_of[i])
+            by_shard.setdefault(g, []).append(
+                (int(i), float(req), bool(allow_new))
             )
+        round_delta = 0.0
+        round_full = 0.0
+        jobs = []
+        for g, reqs in sorted(by_shard.items()):
+            sync = None
+            if self._needs_sync(g):
+                sync, sent = self._sync_payload(g, alloc)
+                self._resyncs[g] += 1
+                self._delta_bytes[g] += sent
+                round_delta += sent
+            jobs.append((g, self._submit(g, reqs, allow_swap, kernel, sync)))
+
         reg = obs.get_registry()
-        achieved: dict[int, float] = {}
-        for i, future in jobs:
+        by_server: dict[int, dict] = {}
+        for g, future in jobs:
             res = future.result()
-            alloc.set_comp_local_bulk(res["comp_set"], True)
-            alloc.set_comp_local_bulk(res["comp_clear"], False)
-            alloc.set_opt_local_bulk(res["opt_set"], True)
-            alloc.set_opt_local_bulk(res["opt_clear"], False)
-            alloc.replicas[i] = set(res["replicas"].tolist())
-            achieved[i] = res["achieved"]
+            if res.get("resync"):
+                # stale/missing resident state — re-ship the shard
+                sync, sent = self._sync_payload(g, alloc)
+                self._resyncs[g] += 1
+                self._delta_bytes[g] += sent
+                round_delta += sent
+                res = self._submit(
+                    g, by_shard[g], allow_swap, kernel, sync
+                ).result()
+                if res.get("resync"):  # pragma: no cover - protocol bug
+                    raise RuntimeError(
+                        f"shard {g} refused a sync payload (epoch "
+                        f"{self._epochs[g]})"
+                    )
+            self._epochs[g] = int(res["epoch"])
+            self._synced[g] = True
+            self._batches[g] += 1
+            self._frontier_reads += int(bool(res["frontier_read"]))
+            for r in res["results"]:
+                by_server[r["server"]] = r
+                nb = _delta_nbytes(r)
+                self._delta_bytes[g] += nb
+                round_delta += nb
             if res["snapshot"] is not None and reg.enabled:
                 reg.merge_snapshot(res["snapshot"])
+
+        # Apply in plan order — the serial reference's mutation sequence.
+        achieved: dict[int, float] = {}
+        for i, req, allow_new in requests:
+            r = by_server[i]
+            reps_before = len(alloc.replicas[i])
+            alloc.apply_server_delta(
+                i,
+                r["comp_set"],
+                r["comp_clear"],
+                r["opt_set"],
+                r["opt_clear"],
+                r["replica_add"],
+                r["replica_remove"],
+            )
+            if self._f_comp is not None:
+                self._f_comp[r["comp_set"]] = True
+                self._f_comp[r["comp_clear"]] = False
+                self._f_opt[r["opt_set"]] = True
+                self._f_opt[r["opt_clear"]] = False
+            achieved[i] = r["achieved"]
+            # What the pre-resident protocol would have shipped for this
+            # request: full mark slices + replicas down, mark deltas +
+            # full replicas back.
+            mark_delta = (
+                _delta_nbytes(r)
+                - r["replica_add"].nbytes
+                - r["replica_remove"].nbytes
+            )
+            round_full += float(
+                len(self._ctx.comp_entries_of(i))
+                + len(self._ctx.opt_entries_of(i))
+                + 8 * reps_before
+                + mark_delta
+                + 8 * len(alloc.replicas[i])
+            )
+        self._total_delta += round_delta
+        self._total_full += round_full
+        self.rounds_bytes.append(
+            {"delta_bytes": round_delta, "full_bytes": round_full}
+        )
         return achieved
 
 
 # ----------------------------------------------------------------------
 # parent side: fan out, reconcile, replay the global phases
 # ----------------------------------------------------------------------
+def _gather_shard_results(futures: list) -> list[_ShardResult]:
+    """Collect every fan-out result, releasing arenas if any shard failed.
+
+    Waits on *all* futures even after a failure: a successful shard may
+    have created a worker-side result arena whose ownership only
+    transfers to the parent on load, so bailing out at the first
+    exception would strand ``/dev/shm`` segments for the pool's
+    lifetime.  On failure, every successfully returned result is
+    adopted-and-destroyed before the first exception re-raises.
+    """
+    results: list[_ShardResult] = []
+    first_exc: BaseException | None = None
+    for f in futures:
+        try:
+            results.append(f.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if first_exc is None:
+                first_exc = exc
+    if first_exc is not None:
+        for r in results:
+            arena = r.load_shm()
+            r.release_arrays()
+            if arena is not None:
+                arena.destroy()
+        raise first_exc
+    return results
+
+
 def run_sharded_policy(
     model: SystemModel,
     alpha1: float = 2.0,
@@ -851,17 +1286,28 @@ def run_sharded_policy(
         optional_policy=optional_policy,
         record=reg.enabled,
         use_shm=use_shm,
+        session=f"run-{os.getpid()}-{next(_SESSION_SEQ)}",
     )
 
+    submit_to = getattr(pool, "submit_to", None)
     spans: dict[str, obs.SpanRecord] = {}
     with reg.span("policy"):
         with reg.span("shard-fanout") as fan:
             spans["shard-fanout"] = fan
-            futures = [
-                pool.submit(_run_shard, payload, group, opts)
-                for group in groups
-            ]
-            results = [f.result() for f in futures]
+            # Pin shard g to worker g when the pool supports routing, so
+            # the residency each fan-out task seeds is the same state
+            # the off-loading delta rounds will find.
+            if submit_to is not None:
+                futures = [
+                    submit_to(g, _run_shard, payload, group, opts, g)
+                    for g, group in enumerate(groups)
+                ]
+            else:
+                futures = [
+                    pool.submit(_run_shard, payload, group, opts, g)
+                    for g, group in enumerate(groups)
+                ]
+            results = _gather_shard_results(futures)
 
         ne_c = len(model.comp_objects)
         ne_o = len(model.opt_objects)
@@ -921,7 +1367,9 @@ def run_sharded_policy(
         # to the pool.
         offload_outcome: OffloadOutcome | None = None
         if not report.repo_ok:
-            scatter = _ShardedScatter(pool, payload, model, opts)
+            scatter = _ShardedScatter(
+                pool, payload, model, opts, groups=groups
+            )
             with reg.span("off-loading") as sp:
                 spans["off-loading"] = sp
                 offload_outcome = offload_repository(
@@ -930,6 +1378,7 @@ def run_sharded_policy(
                     offload_config or OffloadConfig(),
                     scatter=scatter,
                 )
+            offload_outcome.round_bytes = list(scatter.rounds_bytes)
             phases.append("off-loading")
             report = evaluate_constraints(alloc)
 

@@ -229,6 +229,29 @@ class ShmArena:
         """All packed arrays as views, keyed by name."""
         return {name: self.get(name, writeable) for name in self._layout}
 
+    def put(self, name: str, values: np.ndarray) -> None:
+        """Overwrite one packed array in place (shape/dtype must match).
+
+        This is the parent's write half of the mark-frontier protocol
+        (DESIGN.md Appendix I): the owner updates the shared copy
+        between rounds while workers hold read-only attachments, so a
+        frontier resync ships only the segment *handle*.  No
+        synchronisation is provided — callers must not write while a
+        reader is mid-read (the sharded scatter writes strictly between
+        round submissions).
+        """
+        offset, dtype, shape = self._layout[name]
+        arr = np.asarray(values)
+        if arr.shape != tuple(shape) or arr.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"put({name!r}): expected {shape} {dtype}, "
+                f"got {arr.shape} {arr.dtype.str}"
+            )
+        dst = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset
+        )
+        dst[...] = arr
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

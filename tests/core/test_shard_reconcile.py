@@ -12,27 +12,46 @@ sharded kernel must survive:
 * invalid shard counts (``shards > n_servers``, non-positive) raising
   validated errors,
 * one **real subprocess** identity run, so the pickle → worker →
-  reconcile path is covered outside the inline pool.
+  reconcile path is covered outside the inline pool,
+* the **delta-round scatter** (worker-resident shard state, batched
+  absorptions, epoch/resync protocol, shm mark frontier) driven
+  deterministically — steady-state batching, forced resyncs, the
+  full-state baseline mode, and frontier lifecycle,
+* **fan-out failure** cleanup: a dying shard must not strand the
+  surviving shards' ``/dev/shm`` result segments.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import pathlib
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
 
+from repro.core.constraints import repository_load
+from repro.core.cost_model import CostModel
+from repro.core.offload import OffloadConfig, offload_repository
 from repro.core.partition import partition_all
 from repro.core.policy import RepositoryReplicationPolicy
 from repro.core.shard import (
     InlineShardPool,
+    _gather_shard_results,
     _Lru,
     _model_digest,
+    _run_shard,
+    _shard_pipeline,
+    _ShardedScatter,
+    _ShardOptions,
+    default_pool,
     plan_shards,
     resolve_shards,
     run_sharded_policy,
     shutdown_shard_pool,
 )
+from repro.core.shm import ShmArena, shm_available
 from repro.core.types import (
     ObjectSpec,
     PageSpec,
@@ -295,6 +314,23 @@ class TestWorkerModelLru:
         assert a._repro_model_digest == _model_digest(a)
 
 
+def _offload_constrained_model():
+    """A small model whose constrained clone runs all four phases."""
+    from repro.experiments.scaling import (
+        processing_capacities_for_fraction,
+        repo_capacity_for_fraction,
+    )
+
+    model = generate_workload(WorkloadParams.small(), seed=11)
+    ref = partition_all(model)
+    return clone_with_capacities(
+        model,
+        storage=storage_capacities_for_fraction(model, ref, 0.6),
+        processing=processing_capacities_for_fraction(model, 0.7, ref),
+        repo_capacity=repo_capacity_for_fraction(ref, 0.3),
+    )
+
+
 class TestRealProcessPool:
     @pytest.mark.parametrize("shm", [True, False])
     def test_subprocess_identity_small_scale(self, shm):
@@ -316,21 +352,10 @@ class TestRealProcessPool:
 
     def test_subprocess_offload_scatter_identity(self):
         """Constrain the repository so OFF_LOADING runs: the per-round
-        absorptions scatter to real worker processes and the gathered
-        outcome must match the serial reference bit for bit."""
-        from repro.experiments.scaling import (
-            processing_capacities_for_fraction,
-            repo_capacity_for_fraction,
-        )
-
-        model = generate_workload(WorkloadParams.small(), seed=11)
-        ref = partition_all(model)
-        m2 = clone_with_capacities(
-            model,
-            storage=storage_capacities_for_fraction(model, ref, 0.6),
-            processing=processing_capacities_for_fraction(model, 0.7, ref),
-            repo_capacity=repo_capacity_for_fraction(ref, 0.3),
-        )
+        absorptions scatter to real worker processes (delta rounds over
+        worker-resident state, residency seeded by the fan-out) and the
+        gathered outcome must match the serial reference bit for bit."""
+        m2 = _offload_constrained_model()
         batched = RepositoryReplicationPolicy().run(m2)
         assert "off-loading" in batched.phases_run
         try:
@@ -338,3 +363,214 @@ class TestRealProcessPool:
         finally:
             shutdown_shard_pool()
         _assert_identical(sharded, batched)
+
+    def test_subprocess_delta_rounds_forced_resync_identity(self, monkeypatch):
+        """``REPRO_OFFLOAD_RESYNC_EVERY=2`` interleaves resident fast
+        paths with full epoch resyncs on a real pool — the recovery
+        path must be bit-identical, not just the steady state."""
+        monkeypatch.setenv("REPRO_OFFLOAD_RESYNC_EVERY", "2")
+        m2 = _offload_constrained_model()
+        batched = RepositoryReplicationPolicy().run(m2)
+        assert "off-loading" in batched.phases_run
+        try:
+            sharded = run_sharded_policy(m2, shards=2, shm=True)
+        finally:
+            shutdown_shard_pool()
+        _assert_identical(sharded, batched)
+
+
+# ----------------------------------------------------------------------
+# delta-round scatter: batching, epochs, resyncs, frontier lifecycle
+# ----------------------------------------------------------------------
+def _tiny_offload_case(seed: int = 7):
+    """A tiny model plus a repository capacity that forces off-loading."""
+    model = generate_workload(WorkloadParams.tiny(), seed=seed)
+    base = partition_all(model, optional_policy="none")
+    before = repository_load(base)
+    assert before > 0, "seed must produce repository load to off-load"
+    return model, max(0.3 * before, 1e-6)
+
+
+def _scatter_offload_arms(model, capacity, opts=None, **scatter_kwargs):
+    """Serial vs scatter-driven OFF_LOADING; asserts identity, returns
+    the scatter so callers can inspect its protocol counters."""
+    cost = CostModel(model)
+    serial_alloc = partition_all(model, optional_policy="none")
+    serial_out = offload_repository(
+        serial_alloc, cost, OffloadConfig(), capacity=capacity
+    )
+    if opts is None:
+        opts = _ShardOptions(
+            alpha1=2.0, alpha2=1.0, optional_policy="none", record=False
+        )
+    par_alloc = partition_all(model, optional_policy="none")
+    scatter = _ShardedScatter(
+        InlineShardPool(), ("model", model), model, opts, **scatter_kwargs
+    )
+    par_out = offload_repository(
+        par_alloc, cost, OffloadConfig(), capacity=capacity, scatter=scatter
+    )
+    assert np.array_equal(serial_alloc.comp_local, par_alloc.comp_local)
+    assert np.array_equal(serial_alloc.opt_local, par_alloc.opt_local)
+    for i in range(model.n_servers):
+        assert serial_alloc.replicas[i] == par_alloc.replicas[i]
+    assert serial_out == par_out
+    par_alloc.check_invariants()
+    return scatter
+
+
+class TestDeltaRoundScatter:
+    def test_delta_scatter_one_submission_per_shard_per_round(
+        self, monkeypatch
+    ):
+        """Steady state: each shard syncs exactly once (its first batch,
+        lazily — no fan-out seeded residency here), then rides the
+        resident fast path; submissions equal processed batches (no
+        hidden two-phase resubmits)."""
+        monkeypatch.delenv("REPRO_OFFLOAD_RESYNC_EVERY", raising=False)
+        model, capacity = _tiny_offload_case()
+        groups = plan_shards(model, min(2, model.n_servers))
+        scatter = _scatter_offload_arms(model, capacity, groups=groups)
+        assert scatter._submissions == sum(scatter._batches)
+        assert len(scatter.rounds_bytes) >= 1
+        for g, batches in enumerate(scatter._batches):
+            assert scatter._resyncs[g] == (1 if batches else 0)
+        for rec in scatter.rounds_bytes:
+            assert rec["delta_bytes"] >= 0.0
+            assert rec["full_bytes"] >= 0.0
+
+    def test_delta_scatter_forced_resync_identity(self):
+        """``resync_every=1``: every batch re-ships full shard state —
+        transport only; decisions stay bit-identical."""
+        model, capacity = _tiny_offload_case()
+        scatter = _scatter_offload_arms(model, capacity, resync_every=1)
+        for g, batches in enumerate(scatter._batches):
+            assert scatter._resyncs[g] == batches
+
+    def test_full_sync_mode_scatter_identity(self):
+        """``sync_mode="full"`` is the pre-resident baseline the byte
+        accounting measures against — still bit-identical."""
+        model, capacity = _tiny_offload_case()
+        scatter = _scatter_offload_arms(model, capacity, sync_mode="full")
+        for g, batches in enumerate(scatter._batches):
+            assert scatter._resyncs[g] == batches
+
+    def test_invalid_sync_mode_rejected(self):
+        model, _ = _tiny_offload_case()
+        opts = _ShardOptions(
+            alpha1=2.0, alpha2=1.0, optional_policy="none", record=False
+        )
+        with pytest.raises(ValueError, match="sync_mode"):
+            _ShardedScatter(
+                InlineShardPool(), ("model", model), model, opts,
+                sync_mode="bogus",
+            )
+
+    def test_delta_scatter_frontier_lifecycle(self):
+        """shm mark frontier: syncs read marks from the parent-owned
+        segment instead of shipping them, and ``finish`` destroys the
+        segment on every exit path (no ``/dev/shm`` leak)."""
+        if not shm_available():
+            pytest.skip("no usable shared memory on this platform")
+        model, capacity = _tiny_offload_case()
+        opts = _ShardOptions(
+            alpha1=2.0, alpha2=1.0, optional_policy="none", record=False,
+            use_shm=True,
+        )
+        cost = CostModel(model)
+        serial_alloc = partition_all(model, optional_policy="none")
+        serial_out = offload_repository(
+            serial_alloc, cost, OffloadConfig(), capacity=capacity
+        )
+        par_alloc = partition_all(model, optional_policy="none")
+        scatter = _ShardedScatter(
+            InlineShardPool(), ("model", model), model, opts
+        )
+        scatter.begin(par_alloc)
+        assert scatter._frontier is not None
+        handle = dict(scatter._frontier.handle)
+        par_out = offload_repository(
+            par_alloc, cost, OffloadConfig(), capacity=capacity,
+            scatter=scatter,
+        )
+        assert serial_out == par_out
+        assert np.array_equal(serial_alloc.comp_local, par_alloc.comp_local)
+        assert np.array_equal(serial_alloc.opt_local, par_alloc.opt_local)
+        for i in range(model.n_servers):
+            assert serial_alloc.replicas[i] == par_alloc.replicas[i]
+        # every sync was a frontier read, not a mark ship
+        assert scatter._frontier_reads == sum(scatter._resyncs) > 0
+        # offload_repository's finally ran finish(): segment gone
+        assert scatter._frontier is None
+        with pytest.raises(FileNotFoundError):
+            ShmArena.attach(handle)
+
+
+# ----------------------------------------------------------------------
+# fan-out failure: no stranded /dev/shm segments
+# ----------------------------------------------------------------------
+def _boom_run_shard(*_args, **_kwargs):
+    raise RuntimeError("shard worker boom")
+
+
+class _PoisonedFanoutPool:
+    """Delegates to a real pool but fails one shard's fan-out task."""
+
+    def __init__(self, inner, poison_idx: int):
+        self._inner = inner
+        self._poison = poison_idx
+
+    def submit_to(self, idx, fn, /, *args, **kwargs):
+        if idx == self._poison and fn is _run_shard:
+            return self._inner.submit_to(idx, _boom_run_shard)
+        return self._inner.submit_to(idx, fn, *args, **kwargs)
+
+    def submit(self, fn, /, *args, **kwargs):
+        return self._inner.submit(fn, *args, **kwargs)
+
+
+class TestFanoutFailureCleanup:
+    def test_gather_failure_destroys_result_arenas(self):
+        """A failed shard must not strand the successful shards' shm
+        result segments: the gather adopts and destroys them before
+        re-raising the first failure."""
+        if not shm_available():
+            pytest.skip("no usable shared memory on this platform")
+        model = generate_workload(WorkloadParams.tiny(), seed=3)
+        opts = _ShardOptions(
+            alpha1=2.0, alpha2=1.0, optional_policy="all", record=False,
+            use_shm=True,
+        )
+        groups = plan_shards(model, 2)
+        result, _ctx, _cost, _alloc = _shard_pipeline(model, groups[0], opts)
+        result.ship_shm()
+        handle = dict(result.shm_handle)
+        ok: Future = Future()
+        ok.set_result(result)
+        bad: Future = Future()
+        bad.set_exception(RuntimeError("shard worker boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            _gather_shard_results([ok, bad])
+        with pytest.raises(FileNotFoundError):
+            ShmArena.attach(handle)
+        # views were released before the arena closed (no dangling refs)
+        assert result.comp_final_idx is None
+        assert result.replica_objects is None
+
+    def test_fanout_failure_leaves_no_shm_segments(self):
+        """End to end: kill one shard of a real-pool run mid-fan-out and
+        diff ``/dev/shm`` — after the failure propagates and the pool
+        shuts down, no segment created by the run may survive."""
+        shm_dir = pathlib.Path("/dev/shm")
+        if not (shm_available() and shm_dir.is_dir()):
+            pytest.skip("needs shared memory backed by /dev/shm")
+        m2 = _offload_constrained_model()
+        before = set(os.listdir(shm_dir))
+        pool = _PoisonedFanoutPool(default_pool(2), poison_idx=1)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                run_sharded_policy(m2, shards=2, pool=pool, shm=True)
+        finally:
+            shutdown_shard_pool()
+        leaked = set(os.listdir(shm_dir)) - before
+        assert leaked == set(), f"stranded shm segments: {sorted(leaked)}"

@@ -132,6 +132,37 @@ class TestLifecycle:
             ShmArena.attach(handle)
 
 
+class TestPut:
+    def test_put_is_visible_to_attached_readers(self):
+        """The mark-frontier write half: the owner overwrites a packed
+        array in place and an already-attached reader sees the new
+        values through its existing view."""
+        owner = ShmArena.create({"col": np.arange(4, dtype=np.int64)})
+        try:
+            reader = ShmArena.attach(owner.handle)
+            view = reader.get("col")
+            owner.put("col", np.arange(4, dtype=np.int64) * 10)
+            np.testing.assert_array_equal(
+                view, np.arange(4, dtype=np.int64) * 10
+            )
+            del view
+            reader.close()
+        finally:
+            owner.destroy()
+
+    def test_put_rejects_shape_and_dtype_mismatch(self):
+        owner = ShmArena.create({"col": np.arange(4, dtype=np.int64)})
+        try:
+            with pytest.raises(ValueError, match="put"):
+                owner.put("col", np.arange(5, dtype=np.int64))
+            with pytest.raises(ValueError, match="put"):
+                owner.put("col", np.arange(4, dtype=np.float64))
+            with pytest.raises(KeyError):
+                owner.put("missing", np.arange(4))
+        finally:
+            owner.destroy()
+
+
 class TestResolveShm:
     def test_explicit_flag_wins(self, monkeypatch):
         monkeypatch.setenv(ENV_FLAG, "1")

@@ -29,6 +29,13 @@ full-model computation, for *any* server subset) and the
 **scatter/gather OFF_LOADING split** (``offload_repository`` driven by
 the process-parallel :class:`~repro.core.shard._ShardedScatter` must
 leave the allocation and outcome bit-identical to the serial default).
+
+A third property pins the **delta-round wire protocol** itself: random
+off-loading sequences replayed through worker-resident delta shipping —
+with resyncs randomly forced every 1-3 batches — and through the
+full-state-per-batch baseline (``sync_mode="full"``) must land on the
+same marks, replica sets, achieved loads and outcome as the serial
+reference, for any shard plan the planner can produce.
 """
 
 from __future__ import annotations
@@ -252,3 +259,60 @@ def test_parallel_scatter_matches_serial_offload(model, rfrac):
         assert serial_alloc.replicas[i] == par_alloc.replicas[i]
     assert serial_out == par_out
     par_alloc.check_invariants()
+
+
+@given(
+    system_models(max_servers=4, max_pages=10),
+    st.floats(0.05, 0.9),
+    st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_delta_rounds_identical_to_full_state_and_serial(model, rfrac, data):
+    """Delta-round wire protocol: random OFF_LOADING sequences replayed
+    through worker-resident delta shipping (resyncs randomly forced
+    every 1-3 batches, or never) and through the full-state-per-batch
+    baseline must both match the serial reference bit for bit — marks,
+    replica sets, achieved loads and outcome — under any shard plan.
+    A resync may only ever change transport cost, never decisions."""
+    serial_alloc = partition_all(model, optional_policy="none")
+    before = repository_load(serial_alloc)
+    if before <= 0:
+        return
+    capacity = max(rfrac * before, 1e-6)
+    cost = CostModel(model)
+    serial_out = offload_repository(
+        serial_alloc, cost, OffloadConfig(), capacity=capacity
+    )
+
+    opts = _ShardOptions(
+        alpha1=2.0, alpha2=1.0, optional_policy="none", record=False
+    )
+    groups = plan_shards(
+        model, data.draw(st.integers(1, model.n_servers), label="shards")
+    )
+    resync_every = data.draw(
+        st.none() | st.integers(1, 3), label="resync every"
+    )
+    arms = {
+        "delta": {"groups": groups, "resync_every": resync_every},
+        "full": {"groups": groups, "sync_mode": "full"},
+    }
+    for label, kwargs in arms.items():
+        alloc = partition_all(model, optional_policy="none")
+        scatter = _ShardedScatter(
+            InlineShardPool(), ("model", model), model, opts, **kwargs
+        )
+        out = offload_repository(
+            alloc, cost, OffloadConfig(), capacity=capacity, scatter=scatter
+        )
+        assert np.array_equal(serial_alloc.comp_local, alloc.comp_local), label
+        assert np.array_equal(serial_alloc.opt_local, alloc.opt_local), label
+        for i in range(model.n_servers):
+            assert serial_alloc.replicas[i] == alloc.replicas[i], label
+        assert out == serial_out, label
+        alloc.check_invariants()
+        # transport accounting: one record per round, both sides finite
+        # and non-negative (the delta side includes sync payloads)
+        for rec in scatter.rounds_bytes:
+            assert rec["delta_bytes"] >= 0.0
+            assert rec["full_bytes"] >= 0.0
