@@ -106,6 +106,26 @@ MODULE_FORBIDDEN: dict[str, tuple[frozenset[str], str]] = {
         "imports nothing above util, so any layer (including future "
         "non-core pools) can use it without dragging the kernels in",
     ),
+    "core/types.py": (
+        frozenset(
+            {
+                "analysis",
+                "baselines",
+                "cli",
+                "dynamic",
+                "experiments",
+                "network",
+                "simulation",
+                "workload",
+            }
+        ),
+        "StreamTopology/resolve_streams are consumed by the workload "
+        "generator, the CLI, and every layer above — the foundation "
+        "module must stay import-free of them all (notably "
+        "repro.workload, which the core-layer rule alone does not "
+        "forbid), or replica-mesh scenario plumbing would cycle back "
+        "into the type definitions it is built from",
+    ),
     "core/context.py": (
         frozenset({"dynamic", "experiments"}),
         "the frequency-clone adoption hook (adopt_frequency_context) is "

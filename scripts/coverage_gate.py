@@ -30,6 +30,9 @@ to end — a **delta-rounds smoke** plus a **forced-resync smoke**: the
 off-loading scatter identity tests re-run with ``REPRO_SHM=0`` and with
 ``REPRO_OFFLOAD_RESYNC_EVERY=1``, covering the worker-resident delta
 protocol's pickle transport and its epoch-mismatch recovery path — and a
+a **mesh smoke**: one tiny-scale CLI ``analyze`` run with
+``--streams 3``, exercising the k-stream argmin-over-k engine beyond
+the degenerate k=2 topology — and a
 **dynamic smoke**: one small-scale CLI ``dynamic`` run with the
 ``incremental`` strategy, exercising the incremental re-replication
 engine (dirty-set detection, frequency-context adoption, localized
@@ -100,6 +103,8 @@ def main(argv: list[str]) -> int:
             "--cov=repro.core.shard",
             "--cov=repro.core.shm",
             "--cov=repro.dynamic.incremental",
+            "--cov=repro.baselines.closest",
+            "--cov=repro.experiments.extension_streams",
         ]
     if fast:
         cmd += ["-m", "not slow"]
@@ -202,6 +207,25 @@ def main(argv: list[str]) -> int:
         "(REPRO_OFFLOAD_RESYNC_EVERY=1)",
     )
     code = subprocess.call(delta_smoke, cwd=REPO_ROOT, env=resync_env)
+    if code != 0:
+        return code
+
+    # Mesh smoke: one end-to-end CLI run over a 3-stream replica mesh,
+    # proving the argmin-over-k engine (k-way PARTITION, stream-aware
+    # restoration, Eq. 8-10 reporting) works in the gate environment
+    # beyond the degenerate k=2 topology.
+    mesh_smoke = [
+        sys.executable,
+        "-m",
+        "repro",
+        "--scale",
+        "tiny",
+        "--streams",
+        "3",
+        "analyze",
+    ]
+    print("mesh smoke:", " ".join(mesh_smoke), "(--streams 3)")
+    code = subprocess.call(mesh_smoke, cwd=REPO_ROOT, env=env)
     if code != 0:
         return code
 

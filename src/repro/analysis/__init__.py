@@ -8,7 +8,9 @@ examples and the CLI.
 
 from repro.analysis.compare import (
     AllocationDiff,
+    BaselineScore,
     ServerDiff,
+    compare_baselines,
     diff_allocations,
 )
 from repro.analysis.describe import (
@@ -21,9 +23,11 @@ from repro.analysis.describe import (
 __all__ = [
     "AllocationDiff",
     "AllocationReport",
+    "BaselineScore",
     "ServerDiff",
     "ServerReport",
     "StreamBalance",
+    "compare_baselines",
     "describe_allocation",
     "diff_allocations",
 ]

@@ -5,6 +5,12 @@ allocation; the *operational* cost of adopting it is the replica churn —
 every newly stored object must be copied from the repository during the
 off-peak window.  :func:`diff_allocations` quantifies that: per-server
 replica additions/removals (count and bytes) and download-mark flips.
+
+:func:`compare_baselines` answers the adjacent question — how do the
+baseline policies stack up on one model?  It scores every arg-free
+static baseline (Remote, Local, Closest) plus any caller-supplied
+allocations (the proposed policy's, typically) under the Eq. 7
+objective and reports each as a percentage over the best.
 """
 
 from __future__ import annotations
@@ -14,8 +20,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.cost_model import CostModel
 
-__all__ = ["ServerDiff", "AllocationDiff", "diff_allocations"]
+__all__ = [
+    "ServerDiff",
+    "AllocationDiff",
+    "diff_allocations",
+    "BaselineScore",
+    "compare_baselines",
+]
 
 
 @dataclass(frozen=True)
@@ -132,4 +145,61 @@ def diff_allocations(old: Allocation, new: Allocation) -> AllocationDiff:
         comp_flips_to_remote=comp_to_remote,
         opt_flips_to_local=opt_to_local,
         opt_flips_to_remote=opt_to_remote,
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline scoreboard
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BaselineScore:
+    """One policy's Eq. 7 objective on a model, relative to the best."""
+
+    name: str
+    objective: float
+    over_best_pct: float
+    """``100 * (D - D_best) / D_best`` — 0 for the winner."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: D={self.objective:.1f} (+{self.over_best_pct:.1f}%)"
+
+
+def compare_baselines(
+    model,
+    extra: dict[str, Allocation] | None = None,
+    alpha1: float = 2.0,
+    alpha2: float = 1.0,
+) -> tuple[BaselineScore, ...]:
+    """Score the static baselines (and any ``extra`` allocations) on
+    ``model``, sorted best-first.
+
+    The roster is every arg-free static policy: Remote (all downloads on
+    stream 1), Local (full replication), and Closest (winner-takes-all
+    onto the lowest per-byte-latency stream; distinct from Local only in
+    ``k > 2`` replica meshes).  ``extra`` maps a display name to a
+    ready-made allocation — pass the proposed policy's result to see the
+    baselines' percentage gap above it.
+    """
+    # Late import: analysis sits beside baselines in the orchestration
+    # layer, but keeping the dependency out of module import time lets
+    # ``repro.analysis.describe`` load without the policy roster.
+    from repro.baselines.closest import ClosestStreamPolicy
+    from repro.baselines.local import LocalPolicy
+    from repro.baselines.remote import RemotePolicy
+
+    cost = CostModel(model, alpha1=alpha1, alpha2=alpha2)
+    scored: list[tuple[str, float]] = []
+    for policy in (RemotePolicy(), LocalPolicy(), ClosestStreamPolicy()):
+        scored.append((policy.name, cost.D(policy.allocate(model))))
+    for name, alloc in (extra or {}).items():
+        scored.append((name, cost.D(alloc)))
+    best = min(d for _, d in scored)
+    scored.sort(key=lambda item: (item[1], item[0]))
+    return tuple(
+        BaselineScore(
+            name=name,
+            objective=d,
+            over_best_pct=100.0 * (d - best) / best if best > 0 else 0.0,
+        )
+        for name, d in scored
     )

@@ -10,9 +10,13 @@
   constraint; see :mod:`repro.simulation.lru_sim`.
 * :class:`PopularityPolicy` — popularity-per-byte greedy replication
   (not in the paper; isolates how much of the win is stream balancing).
+* :class:`ClosestStreamPolicy` — winner-takes-all routing onto the
+  lowest per-byte-latency stream per server (not in the paper; the
+  k-stream replica-mesh strawman).
 """
 
 from repro.baselines.base import AllocationPolicy
+from repro.baselines.closest import ClosestStreamPolicy
 from repro.baselines.local import LocalPolicy
 from repro.baselines.lru import IdealLRUPolicy
 from repro.baselines.popularity import PopularityPolicy
@@ -24,4 +28,5 @@ __all__ = [
     "LocalPolicy",
     "IdealLRUPolicy",
     "PopularityPolicy",
+    "ClosestStreamPolicy",
 ]

@@ -1,0 +1,54 @@
+"""The Closest baseline: every download rides its fastest connection.
+
+For each server the policy compares the per-byte latency of the local
+connection (``1/B(S_i)``) against every remote stream's
+(``1/B(R_r, S_i)``) and assigns *all* of the server's downloads —
+compulsory and optional alike — to the single cheapest stream.  Local
+winning means full replication on that server; a remote stream winning
+leaves the server empty and serialises everything onto that one remote
+connection.  Ties go to the local connection, and among remote streams
+to the lowest stream index, matching the engine's PARTITION tie rule.
+
+Like the Local/Remote baselines it applies **no** capacity constraints
+and no balancing: it is the "pick the best pipe, ignore queueing"
+strawman.  Under Table 1 rates (local 3-10 KB/s vs repository
+0.3-2 KB/s) it degenerates to the Local baseline at k = 2; its value is
+in k > 2 replica meshes, where a fast mesh site can out-rate the local
+connection and the baseline quantifies how much of the proposed
+policy's win survives naive closest-source routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AllocationPolicy
+from repro.core.allocation import Allocation
+from repro.core.types import SystemModel
+
+__all__ = ["ClosestStreamPolicy"]
+
+
+class ClosestStreamPolicy(AllocationPolicy):
+    """Per-server winner-takes-all assignment to the lowest-latency stream."""
+
+    name = "closest"
+
+    def allocate(self, model: SystemModel) -> Allocation:
+        """Route every download of each server onto its fastest stream."""
+        # Per-byte latency of each connection, shape (n_servers,) and
+        # (n_servers, k-1).  Rates are validated positive at model build.
+        spb_local = 1.0 / model.server_rate
+        spb_streams = 1.0 / model.stream_rates
+        best_remote = np.argmin(spb_streams, axis=1)  # lowest index wins ties
+        rows = np.arange(model.n_servers)
+        local_wins = spb_local <= spb_streams[rows, best_remote]
+
+        comp_server = model.page_server[model.comp_pages]
+        opt_server = model.page_server[model.opt_pages]
+        comp_local = local_wins[comp_server]
+        opt_local = local_wins[opt_server]
+        comp_stream = (best_remote + 1)[comp_server].astype(np.int8)
+        return Allocation(
+            model, comp_local, opt_local, comp_stream=comp_stream
+        )

@@ -33,6 +33,7 @@ from typing import Sequence
 from repro import obs
 from repro.core.partition import resolve_kernel
 from repro.core.shard import resolve_shards
+from repro.core.types import resolve_streams
 from repro.experiments.executor import resolve_jobs
 from repro.experiments.runner import ExperimentConfig
 from repro.workload.params import WorkloadParams
@@ -97,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         "if set, else 1 = serial; results are bit-identical)",
     )
     parser.add_argument(
+        "--streams",
+        type=int,
+        default=None,
+        metavar="K",
+        help="download streams per page view (default: $REPRO_STREAMS if "
+        "set, else 2 = the paper's local+repository model; K>2 adds "
+        "replica-mesh sites as extra parallel sources)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -130,6 +140,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "linkspeed", help="extension E2: repository link-speed sensitivity"
     )
+    ksw = sub.add_parser(
+        "ksweep", help="extension E4: value of extra download streams"
+    )
+    ksw.add_argument(
+        "--max-streams",
+        type=int,
+        default=5,
+        metavar="K",
+        help="sweep k = 2..K (default: 5)",
+    )
     rep = sub.add_parser(
         "reproduce", help="every paper artifact in one combined report"
     )
@@ -143,6 +163,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     params = _SCALES[args.scale]()
     if args.requests:
         params = params.with_(requests_per_server=args.requests)
+    params = _apply_streams(params, args)
     return ExperimentConfig(
         params=params,
         n_runs=args.runs,
@@ -152,10 +173,26 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _apply_streams(params, args: argparse.Namespace):
+    """Apply a validated ``--streams``/``$REPRO_STREAMS`` request.
+
+    ``k > 2`` provisions enough repository-grade sources for the mesh;
+    the default ``k = 2`` leaves the scenario untouched.
+    """
+    k = getattr(args, "streams", None)
+    if not k or k == params.n_streams:
+        return params
+    return params.with_(
+        n_streams=k, n_repositories=max(params.n_repositories, k - 1)
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> str:
     from repro.experiments.table1 import run_table1
 
-    return run_table1(_SCALES[args.scale](), seed=args.seed).render()
+    return run_table1(
+        _apply_streams(_SCALES[args.scale](), args), seed=args.seed
+    ).render()
 
 
 def _cmd_fig1(args: argparse.Namespace) -> str:
@@ -191,7 +228,7 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
 def _cmd_dynamic(args: argparse.Namespace) -> str:
     from repro.dynamic import STRATEGIES, EpochConfig, run_dynamic_experiment
 
-    params = _SCALES[args.scale]()
+    params = _apply_streams(_SCALES[args.scale](), args)
     epoch_kwargs = {}
     if args.requests:
         epoch_kwargs["requests_per_server"] = args.requests
@@ -224,6 +261,7 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     params = _SCALES[args.scale]()
     if args.requests:
         params = params.with_(requests_per_server=args.requests)
+    params = _apply_streams(params, args)
     model = generate_workload(params, seed=args.seed)
     result = RepositoryReplicationPolicy(
         kernel=args.kernel, shards=args.shards
@@ -259,7 +297,7 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     from repro.core.policy import RepositoryReplicationPolicy
     from repro.workload.generator import generate_workload
 
-    params = _SCALES[args.scale]()
+    params = _apply_streams(_SCALES[args.scale](), args)
     model = generate_workload(params, seed=args.seed)
     result = RepositoryReplicationPolicy(
         kernel=args.kernel, shards=args.shards
@@ -273,6 +311,16 @@ def _cmd_linkspeed(args: argparse.Namespace) -> str:
     from repro.experiments.extension_link_speed import run_link_speed
 
     return run_link_speed(_config(args)).render()
+
+
+def _cmd_ksweep(args: argparse.Namespace) -> str:
+    from repro.experiments.extension_streams import run_streams
+
+    if args.max_streams < 2:
+        raise SystemExit("--max-streams must be at least 2")
+    return run_streams(
+        _config(args), streams=range(2, args.max_streams + 1)
+    ).render()
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> str:
@@ -293,6 +341,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "analyze": _cmd_analyze,
     "linkspeed": _cmd_linkspeed,
+    "ksweep": _cmd_ksweep,
 }
 
 
@@ -316,6 +365,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.shards = resolve_shards(args.shards)
     except ValueError as exc:
         parser.error(f"--shards/$REPRO_SHARDS: {exc}")
+    try:
+        # explicit --streams, else $REPRO_STREAMS (validated), else 2
+        args.streams = resolve_streams(args.streams)
+    except ValueError as exc:
+        parser.error(f"--streams/$REPRO_STREAMS: {exc}")
+    if args.streams > 2 and args.kernel == "sharded":
+        parser.error(
+            "--kernel sharded supports the k=2 topology only; use "
+            "--kernel batched or scalar with --streams > 2"
+        )
     metrics_out = args.metrics_out or obs.env_metrics_path()
     if metrics_out:
         run_info = {

@@ -62,6 +62,7 @@ def transplant_allocation(alloc: "Allocation", model: SystemModel) -> "Allocatio
         alloc.comp_local,
         alloc.opt_local,
         replicas=[set(r) for r in alloc.replicas],
+        comp_stream=alloc.comp_stream,
     )
 
 
@@ -145,6 +146,12 @@ class Allocation:
         Per-server sets of stored object ids. Defaults to exactly the
         objects required by the marks. Supplying a superset is allowed
         (stored-but-unmarked objects); a subset raises.
+    comp_stream:
+        Per-compulsory-entry remote stream assignment (``int8``, values
+        in ``1..n_streams-1``) — which of the k−1 remote streams serves
+        the entry when ``comp_local`` is ``False``.  Meaningful only for
+        remote entries; defaults to all-``1`` (the repository stream,
+        the only remote stream of the degenerate k=2 topology).
     """
 
     def __init__(
@@ -153,6 +160,7 @@ class Allocation:
         comp_local: np.ndarray | None = None,
         opt_local: np.ndarray | None = None,
         replicas: Iterable[Iterable[int]] | None = None,
+        comp_stream: np.ndarray | None = None,
     ):
         self.model = model
         #: shared columnar derived state (see :mod:`repro.core.context`)
@@ -173,6 +181,15 @@ class Allocation:
             raise ValueError(
                 f"opt_local must have shape ({ne_o},), got {self.opt_local.shape}"
             )
+        if comp_stream is None:
+            self.comp_stream = np.ones(ne_c, dtype=np.int8)
+        else:
+            self.comp_stream = np.asarray(comp_stream, dtype=np.int8).copy()
+            if self.comp_stream.shape != (ne_c,):
+                raise ValueError(
+                    f"comp_stream must have shape ({ne_c},), got "
+                    f"{self.comp_stream.shape}"
+                )
         self._rebuild_mark_counts()
         required = self._required_replicas()
         if replicas is None:
@@ -447,6 +464,7 @@ class Allocation:
         dup.ctx = self.ctx
         dup.comp_local = self.comp_local.copy()
         dup.opt_local = self.opt_local.copy()
+        dup.comp_stream = self.comp_stream.copy()
         dup.replicas = [set(r) for r in self.replicas]
         dup._mark_counts = [dict(d) for d in self._mark_counts]
         return dup
@@ -457,6 +475,10 @@ class Allocation:
         Intended for tests and debugging; production paths maintain the
         invariants incrementally.
         """
+        k = getattr(self.model, "n_streams", 2)
+        assert (self.comp_stream >= 1).all() and (
+            self.comp_stream <= k - 1
+        ).all(), "comp_stream out of 1..n_streams-1 range"
         fresh = Allocation(self.model, self.comp_local, self.opt_local)
         for i in range(self.model.n_servers):
             need = set(fresh._mark_counts[i].keys())
@@ -475,6 +497,11 @@ class Allocation:
             self.model is other.model
             and np.array_equal(self.comp_local, other.comp_local)
             and np.array_equal(self.opt_local, other.opt_local)
+            # stream assignments only matter where the entry is remote
+            and np.array_equal(
+                np.where(self.comp_local, 0, self.comp_stream),
+                np.where(other.comp_local, 0, other.comp_stream),
+            )
             and self.replicas == other.replicas
         )
 

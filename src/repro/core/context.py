@@ -120,6 +120,10 @@ class ScalarViews:
     spb_repo: list[float]
     html: list[float]
     freq: list[float]
+    #: per-remote-stream views; element 0 is the repository stream and
+    #: shares the exact list objects of ``ovhd_repo`` / ``spb_repo``
+    ovhd_streams: tuple[list[float], ...] = ()
+    spb_streams: tuple[list[float], ...] = ()
 
 
 _CACHE_ATTR = "_repro_eval_context_cache"
@@ -210,6 +214,8 @@ def is_frequency_clone(base: SystemModel, model: SystemModel) -> bool:
         and np.array_equal(base.server_overhead, model.server_overhead)
         and np.array_equal(base.server_repo_rate, model.server_repo_rate)
         and np.array_equal(base.server_repo_overhead, model.server_repo_overhead)
+        and np.array_equal(base.stream_rates, model.stream_rates)
+        and np.array_equal(base.stream_overheads, model.stream_overheads)
         and np.array_equal(base.server_storage, model.server_storage)
         and np.array_equal(base.server_capacity, model.server_capacity)
         and base.repository == model.repository
@@ -296,6 +302,12 @@ _SHARED_SLOTS = (
     "opt_time_local",
     "opt_time_repo",
     "opt_freq_weight",
+    "n_streams",
+    "page_spb_streams",
+    "page_ovhd_streams",
+    "opt_time_streams",
+    "opt_time_remote",
+    "opt_best_stream",
     "html_bytes_by_server",
     "html_request_load",
     "scalars",
@@ -412,18 +424,57 @@ class EvalContext:
             m.frequencies[po] * m.optional_rate_scale[po] * m.opt_probs
         )
 
+        # Per-remote-stream seed columns (the k-stream generalization of
+        # the Eq. 3-5 local/repository pair).  Element 0 IS the
+        # repository column — the same array objects as
+        # ``page_spb_repo`` / ``page_ovhd_repo`` / ``opt_time_repo`` —
+        # so the degenerate k=2 topology adds no new arrays and every
+        # k=2 expression stays bit-identical to the pre-stream code.
+        self.n_streams = int(getattr(m, "n_streams", 2))
+        spb_rows = [self.page_spb_repo]
+        ovhd_rows = [self.page_ovhd_repo]
+        opt_rows = [self.opt_time_repo]
+        for r in range(1, self.n_streams - 1):
+            spb_r = 1.0 / m.stream_rates[srv, r]
+            ovhd_r = m.stream_overheads[srv, r]
+            spb_rows.append(spb_r)
+            ovhd_rows.append(ovhd_r)
+            opt_rows.append(ovhd_r[po] + spb_r[po] * self.opt_sizes)
+        self.page_spb_streams = tuple(spb_rows)
+        self.page_ovhd_streams = tuple(ovhd_rows)
+        self.opt_time_streams = tuple(opt_rows)
+        if self.n_streams == 2:
+            # alias, not a copy: Eq. 6 consumers switching from
+            # ``opt_time_repo`` to ``opt_time_remote`` read the exact
+            # same array at k=2
+            self.opt_time_remote = self.opt_time_repo
+            self.opt_best_stream = np.ones(len(po), dtype=np.int8)
+        else:
+            stack = np.stack(opt_rows)
+            best = stack.argmin(axis=0)
+            self.opt_time_remote = stack[best, np.arange(stack.shape[1])]
+            self.opt_best_stream = (best + 1).astype(np.int8)
+
         self.html_bytes_by_server = m.html_bytes_by_server()
         load = np.zeros(m.n_servers)
         np.add.at(load, srv, m.frequencies)
         self.html_request_load = load
 
+        ovhd_repo_list = self.page_ovhd_repo.tolist()
+        spb_repo_list = self.page_spb_repo.tolist()
         self.scalars = ScalarViews(
             ovhd_local=self.page_ovhd_local.tolist(),
             spb_local=self.page_spb_local.tolist(),
-            ovhd_repo=self.page_ovhd_repo.tolist(),
-            spb_repo=self.page_spb_repo.tolist(),
+            ovhd_repo=ovhd_repo_list,
+            spb_repo=spb_repo_list,
             html=m.html_sizes.tolist(),
             freq=m.frequencies.tolist(),
+            ovhd_streams=tuple(
+                [ovhd_repo_list] + [a.tolist() for a in ovhd_rows[1:]]
+            ),
+            spb_streams=tuple(
+                [spb_repo_list] + [a.tolist() for a in spb_rows[1:]]
+            ),
         )
 
         self._build_pair_table()
@@ -516,6 +567,8 @@ class EvalContext:
             spb_repo=old.spb_repo,
             html=old.html,
             freq=m.frequencies.tolist(),
+            ovhd_streams=old.ovhd_streams,
+            spb_streams=old.spb_streams,
         )
 
     # ------------------------------------------------------------------
@@ -719,6 +772,10 @@ class IncrementalObjective:
         self.resync_every = resync_every
         self.comp_local = np.asarray(alloc.comp_local, dtype=bool).copy()
         self.opt_local = np.asarray(alloc.opt_local, dtype=bool).copy()
+        streams = getattr(alloc, "comp_stream", None)
+        if streams is None:
+            streams = np.ones(len(self.comp_local), dtype=np.int8)
+        self.comp_stream = np.asarray(streams, dtype=np.int8).copy()
         self._applied = 0
         self.resync()
 
@@ -732,17 +789,40 @@ class IncrementalObjective:
         evaluator — the escape hatch that clears accumulated drift.
         """
         c = self.ctx
+        k = c.n_streams
         sel = self.comp_local
         self._lb = np.bincount(
             c.comp_pages[sel], weights=c.comp_sizes[sel], minlength=c.n_pages
         )
-        self._rb = np.bincount(
-            c.comp_pages[~sel], weights=c.comp_sizes[~sel], minlength=c.n_pages
-        )
         local = c.page_ovhd_local + c.page_spb_local * (c.html_sizes + self._lb)
-        remote = c.page_ovhd_repo + c.page_spb_repo * self._rb
-        self._page_t = np.maximum(local, remote)
-        per_entry = np.where(self.opt_local, c.opt_time_local, c.opt_time_repo)
+        if k == 2:
+            self._rb = np.bincount(
+                c.comp_pages[~sel], weights=c.comp_sizes[~sel], minlength=c.n_pages
+            )
+            remote = c.page_ovhd_repo + c.page_spb_repo * self._rb
+            self._page_t = np.maximum(local, remote)
+            self._rb_streams = (self._rb,)
+        else:
+            rem = ~sel
+            rb_rows = []
+            page_t = local
+            for r in range(1, k):
+                sel_r = rem & (self.comp_stream == r)
+                rb = np.bincount(
+                    c.comp_pages[sel_r],
+                    weights=c.comp_sizes[sel_r],
+                    minlength=c.n_pages,
+                )
+                rb_rows.append(rb)
+                page_t = np.maximum(
+                    page_t,
+                    c.page_ovhd_streams[r - 1]
+                    + c.page_spb_streams[r - 1] * rb,
+                )
+            self._rb_streams = tuple(rb_rows)
+            self._rb = rb_rows[0]
+            self._page_t = page_t
+        per_entry = np.where(self.opt_local, c.opt_time_local, c.opt_time_remote)
         self._opt_base = np.bincount(
             c.opt_pages, weights=c.opt_probs * per_entry, minlength=c.n_pages
         )
@@ -771,47 +851,100 @@ class IncrementalObjective:
     # ------------------------------------------------------------------
     def _changed(
         self, entries: np.ndarray, marks: np.ndarray, to_local: bool
-    ) -> np.ndarray:
-        entries = np.asarray(entries, dtype=np.intp)
-        changed = entries[marks[entries] != bool(to_local)]
-        if len(changed) > 1 and not (changed[1:] > changed[:-1]).all():
-            changed = np.unique(changed)
-        return changed
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(changed entry ids, positions of those ids in ``entries``)``.
 
-    def flip_comp(self, entries: np.ndarray, to_local: bool) -> float:
+        The positions keep any per-entry payload (the k>2 target-stream
+        column) aligned with ``changed`` through the no-op filter and
+        the duplicate dedup.
+        """
+        entries = np.asarray(entries, dtype=np.intp)
+        idx = np.flatnonzero(marks[entries] != bool(to_local))
+        changed = entries[idx]
+        if len(changed) > 1 and not (changed[1:] > changed[:-1]).all():
+            changed, first = np.unique(changed, return_index=True)
+            idx = idx[first]
+        return changed, idx
+
+    def flip_comp(
+        self,
+        entries: np.ndarray,
+        to_local: bool,
+        streams: np.ndarray | None = None,
+    ) -> float:
         """Flip compulsory marks in bulk; returns the updated ``D``.
 
         Entries already in the target state (and duplicates) are ignored,
-        mirroring ``Allocation.set_comp_local_bulk``.
+        mirroring ``Allocation.set_comp_local_bulk``.  At k>2 a flip to
+        remote lands each entry on ``streams`` (aligned with
+        ``entries``; default stream 1, the repository), and a flip to
+        local debits the stream the entry was previously assigned to.
         """
-        changed = self._changed(entries, self.comp_local, to_local)
+        changed, idx = self._changed(entries, self.comp_local, to_local)
         if len(changed) == 0:
             return self.D
         c = self.ctx
-        self.comp_local[changed] = to_local
+        k = c.n_streams
         pages = c.comp_pages[changed]
         sizes = c.comp_sizes[changed]
-        sign = 1.0 if to_local else -1.0
-        np.add.at(self._lb, pages, sign * sizes)
-        np.add.at(self._rb, pages, -sign * sizes)
-        up = np.unique(pages)
-        local = c.page_ovhd_local[up] + c.page_spb_local[up] * (
-            c.html_sizes[up] + self._lb[up]
-        )
-        remote = c.page_ovhd_repo[up] + c.page_spb_repo[up] * self._rb[up]
-        new_t = np.maximum(local, remote)
+        if k == 2:
+            self.comp_local[changed] = to_local
+            sign = 1.0 if to_local else -1.0
+            np.add.at(self._lb, pages, sign * sizes)
+            np.add.at(self._rb, pages, -sign * sizes)
+            up = np.unique(pages)
+            local = c.page_ovhd_local[up] + c.page_spb_local[up] * (
+                c.html_sizes[up] + self._lb[up]
+            )
+            remote = c.page_ovhd_repo[up] + c.page_spb_repo[up] * self._rb[up]
+            new_t = np.maximum(local, remote)
+        else:
+            if to_local:
+                src = self.comp_stream[changed]
+                self.comp_local[changed] = True
+                np.add.at(self._lb, pages, sizes)
+                for r in range(1, k):
+                    on_r = src == r
+                    if on_r.any():
+                        np.add.at(
+                            self._rb_streams[r - 1], pages[on_r], -sizes[on_r]
+                        )
+            else:
+                if streams is None:
+                    tgt = np.ones(len(changed), dtype=np.int8)
+                else:
+                    tgt = np.asarray(streams, dtype=np.int8)[idx]
+                self.comp_local[changed] = False
+                self.comp_stream[changed] = tgt
+                np.add.at(self._lb, pages, -sizes)
+                for r in range(1, k):
+                    on_r = tgt == r
+                    if on_r.any():
+                        np.add.at(
+                            self._rb_streams[r - 1], pages[on_r], sizes[on_r]
+                        )
+            up = np.unique(pages)
+            new_t = c.page_ovhd_local[up] + c.page_spb_local[up] * (
+                c.html_sizes[up] + self._lb[up]
+            )
+            for r in range(1, k):
+                new_t = np.maximum(
+                    new_t,
+                    c.page_ovhd_streams[r - 1][up]
+                    + c.page_spb_streams[r - 1][up] * self._rb_streams[r - 1][up],
+                )
         self._d1 += float(np.dot(c.frequencies[up], new_t - self._page_t[up]))
         self._page_t[up] = new_t
         return self._bump()
 
     def flip_opt(self, entries: np.ndarray, to_local: bool) -> float:
         """Flip optional marks in bulk; returns the updated ``D``."""
-        changed = self._changed(entries, self.opt_local, to_local)
+        changed, _ = self._changed(entries, self.opt_local, to_local)
         if len(changed) == 0:
             return self.D
         c = self.ctx
         self.opt_local[changed] = to_local
-        diff = c.opt_time_local[changed] - c.opt_time_repo[changed]
+        diff = c.opt_time_local[changed] - c.opt_time_remote[changed]
         if not to_local:
             diff = -diff
         pages = c.opt_pages[changed]

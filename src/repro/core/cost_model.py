@@ -60,17 +60,25 @@ class PageTimes:
     local:
         ``Time(S_i, W_j)`` — the local pipelined stream (Eq. 3).
     remote:
-        ``Time(R, W_j)`` — the repository stream (Eq. 4).
+        ``Time(R, W_j)`` — the repository stream (Eq. 4).  At k>2 this
+        is the *binding* remote time (elementwise max over the remote
+        streams), so ``page == max(local, remote)`` holds at every k.
     page:
-        ``Time(W_j) = max(local, remote)`` (Eq. 5).
+        ``Time(W_j) = max(local, remote)`` (Eq. 5), generalized to the
+        max over all k streams.
     optional:
         ``Time(W_j, M)`` — expected optional-object time (Eq. 6).
+    by_stream:
+        Per-remote-stream times, ``by_stream[r-1]`` being stream ``r``'s
+        Eq. 4 analog.  ``None`` on the degenerate k=2 evaluation (where
+        ``remote`` already is the single repository stream).
     """
 
     local: np.ndarray
     remote: np.ndarray
     page: np.ndarray
     optional: np.ndarray
+    by_stream: tuple[np.ndarray, ...] | None = None
 
 
 class CostModel:
@@ -113,8 +121,13 @@ class CostModel:
         #: per-optional-entry single-download times (Eq. 6): local vs repo
         self.opt_time_local = ctx.opt_time_local
         self.opt_time_repo = ctx.opt_time_repo
+        #: best remote single-download time — IS ``opt_time_repo`` at
+        #: k=2, the min over the k−1 remote streams otherwise
+        self.opt_time_remote = ctx.opt_time_remote
         #: expected weight of each optional entry: f(W_j)·scale·U'_jk
         self.opt_freq_weight = ctx.opt_freq_weight
+        #: number of parallel streams (2 = the paper's local/repo pair)
+        self.n_streams = ctx.n_streams
 
     # ------------------------------------------------------------------
     # byte aggregation
@@ -140,6 +153,35 @@ class CostModel:
             m.comp_pages[sel], weights=self.comp_sizes[sel], minlength=m.n_pages
         )
 
+    def remote_mo_bytes_by_stream(
+        self, alloc: Allocation
+    ) -> tuple[np.ndarray, ...]:
+        """Per-page remote byte totals split by owning stream.
+
+        Element ``r-1`` is stream ``r``'s total.  At k=2 every remote
+        entry is on the repository stream, so this is the one-element
+        tuple ``(remote_mo_bytes(alloc),)`` computed identically.
+        """
+        m = self.model
+        rem = ~alloc.comp_local
+        if self.n_streams == 2:
+            return (
+                np.bincount(
+                    m.comp_pages[rem],
+                    weights=self.comp_sizes[rem],
+                    minlength=m.n_pages,
+                ),
+            )
+        return tuple(
+            np.bincount(
+                m.comp_pages[sel_r],
+                weights=self.comp_sizes[sel_r],
+                minlength=m.n_pages,
+            )
+            for r in range(1, self.n_streams)
+            for sel_r in (rem & (alloc.comp_stream == r),)
+        )
+
     # ------------------------------------------------------------------
     # Eq. 3-6
     # ------------------------------------------------------------------
@@ -155,10 +197,14 @@ class CostModel:
         return local, remote
 
     def optional_times(self, alloc: Allocation) -> np.ndarray:
-        """Eq. 6 per page: expected optional download time per view."""
+        """Eq. 6 per page: expected optional download time per view.
+
+        Remote optional downloads use the cheapest stream
+        (``opt_time_remote`` — the repository at k=2).
+        """
         m = self.model
         per_entry = np.where(
-            alloc.opt_local, self.opt_time_local, self.opt_time_repo
+            alloc.opt_local, self.opt_time_local, self.opt_time_remote
         )
         weighted = m.opt_probs * per_entry
         out = np.bincount(m.opt_pages, weights=weighted, minlength=m.n_pages)
@@ -166,12 +212,36 @@ class CostModel:
 
     def page_times(self, alloc: Allocation) -> PageTimes:
         """Full per-page decomposition (Eq. 3-6)."""
-        local, remote = self.stream_times(
-            self.local_mo_bytes(alloc), self.remote_mo_bytes(alloc)
+        if self.n_streams == 2:
+            local, remote = self.stream_times(
+                self.local_mo_bytes(alloc), self.remote_mo_bytes(alloc)
+            )
+            page = np.maximum(local, remote)
+            optional = self.optional_times(alloc)
+            return PageTimes(
+                local=local, remote=remote, page=page, optional=optional
+            )
+        ctx = self.ctx
+        m = self.model
+        local = self.page_ovhd_local + self.page_spb_local * (
+            m.html_sizes + self.local_mo_bytes(alloc)
         )
+        by_stream = tuple(
+            ctx.page_ovhd_streams[r - 1] + ctx.page_spb_streams[r - 1] * rb
+            for r, rb in enumerate(self.remote_mo_bytes_by_stream(alloc), 1)
+        )
+        remote = by_stream[0]
+        for t in by_stream[1:]:
+            remote = np.maximum(remote, t)
         page = np.maximum(local, remote)
         optional = self.optional_times(alloc)
-        return PageTimes(local=local, remote=remote, page=page, optional=optional)
+        return PageTimes(
+            local=local,
+            remote=remote,
+            page=page,
+            optional=optional,
+            by_stream=by_stream,
+        )
 
     # ------------------------------------------------------------------
     # Eq. 7
@@ -224,12 +294,33 @@ class CostModel:
         tr = s.ovhd_repo[page_id] + s.spb_repo[page_id] * remote_mo_bytes
         return tl if tl >= tr else tr
 
+    def page_time_from_stream_bytes(
+        self, page_id: int, local_mo_bytes: float, stream_bytes
+    ) -> float:
+        """Eq. 5 over k streams for one page.
+
+        ``stream_bytes[r-1]`` is stream ``r``'s byte total.  With a
+        single remote stream this runs the exact expression sequence of
+        :meth:`page_time_from_bytes`.
+        """
+        s = self.scalars
+        t = s.ovhd_local[page_id] + s.spb_local[page_id] * (
+            s.html[page_id] + local_mo_bytes
+        )
+        for ovhd_r, spb_r, rb in zip(
+            s.ovhd_streams, s.spb_streams, stream_bytes
+        ):
+            tr = ovhd_r[page_id] + spb_r[page_id] * rb
+            if tr > t:
+                t = tr
+        return t
+
     def optional_entry_delta(self, entry: int, to_local: bool) -> float:
         """Change in ``alpha2 * D2`` from flipping one optional entry.
 
         Positive means the objective gets worse.
         """
-        diff = self.opt_time_local[entry] - self.opt_time_repo[entry]
+        diff = self.opt_time_local[entry] - self.opt_time_remote[entry]
         signed = diff if to_local else -diff
         return self.alpha2 * self.opt_freq_weight[entry] * signed
 
@@ -258,10 +349,34 @@ class CostModel:
         )
         return np.maximum(tl, tr)
 
+    def bulk_page_time_from_stream_bytes(
+        self,
+        page_ids: np.ndarray,
+        local_mo_bytes: np.ndarray,
+        stream_bytes,
+    ) -> np.ndarray:
+        """Vectorised :meth:`page_time_from_stream_bytes`.
+
+        ``stream_bytes`` is a sequence of k−1 arrays aligned with
+        ``page_ids``.  With one remote stream this is term-for-term the
+        :meth:`bulk_page_time_from_bytes` expression tree.
+        """
+        ctx = self.ctx
+        t = self.page_ovhd_local[page_ids] + self.page_spb_local[page_ids] * (
+            self.model.html_sizes[page_ids] + local_mo_bytes
+        )
+        for r, rb in enumerate(stream_bytes, 1):
+            t = np.maximum(
+                t,
+                ctx.page_ovhd_streams[r - 1][page_ids]
+                + ctx.page_spb_streams[r - 1][page_ids] * rb,
+            )
+        return t
+
     def bulk_optional_entry_delta(
         self, entries: np.ndarray, to_local: bool
     ) -> np.ndarray:
         """Vectorised :meth:`optional_entry_delta` over many entries."""
-        diff = self.opt_time_local[entries] - self.opt_time_repo[entries]
+        diff = self.opt_time_local[entries] - self.opt_time_remote[entries]
         signed = diff if to_local else -diff
         return self.alpha2 * self.opt_freq_weight[entries] * signed

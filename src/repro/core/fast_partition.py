@@ -54,6 +54,7 @@ from repro.obs.registry import get_registry
 
 __all__ = [
     "partition_pages_batched",
+    "partition_pages_multipath",
     "partition_all_batched",
     "comp_allowed_mask",
     "optional_marks_batched",
@@ -200,6 +201,97 @@ def partition_pages_batched(
     return marks, local_r[inv], remote_r[inv]
 
 
+def partition_pages_multipath(
+    model: SystemModel,
+    page_ids: np.ndarray | Collection[int] | None = None,
+    allowed_mask: np.ndarray | None = None,
+    order: str = "decreasing",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """k-way batched PARTITION: argmin over all streams per greedy step.
+
+    The batched counterpart of
+    :func:`~repro.core.partition.partition_page_streams`.  Each step
+    stacks the k candidate times as a ``(k, active)`` matrix — row 0 is
+    the local stream — and ``np.argmin`` picks the winner, so ties fall
+    to the lowest stream index exactly like the scalar reference (and,
+    at k=2, exactly like :func:`partition_pages_batched`'s
+    ``~(cand_remote < cand_local)`` rule).  Disallowed objects get row
+    0 masked to ``+inf``, leaving the argmin over the remote streams.
+
+    Returns
+    -------
+    (marks, streams, local_times, stream_times):
+        ``marks``/``streams`` are flat over all compulsory entries
+        (``streams`` is ``int8``, meaningful where the mark is
+        ``False``); ``local_times`` aligns with ``page_ids`` and
+        ``stream_times`` is ``(n_streams - 1, len(page_ids))``.
+    """
+    if page_ids is None:
+        pages = np.arange(model.n_pages, dtype=np.intp)
+    else:
+        pages = np.asarray(page_ids, dtype=np.intp)
+        if pages.ndim != 1:
+            raise ValueError("page_ids must be one-dimensional")
+    if order not in ("decreasing", "increasing", "document"):
+        raise ValueError(f"unknown sort order {order!r}")
+
+    reg = get_registry()
+    if reg.enabled:
+        reg.count("partition.multipath_calls")
+        reg.count("partition.multipath_pages", len(pages))
+
+    ne = len(model.comp_objects)
+    marks = np.zeros(ne, dtype=bool)
+    streams = np.ones(ne, dtype=np.int8)
+
+    ctx = EvalContext.for_model(model)
+    n_rem = ctx.n_streams - 1
+    spb_local = ctx.page_spb_local[pages]
+    local = ctx.page_ovhd_local[pages] + spb_local * ctx.html_sizes[pages]
+    spb_streams = np.stack([col[pages] for col in ctx.page_spb_streams])
+    remote = np.stack([col[pages] for col in ctx.page_ovhd_streams])
+
+    counts = model.comp_indptr[pages + 1] - model.comp_indptr[pages]
+    if len(pages) == 0 or counts.max(initial=0) == 0:
+        return marks, streams, local, remote
+
+    rank = np.argsort(-counts, kind="stable")
+    pages_r = pages[rank]
+    counts_r = counts[rank]
+    local_r = local[rank]
+    remote_r = remote[:, rank]
+    spb_local_r = spb_local[rank]
+    spb_streams_r = spb_streams[:, rank]
+
+    entry_sizes = model.comp_entry_sizes
+    max_k = int(counts_r[0])
+    active_at = np.searchsorted(-counts_r, -np.arange(max_k), side="left")
+
+    for t in range(max_k):
+        a = int(active_at[t])
+        e_t = _entry_tile_column(model, pages_r[:a], counts_r[:a], t, order)
+        size = entry_sizes[e_t]
+        cand_local = local_r[:a] + spb_local_r[:a] * size
+        cand_streams = remote_r[:, :a] + spb_streams_r[:, :a] * size
+        top = cand_local
+        if allowed_mask is not None:
+            top = np.where(allowed_mask[e_t], cand_local, np.inf)
+        choice = np.argmin(
+            np.concatenate([top[None, :], cand_streams], axis=0), axis=0
+        )
+        go_local = choice == 0
+        local_r[:a] = np.where(go_local, cand_local, local_r[:a])
+        for r in range(n_rem):
+            on_r = choice == r + 1
+            remote_r[r, :a] = np.where(on_r, cand_streams[r], remote_r[r, :a])
+        marks[e_t[go_local]] = True
+        streams[e_t[~go_local]] = choice[~go_local].astype(np.int8)
+
+    inv = np.empty_like(rank)
+    inv[rank] = np.arange(len(rank))
+    return marks, streams, local_r[inv], remote_r[:, inv]
+
+
 def optional_marks_batched(
     model: SystemModel,
     policy: str = "all",
@@ -221,7 +313,9 @@ def optional_marks_batched(
     elif policy == "beneficial":
         # the per-entry single-download times are exactly the "beneficial"
         # predicate's two sides, precomputed once in the context
-        marks = ctx.opt_time_local <= ctx.opt_time_repo
+        # (opt_time_remote IS opt_time_repo at k=2, the cheapest stream
+        # otherwise — matching the scalar _optional_marks)
+        marks = ctx.opt_time_local <= ctx.opt_time_remote
     else:
         raise ValueError(f"unknown optional policy {policy!r}")
     if allowed_per_server is not None:
@@ -250,11 +344,19 @@ def partition_all_batched(
     kernel and installs the marks through the bulk APIs.
     """
     mask = comp_allowed_mask(model, allowed_per_server)
-    comp_marks, _, _ = partition_pages_batched(
-        model, page_ids=None, allowed_mask=mask, order=order
-    )
+    if getattr(model, "n_streams", 2) > 2:
+        comp_marks, streams, _, _ = partition_pages_multipath(
+            model, page_ids=None, allowed_mask=mask, order=order
+        )
+    else:
+        streams = None
+        comp_marks, _, _ = partition_pages_batched(
+            model, page_ids=None, allowed_mask=mask, order=order
+        )
     opt_marks = optional_marks_batched(model, optional_policy, allowed_per_server)
     alloc = Allocation(model)
     alloc.set_comp_local_bulk(comp_marks.nonzero()[0], True)
     alloc.set_opt_local_bulk(opt_marks.nonzero()[0], True)
+    if streams is not None:
+        alloc.comp_stream[:] = streams
     return alloc

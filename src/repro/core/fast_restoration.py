@@ -44,8 +44,11 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.constraints import local_processing_load, storage_used
 from repro.core.cost_model import CostModel
-from repro.core.fast_partition import partition_pages_batched
-from repro.core.partition import partition_page
+from repro.core.fast_partition import (
+    partition_pages_batched,
+    partition_pages_multipath,
+)
+from repro.core.partition import partition_page, partition_page_streams
 
 __all__ = [
     "VectorLazyHeap",
@@ -483,23 +486,28 @@ class _EvictionScorer:
         m = alloc.model
         self.m = m
         ctx = alloc.ctx
+        self.n_rem = ctx.n_streams - 1
         # the per-server object-grouped CSR tables live in the shared
         # EvalContext (same layout _group_by_object produced per phase)
         self.ce, self.cstarts, self.ccounts = ctx.comp_group(server_id)
         pg = ctx.comp_pages[self.ce].astype(np.intp)
         self.pg = pg
-        # rows: ovhd_l, spb_l, ovhd_r, spb_r, html, alpha1*freq, size
-        self.attrs = np.vstack(
+        # rows: ovhd_l, spb_l, [ovhd_r, spb_r per remote stream],
+        # html, alpha1*freq, size — the k=2 layout is the classic
+        # 7-row [ovhd_l, spb_l, ovhd_repo, spb_repo, html, a1f, sz]
+        # because stream 1's columns alias the repository's.
+        rows = [ctx.page_ovhd_local[pg], ctx.page_spb_local[pg]]
+        for r in range(self.n_rem):
+            rows.append(ctx.page_ovhd_streams[r][pg])
+            rows.append(ctx.page_spb_streams[r][pg])
+        rows.extend(
             [
-                ctx.page_ovhd_local[pg],
-                ctx.page_spb_local[pg],
-                ctx.page_ovhd_repo[pg],
-                ctx.page_spb_repo[pg],
                 ctx.html_sizes[pg],
                 cost.alpha1 * ctx.comp_freq[self.ce],
                 ctx.comp_sizes[self.ce],
             ]
         )
+        self.attrs = np.vstack(rows)
         self.oe, self.ostarts, self.ocounts = ctx.opt_group(server_id)
         self.oterm = cost.bulk_optional_entry_delta(self.oe, to_local=False)
         self.sizes = m.sizes
@@ -519,25 +527,48 @@ class _EvictionScorer:
         comp_local: np.ndarray,
         opt_local: np.ndarray,
         LB: np.ndarray,
-        RB: np.ndarray,
+        RBs: list[np.ndarray],
         amortise: bool,
     ) -> np.ndarray:
-        """Fresh eviction scores for candidate objects ``cand``."""
+        """Fresh eviction scores for candidate objects ``cand``.
+
+        ``RBs[r-1]`` is stream ``r``'s per-page byte totals; at k=2 the
+        one-element list runs the classic two-stream expressions.  At
+        k>2 each marked entry is scored as moving to the remote stream
+        that ends up shortest after receiving it (the scalar
+        ``best_stream`` rule, ties to the lowest index).
+        """
         idx, owner = _expand(self.cstarts[cand], self.ccounts[cand])
         if len(idx):
             mk = comp_local[self.ce[idx]]
             idx = idx[mk]
             owner = owner[mk]
         pg = self.pg[idx]
-        ovl, spl, ovr, spr, html, a1f, sz = self.attrs[:, idx]
+        A = self.attrs[:, idx]
+        ovl, spl = A[0], A[1]
+        html, a1f, sz = A[-3], A[-2], A[-1]
         lb = LB[pg]
-        rb = RB[pg]
         tl = ovl + spl * (html + lb)
-        tr = ovr + spr * rb
-        old = np.maximum(tl, tr)
         tl2 = ovl + spl * (html + (lb - sz))
-        tr2 = ovr + spr * (rb + sz)
-        new = np.maximum(tl2, tr2)
+        if self.n_rem == 1:
+            ovr, spr = A[2], A[3]
+            rb = RBs[0][pg]
+            tr = ovr + spr * rb
+            old = np.maximum(tl, tr)
+            tr2 = ovr + spr * (rb + sz)
+            new = np.maximum(tl2, tr2)
+        else:
+            T = np.empty((self.n_rem, len(idx)))
+            T2 = np.empty_like(T)
+            for r in range(self.n_rem):
+                rb = RBs[r][pg]
+                T[r] = A[2 + 2 * r] + A[3 + 2 * r] * rb
+                T2[r] = A[2 + 2 * r] + A[3 + 2 * r] * (rb + sz)
+            old = np.maximum(tl, T.max(axis=0)) if len(idx) else tl
+            best = T2.argmin(axis=0)
+            ar = np.arange(T.shape[1])
+            T[best, ar] = T2[best, ar]
+            new = np.maximum(tl2, T.max(axis=0)) if len(idx) else tl2
         wc = a1f * (new - old)
         ocounts = self.ocounts[cand]
         if ocounts.any():
@@ -600,8 +631,16 @@ def restore_storage_batched(
         )
 
     scorer = _EvictionScorer(cost, alloc, server_id)
+    ctx = alloc.ctx
+    n_rem = ctx.n_streams - 1
     LB = cost.local_mo_bytes(alloc)
-    RB = cost.remote_mo_bytes(alloc)
+    if n_rem == 1:
+        RB = cost.remote_mo_bytes(alloc)
+        RBs = [RB]
+    else:
+        RBs = list(cost.remote_mo_bytes_by_stream(alloc))
+        RB = RBs[0]
+    comp_stream = alloc.comp_stream
     comp_local = alloc.comp_local
     opt_local = alloc.opt_local
     sizes_list = m.sizes.tolist()
@@ -618,7 +657,7 @@ def restore_storage_batched(
 
     init_keys = np.fromiter(replicas, dtype=np.intp, count=len(replicas))
     replica_mask[init_keys] = True
-    vals = scorer.flush(init_keys, comp_local, opt_local, LB, RB, amortise)
+    vals = scorer.flush(init_keys, comp_local, opt_local, LB, RBs, amortise)
     _bump(counters, len(init_keys))
     f[init_keys] = vals
     heap.push_batch(vals, init_keys)
@@ -630,29 +669,44 @@ def restore_storage_batched(
     def rescore(keys: np.ndarray) -> np.ndarray:
         """Scan-time refresh of candidates whose pages changed without a
         repartition push (the scalar path rescores them lazily on pop)."""
-        vals = scorer.flush(keys, comp_local, opt_local, LB, RB, amortise)
+        vals = scorer.flush(keys, comp_local, opt_local, LB, RBs, amortise)
         _bump(counters, len(keys))
         return vals
 
     def flush_batch(keys: list[int]) -> None:
         """Recompute + push fresh scores (the scalar post-change pushes)."""
         karr = np.asarray(keys, dtype=np.intp)
-        vals = scorer.flush(karr, comp_local, opt_local, LB, RB, amortise)
+        vals = scorer.flush(karr, comp_local, opt_local, LB, RBs, amortise)
         _bump(counters, len(karr))
         f[karr] = vals
         heap.push_batch(vals, karr)
 
-    def prepare_repartition(j: int, marks: np.ndarray):
+    def prepare_repartition(j: int, marks: np.ndarray, streams=None):
         """Diff ``marks`` against the current page state without mutating
         anything.  Page slices are disjoint, so every page of one
         eviction can be diffed up front — the state each diff sees is
-        the same one the scalar interleaved flip/diff sequence sees."""
+        the same one the scalar interleaved flip/diff sequence sees.
+
+        At k>2 ``streams`` is the page's re-partitioned stream vector; a
+        remote entry that merely hops streams counts as a change (its
+        page's stream totals shift) but does not enter the stale set —
+        matching the scalar ``apply_repartition``.
+        """
         sl = m.comp_slice(j)
         marks = np.asarray(marks, dtype=bool)
         cur = comp_local[sl.start : sl.stop]
         diff = cur != marks
         offs = diff.nonzero()[0]
-        if not len(offs):
+        hops = False
+        if streams is not None:
+            hops = bool(
+                np.any(
+                    ~cur
+                    & ~marks
+                    & (comp_stream[sl.start : sl.stop] != streams)
+                )
+            )
+        if not len(offs) and not hops:
             return None  # scalar: ``changed`` stays False, nothing pushed
         objs_page = comp_objects[sl.start : sl.stop]
         # stale set built with the scalar insertion sequence (ascending
@@ -660,29 +714,71 @@ def restore_storage_batched(
         # scalar's hash-order walk, so it must stay a real set
         stale = set(objs_page[(diff | marks).nonzero()[0]].tolist())
         push_keys = [k2 for k2 in stale if k2 in replicas]
-        return (j, sl.start, offs, objs_page[offs], marks[offs], stale, push_keys)
+        return (
+            j,
+            sl.start,
+            offs,
+            objs_page[offs],
+            marks[offs],
+            stale,
+            push_keys,
+            marks if streams is not None else None,
+            streams,
+        )
 
     def apply_flips(plan) -> None:
-        j, start, offs, flip_objs, flip_new, stale, _ = plan
-        # flips in ascending entry order through the per-entry setter,
-        # accumulating the byte totals one move at a time — the scalar
-        # float-op sequence exactly
-        lb = LB[j]
-        rb = RB[j]
-        for off, k2, newv in zip(
-            offs.tolist(), flip_objs.tolist(), flip_new.tolist()
-        ):
-            size2 = sizes_list[k2]
-            if newv:
-                alloc.set_comp_local(start + off, True)
-                lb += size2
-                rb -= size2
-            else:
-                alloc.set_comp_local(start + off, False)
-                lb -= size2
-                rb += size2
-        LB[j] = lb
-        RB[j] = rb
+        j, start, offs, flip_objs, flip_new, stale, _, marks_page, streams_page = plan
+        if streams_page is None:
+            # flips in ascending entry order through the per-entry
+            # setter, accumulating the byte totals one move at a time —
+            # the scalar float-op sequence exactly
+            lb = LB[j]
+            rb = RB[j]
+            for off, k2, newv in zip(
+                offs.tolist(), flip_objs.tolist(), flip_new.tolist()
+            ):
+                size2 = sizes_list[k2]
+                if newv:
+                    alloc.set_comp_local(start + off, True)
+                    lb += size2
+                    rb -= size2
+                else:
+                    alloc.set_comp_local(start + off, False)
+                    lb -= size2
+                    rb += size2
+            LB[j] = lb
+            RB[j] = rb
+        else:
+            # k>2: one ascending walk interleaving mark flips and stream
+            # hops, replaying the scalar ``apply_repartition`` loop
+            lb = LB[j]
+            for off in range(len(marks_page)):
+                e = start + off
+                newv = bool(marks_page[off])
+                if bool(comp_local[e]) != newv:
+                    k2 = int(comp_objects[e])
+                    size2 = sizes_list[k2]
+                    if newv:
+                        r_old = int(comp_stream[e])
+                        alloc.set_comp_local(e, True)
+                        lb += size2
+                        RBs[r_old - 1][j] -= size2
+                    else:
+                        r = int(streams_page[off])
+                        alloc.set_comp_local(e, False)
+                        comp_stream[e] = r
+                        lb -= size2
+                        RBs[r - 1][j] += size2
+                elif not newv:
+                    r_old = int(comp_stream[e])
+                    r = int(streams_page[off])
+                    if r_old != r:
+                        k2 = int(comp_objects[e])
+                        size2 = sizes_list[k2]
+                        RBs[r_old - 1][j] -= size2
+                        RBs[r - 1][j] += size2
+                        comp_stream[e] = r
+            LB[j] = lb
         stats.repartitioned_pages += 1
         # the pushed entries carry full fresh scores, so pending dirt on
         # these candidates is settled
@@ -690,13 +786,31 @@ def restore_storage_batched(
 
     def repartition_flipped(pages: list[int]) -> None:
         if len(pages) >= batch_min_pages:
-            batch_marks, _, _ = partition_pages_batched(
-                m, page_ids=pages, allowed_mask=allowed_mask
-            )
-            plans = [
-                prepare_repartition(j, batch_marks[m.comp_slice(j)])
-                for j in pages
-            ]
+            if n_rem > 1:
+                batch_marks, batch_streams, _, _ = partition_pages_multipath(
+                    m, page_ids=pages, allowed_mask=allowed_mask
+                )
+                plans = []
+                for j in pages:
+                    sl = m.comp_slice(j)
+                    plans.append(
+                        prepare_repartition(
+                            j, batch_marks[sl], batch_streams[sl]
+                        )
+                    )
+            else:
+                batch_marks, _, _ = partition_pages_batched(
+                    m, page_ids=pages, allowed_mask=allowed_mask
+                )
+                plans = [
+                    prepare_repartition(j, batch_marks[m.comp_slice(j)])
+                    for j in pages
+                ]
+        elif n_rem > 1:
+            plans = []
+            for j in pages:
+                pm, ps, _, _ = partition_page_streams(m, j, allowed=replicas)
+                plans.append(prepare_repartition(j, pm, ps))
         else:
             plans = [
                 prepare_repartition(j, partition_page(m, j, allowed=replicas)[0])
@@ -750,10 +864,27 @@ def restore_storage_batched(
         flip_e = comp_e[marked]
         flip_pages = m.comp_pages[flip_e]
         flipped_pages = flip_pages.tolist()
-        for e, j in zip(flip_e.tolist(), flipped_pages):
-            alloc.set_comp_local(e, False)
-            LB[j] -= size
-            RB[j] += size
+        if n_rem == 1:
+            for e, j in zip(flip_e.tolist(), flipped_pages):
+                alloc.set_comp_local(e, False)
+                LB[j] -= size
+                RB[j] += size
+        else:
+            for e, j in zip(flip_e.tolist(), flipped_pages):
+                alloc.set_comp_local(e, False)
+                # scalar best_stream rule: lowest time after +size wins,
+                # ties to the lowest stream index
+                best = 0
+                best_t = None
+                for r in range(n_rem):
+                    t = ctx.page_ovhd_streams[r][j] + ctx.page_spb_streams[
+                        r
+                    ][j] * (RBs[r][j] + size)
+                    if best_t is None or t < best_t:
+                        best, best_t = r, t
+                comp_stream[e] = best + 1
+                LB[j] -= size
+                RBs[best][j] += size
         opt_e = scorer.opt_entries(k)
         for e in opt_e[opt_local[opt_e]].tolist():
             alloc.set_opt_local(e, False)
@@ -808,8 +939,15 @@ def restore_processing_batched(
         )
 
     ctx = alloc.ctx
+    n_rem = ctx.n_streams - 1
     LB = cost.local_mo_bytes(alloc)
-    RB = cost.remote_mo_bytes(alloc)
+    if n_rem == 1:
+        RB = cost.remote_mo_bytes(alloc)
+        RBs = [RB]
+    else:
+        RBs = list(cost.remote_mo_bytes_by_stream(alloc))
+        RB = RBs[0]
+    comp_stream = alloc.comp_stream
     NC = len(m.comp_objects)
     n_keys = NC + len(m.opt_objects)
     f = np.zeros(n_keys)
@@ -821,9 +959,29 @@ def restore_processing_batched(
         j = ctx.comp_pages[entries]
         size = ctx.comp_sizes[entries]
         lb = LB[j]
-        rb = RB[j]
-        old = cost.bulk_page_time_from_bytes(j, lb, rb)
-        new = cost.bulk_page_time_from_bytes(j, lb - size, rb + size)
+        if n_rem == 1:
+            rb = RB[j]
+            old = cost.bulk_page_time_from_bytes(j, lb, rb)
+            new = cost.bulk_page_time_from_bytes(j, lb - size, rb + size)
+        else:
+            # move-remote lands on the per-entry best stream (scalar
+            # ``page_time_if_moved_remote`` rule)
+            sbs = [rb_arr[j] for rb_arr in RBs]
+            old = cost.bulk_page_time_from_stream_bytes(j, lb, sbs)
+            T = np.empty((n_rem, len(entries)))
+            T2 = np.empty_like(T)
+            for r in range(n_rem):
+                ov = ctx.page_ovhd_streams[r][j]
+                sp = ctx.page_spb_streams[r][j]
+                T[r] = ov + sp * sbs[r]
+                T2[r] = ov + sp * (sbs[r] + size)
+            best = T2.argmin(axis=0)
+            ar = np.arange(len(entries))
+            T[best, ar] = T2[best, ar]
+            tl2 = ctx.page_ovhd_local[j] + ctx.page_spb_local[j] * (
+                ctx.html_sizes[j] + (lb - size)
+            )
+            new = np.maximum(tl2, T.max(axis=0)) if len(entries) else tl2
         shed = ctx.comp_freq[entries]
         raw = (cost.alpha1 * shed) * (new - old)
         out = np.full(len(entries), np.inf)
@@ -879,8 +1037,21 @@ def restore_processing_batched(
             shed = float(ctx.comp_freq[e])
             size = float(m.sizes[k])
             alloc.set_comp_local(e, False)
-            LB[j] -= size
-            RB[j] += size
+            if n_rem == 1:
+                LB[j] -= size
+                RB[j] += size
+            else:
+                best = 0
+                best_t = None
+                for r in range(n_rem):
+                    t = ctx.page_ovhd_streams[r][j] + ctx.page_spb_streams[
+                        r
+                    ][j] * (RBs[r][j] + size)
+                    if best_t is None or t < best_t:
+                        best, best_t = r, t
+                comp_stream[e] = best + 1
+                LB[j] -= size
+                RBs[best][j] += size
             alive[e] = False
             # every other local candidate of this page is now stale; the
             # scalar loop pushes each sibling with a fresh score (one
@@ -928,6 +1099,12 @@ def absorb_extra_workload_batched(
     """Batched twin of ``offload.absorb_extra_workload``."""
     from repro.core.offload import _try_make_room
 
+    if alloc.ctx.n_streams > 2:
+        raise NotImplementedError(
+            "OFF_LOADING absorption supports the k=2 topology only; "
+            "k-stream off-loading is a planned follow-up (k>2 scenarios "
+            "model the repository tier as uncapacitated)"
+        )
     if target <= _TOL:
         return 0.0
     m = alloc.model

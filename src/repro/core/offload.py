@@ -310,6 +310,12 @@ def absorb_extra_workload(
         absorption sequences.
     """
     kernel = engine_kernel(resolve_kernel(kernel))
+    if alloc.ctx.n_streams > 2:
+        raise NotImplementedError(
+            "OFF_LOADING absorption supports the k=2 topology only; "
+            "k-stream off-loading is a planned follow-up (k>2 scenarios "
+            "model the repository tier as uncapacitated)"
+        )
     if kernel == "batched":
         # local import keeps the scalar path importable without NumPy
         # fanciness and avoids a module-level cycle
@@ -560,6 +566,12 @@ def offload_repository(
     )
     if np.isinf(repo_cap) or initial <= repo_cap + _TOL:
         return outcome
+    if alloc.ctx.n_streams > 2:
+        raise NotImplementedError(
+            "OFF_LOADING_REPOSITORY supports the k=2 topology only; "
+            "give the k-stream replica mesh an uncapacitated repository "
+            "(the negotiation protocol's k>2 form is a planned follow-up)"
+        )
 
     reg = get_registry()
     absorb_round = absorb_round_serial if scatter is None else scatter

@@ -33,12 +33,13 @@ from typing import Collection, Literal
 import numpy as np
 
 from repro.core.allocation import Allocation
-from repro.core.context import Kernel, engine_kernel, resolve_kernel
+from repro.core.context import EvalContext, Kernel, engine_kernel, resolve_kernel
 from repro.core.types import SystemModel
 from repro.obs.registry import get_registry
 
 __all__ = [
     "partition_page",
+    "partition_page_streams",
     "partition_all",
     "resolve_kernel",
     "OptionalPolicy",
@@ -136,6 +137,94 @@ def partition_page(
     return marks, local_time, remote_time
 
 
+def partition_page_streams(
+    model: SystemModel,
+    page_id: int,
+    allowed: Collection[int] | None = None,
+    order: SortOrder = "decreasing",
+) -> tuple[np.ndarray, np.ndarray, float, list[float]]:
+    """k-way PARTITION for one page: greedy argmin over all streams.
+
+    The k-stream generalization of :func:`partition_page`.  Each object
+    lands on whichever stream — local, or any of the k−1 remote streams
+    — would end up shortest after receiving it, ties broken by lowest
+    stream index (local = 0 beats every remote, the repository beats
+    the extra replica sites).  A disallowed object takes the argmin over
+    the remote streams only.  With the degenerate k=2 topology every
+    comparison collapses to ``cand_remote < cand_local`` — the scalar
+    reference's exact tie rule — so marks and times are bit-identical
+    to :func:`partition_page`.
+
+    Returns
+    -------
+    (marks, streams, local_time, stream_times):
+        ``marks`` as in :func:`partition_page`; ``streams`` the per-
+        entry owning remote stream (``int8``, meaningful where the mark
+        is ``False``); ``stream_times[r-1]`` the Eq. 4 analog of remote
+        stream ``r``.
+    """
+    ctx = EvalContext.for_model(model, "scalar")
+    s = ctx.scalars
+    n_rem = ctx.n_streams - 1
+    spb_local = s.spb_local[page_id]
+    local_time = s.ovhd_local[page_id] + spb_local * s.html[page_id]
+    spb_streams = [col[page_id] for col in s.spb_streams]
+    stream_times = [col[page_id] for col in s.ovhd_streams]
+
+    sl = model.comp_slice(page_id)
+    start = sl.start
+    n = sl.stop - start
+    marks = np.zeros(n, dtype=bool)
+    streams = np.ones(n, dtype=np.int8)
+    if n == 0:
+        return marks, streams, local_time, stream_times
+
+    sorted_entries, comp_objects, entry_sizes = model.fast_comp
+    if order == "decreasing":
+        iteration = sorted_entries[start : sl.stop]
+    elif order == "increasing":
+        iteration = sorted_entries[start : sl.stop][::-1]
+    elif order == "document":
+        iteration = range(start, sl.stop)
+    else:
+        raise ValueError(f"unknown sort order {order!r}")
+
+    if allowed is None:
+        allowed_set = None
+    elif isinstance(allowed, (set, frozenset)):
+        allowed_set = allowed
+    else:
+        allowed_set = set(allowed)
+    for e in iteration:
+        k = comp_objects[e]
+        size = entry_sizes[e]
+        if allowed_set is not None and k not in allowed_set:
+            best = 0
+            best_t = stream_times[0] + spb_streams[0] * size
+            for r in range(1, n_rem):
+                t = stream_times[r] + spb_streams[r] * size
+                if t < best_t:
+                    best, best_t = r, t
+            stream_times[best] = best_t
+            streams[e - start] = best + 1
+            continue
+        # argmin over [local, stream 1, …, stream k-1]; a later stream
+        # must be STRICTLY shorter to win (lowest index takes ties)
+        best = -1
+        best_t = local_time + spb_local * size
+        for r in range(n_rem):
+            t = stream_times[r] + spb_streams[r] * size
+            if t < best_t:
+                best, best_t = r, t
+        if best < 0:
+            local_time = best_t
+            marks[e - start] = True
+        else:
+            stream_times[best] = best_t
+            streams[e - start] = best + 1
+    return marks, streams, local_time, stream_times
+
+
 def _optional_marks(
     model: SystemModel,
     page_id: int,
@@ -147,6 +236,11 @@ def _optional_marks(
     if n == 0 or policy == "none":
         return np.zeros(n, dtype=bool)
     srv = model.servers[page.server]
+    n_streams = getattr(model, "n_streams", 2)
+    if policy == "beneficial" and n_streams > 2:
+        s = EvalContext.for_model(model, "scalar").scalars
+        spb_streams = [col[page_id] for col in s.spb_streams]
+        ovhd_streams = [col[page_id] for col in s.ovhd_streams]
     allowed_set = None if allowed is None else set(allowed)
     marks = np.zeros(n, dtype=bool)
     for pos, k in enumerate(page.optional):
@@ -158,6 +252,12 @@ def _optional_marks(
             size = model.sizes[k]
             t_local = srv.overhead + srv.spb * size
             t_repo = srv.repo_overhead + srv.repo_spb * size
+            if n_streams > 2:
+                # against the cheapest remote stream, not just the repo
+                t_repo = min(
+                    o + s_r * size
+                    for o, s_r in zip(ovhd_streams, spb_streams)
+                )
             marks[pos] = t_local <= t_repo
     return marks
 
@@ -211,6 +311,7 @@ def partition_all(
             )
         else:
             alloc = Allocation(model)
+            multipath = getattr(model, "n_streams", 2) > 2
             for j in range(model.n_pages):
                 page = model.pages[j]
                 allowed = (
@@ -218,8 +319,16 @@ def partition_all(
                     if allowed_per_server is None
                     else allowed_per_server.get(page.server, ())
                 )
-                comp_marks, _, _ = partition_page(model, j, allowed, order=order)
                 sl = model.comp_slice(j)
+                if multipath:
+                    comp_marks, streams, _, _ = partition_page_streams(
+                        model, j, allowed, order=order
+                    )
+                    alloc.comp_stream[sl] = streams
+                else:
+                    comp_marks, _, _ = partition_page(
+                        model, j, allowed, order=order
+                    )
                 for off, val in enumerate(comp_marks):
                     if val:
                         alloc.set_comp_local(sl.start + off, True)

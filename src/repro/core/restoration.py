@@ -40,9 +40,17 @@ import numpy as np
 from repro.core.allocation import Allocation, ReverseIndex
 from repro.core.constraints import local_processing_load
 from repro.core.cost_model import CostModel
-from repro.core.fast_partition import partition_pages_batched
+from repro.core.fast_partition import (
+    partition_pages_batched,
+    partition_pages_multipath,
+)
 from repro.core.context import engine_kernel
-from repro.core.partition import Kernel, partition_page, resolve_kernel
+from repro.core.partition import (
+    Kernel,
+    partition_page,
+    partition_page_streams,
+    resolve_kernel,
+)
 from repro.obs.registry import get_registry
 
 __all__ = [
@@ -144,36 +152,86 @@ class _PageState:
     Kept as plain Python lists: the greedy loops evaluate single-page
     times millions of times, and list indexing is several times faster
     than NumPy scalar indexing.
+
+    At k=2 ``stream_bytes`` is the one-element list whose element IS
+    ``remote_bytes`` (shared list object), and every method runs the
+    pre-stream expression sequence verbatim; at k>2 the remote totals
+    are tracked per stream and moves to remote land on the stream whose
+    resulting time is lowest (ties to the lowest stream index).
     """
 
     def __init__(self, cost: CostModel, alloc: Allocation):
         self.cost = cost
         self.alloc = alloc
+        self.k = cost.n_streams
         self.local_bytes: list[float] = cost.local_mo_bytes(alloc).tolist()
-        self.remote_bytes: list[float] = cost.remote_mo_bytes(alloc).tolist()
+        if self.k == 2:
+            self.remote_bytes: list[float] = cost.remote_mo_bytes(alloc).tolist()
+            self.stream_bytes: list[list[float]] = [self.remote_bytes]
+        else:
+            self.stream_bytes = [
+                rb.tolist() for rb in cost.remote_mo_bytes_by_stream(alloc)
+            ]
+            self.remote_bytes = self.stream_bytes[0]
 
     def page_time(self, j: int) -> float:
-        return self.cost.page_time_from_bytes(
-            j, self.local_bytes[j], self.remote_bytes[j]
+        if self.k == 2:
+            return self.cost.page_time_from_bytes(
+                j, self.local_bytes[j], self.remote_bytes[j]
+            )
+        return self.cost.page_time_from_stream_bytes(
+            j, self.local_bytes[j], [sb[j] for sb in self.stream_bytes]
         )
 
-    def page_time_if_moved_remote(self, j: int, size: float) -> float:
-        return self.cost.page_time_from_bytes(
-            j, self.local_bytes[j] - size, self.remote_bytes[j] + size
+    def best_stream(self, j: int, size: float) -> int:
+        """Remote stream (1-based) with the lowest time after +``size``."""
+        if self.k == 2:
+            return 1
+        s = self.cost.scalars
+        best = 0
+        best_t = None
+        for r, (ov, sp, sb) in enumerate(
+            zip(s.ovhd_streams, s.spb_streams, self.stream_bytes)
+        ):
+            t = ov[j] + sp[j] * (sb[j] + size)
+            if best_t is None or t < best_t:
+                best, best_t = r, t
+        return best + 1
+
+    def page_time_if_moved_remote(
+        self, j: int, size: float, stream: int | None = None
+    ) -> float:
+        if self.k == 2:
+            return self.cost.page_time_from_bytes(
+                j, self.local_bytes[j] - size, self.remote_bytes[j] + size
+            )
+        r = self.best_stream(j, size) if stream is None else stream
+        sb = [b[j] for b in self.stream_bytes]
+        sb[r - 1] += size
+        return self.cost.page_time_from_stream_bytes(
+            j, self.local_bytes[j] - size, sb
         )
 
-    def page_time_if_moved_local(self, j: int, size: float) -> float:
-        return self.cost.page_time_from_bytes(
-            j, self.local_bytes[j] + size, self.remote_bytes[j] - size
+    def page_time_if_moved_local(
+        self, j: int, size: float, stream: int = 1
+    ) -> float:
+        if self.k == 2:
+            return self.cost.page_time_from_bytes(
+                j, self.local_bytes[j] + size, self.remote_bytes[j] - size
+            )
+        sb = [b[j] for b in self.stream_bytes]
+        sb[stream - 1] -= size
+        return self.cost.page_time_from_stream_bytes(
+            j, self.local_bytes[j] + size, sb
         )
 
-    def move_remote(self, j: int, size: float) -> None:
+    def move_remote(self, j: int, size: float, stream: int = 1) -> None:
         self.local_bytes[j] -= size
-        self.remote_bytes[j] += size
+        self.stream_bytes[stream - 1][j] += size
 
-    def move_local(self, j: int, size: float) -> None:
+    def move_local(self, j: int, size: float, stream: int = 1) -> None:
         self.local_bytes[j] += size
-        self.remote_bytes[j] -= size
+        self.stream_bytes[stream - 1][j] -= size
 
 
 def _eviction_delta(
@@ -307,21 +365,45 @@ def _restore_storage_one_server(
         enough to amortize its fixed NumPy dispatch cost, so small sets
         take the scalar greedy even under ``kernel="batched"``.
         """
+        multipath = state.k > 2
         if kernel == "batched" and len(pages) >= _BATCH_MIN_PAGES:
-            batch_marks, _, _ = partition_pages_batched(
-                m, page_ids=pages, allowed_mask=allowed_mask
-            )
-            for j in pages:
-                apply_repartition(j, batch_marks[m.comp_slice(j)])
+            if multipath:
+                batch_marks, batch_streams, _, _ = partition_pages_multipath(
+                    m, page_ids=pages, allowed_mask=allowed_mask
+                )
+                for j in pages:
+                    sl = m.comp_slice(j)
+                    apply_repartition(
+                        j, batch_marks[sl], batch_streams[sl]
+                    )
+            else:
+                batch_marks, _, _ = partition_pages_batched(
+                    m, page_ids=pages, allowed_mask=allowed_mask
+                )
+                for j in pages:
+                    apply_repartition(j, batch_marks[m.comp_slice(j)])
         else:
             for j in pages:
-                marks, _, _ = partition_page(
-                    m, j, allowed=alloc.replicas[server_id]
-                )
-                apply_repartition(j, marks)
+                if multipath:
+                    marks, streams, _, _ = partition_page_streams(
+                        m, j, allowed=alloc.replicas[server_id]
+                    )
+                    apply_repartition(j, marks, streams)
+                else:
+                    marks, _, _ = partition_page(
+                        m, j, allowed=alloc.replicas[server_id]
+                    )
+                    apply_repartition(j, marks)
 
-    def apply_repartition(j: int, marks: np.ndarray) -> None:
-        """Install page ``j``'s re-partitioned marks, refreshing state."""
+    def apply_repartition(
+        j: int, marks: np.ndarray, streams: np.ndarray | None = None
+    ) -> None:
+        """Install page ``j``'s re-partitioned marks, refreshing state.
+
+        At k>2 ``streams`` carries the per-entry owning remote stream; a
+        remote entry that merely changed stream still shifts the page's
+        stream totals, so it counts as a change.
+        """
         sl = m.comp_slice(j)
         stale: set[int] = set()
         changed = False
@@ -332,17 +414,37 @@ def _restore_storage_one_server(
             if bool(alloc.comp_local[e]) != new:
                 size = float(m.sizes[k])
                 if new:
-                    alloc.set_comp_local(e, True)
-                    state.move_local(j, size)
+                    if streams is not None:
+                        state.move_local(j, size, int(alloc.comp_stream[e]))
+                        alloc.set_comp_local(e, True)
+                    else:
+                        alloc.set_comp_local(e, True)
+                        state.move_local(j, size)
                 else:
                     alloc.set_comp_local(e, False)
-                    state.move_remote(j, size)
+                    if streams is not None:
+                        r = int(streams[off])
+                        alloc.comp_stream[e] = r
+                        state.move_remote(j, size, r)
+                    else:
+                        state.move_remote(j, size)
                 changed = True
                 stale.add(k)
             elif new:
                 # still marked local: its eviction delta shifts with the
                 # page's new stream totals
                 stale.add(k)
+            elif streams is not None and int(alloc.comp_stream[e]) != int(
+                streams[off]
+            ):
+                # remote entry hopping streams: totals shift on both
+                size = float(m.sizes[k])
+                old_r = int(alloc.comp_stream[e])
+                r = int(streams[off])
+                state.stream_bytes[old_r - 1][j] -= size
+                state.stream_bytes[r - 1][j] += size
+                alloc.comp_stream[e] = r
+                changed = True
         if changed:
             stats.repartitioned_pages += 1
             replicas = alloc.replicas[server_id]
@@ -370,7 +472,12 @@ def _restore_storage_one_server(
             if alloc.comp_local[e]:
                 j = int(m.comp_pages[e])
                 alloc.set_comp_local(e, False)
-                state.move_remote(j, size)
+                if state.k > 2:
+                    r = state.best_stream(j, size)
+                    alloc.comp_stream[e] = r
+                    state.move_remote(j, size, r)
+                else:
+                    state.move_remote(j, size)
                 flipped_pages.append(j)
         for e in opt_e:
             if alloc.opt_local[e]:
@@ -586,7 +693,12 @@ def _restore_processing_one_server(
             k = int(m.comp_objects[e])
             size = float(m.sizes[k])
             alloc.set_comp_local(e, False)
-            state.move_remote(j, size)
+            if state.k > 2:
+                r = state.best_stream(j, size)
+                alloc.comp_stream[e] = r
+                state.move_remote(j, size, r)
+            else:
+                state.move_remote(j, size)
             # every other local candidate of this page is now stale
             sl = m.comp_slice(j)
             for e2 in range(sl.start, sl.stop):

@@ -1257,6 +1257,12 @@ def run_sharded_policy(
     """
     from repro.core.policy import PolicyResult
 
+    if getattr(model, "n_streams", 2) > 2:
+        raise NotImplementedError(
+            "the sharded kernel supports the k=2 topology only; run "
+            'kernel="batched" or "scalar" for k-stream replica meshes '
+            "(sharded k>2 is a planned follow-up)"
+        )
     reg = obs.get_registry()
     cost = CostModel(model, alpha1, alpha2)
     n_shards = resolve_shards(shards, n_servers=model.n_servers)

@@ -29,17 +29,19 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_nonnegative, check_positive, env_positive_int
 
 __all__ = [
     "ObjectSpec",
     "PageSpec",
     "ServerSpec",
     "RepositorySpec",
+    "StreamTopology",
     "SystemModel",
     "ColumnarModel",
     "MODEL_COLUMN_FIELDS",
     "restrict_to_servers",
+    "resolve_streams",
 ]
 
 
@@ -230,6 +232,101 @@ class RepositorySpec:
             )
 
 
+@dataclass(frozen=True)
+class StreamTopology:
+    """The remote half of a k-stream replica mesh (Eq. 3-5 generalised).
+
+    A page hosted on server ``S_i`` downloads over ``k`` pipelined
+    parallel streams: the local server (stream 0) plus ``k-1`` remote
+    sources — the repository and, for ``k > 2``, additional replica
+    sites.  This topology holds the per-server network estimates of the
+    **remote** streams as ``(n_servers, k-1)`` arrays; stream index 0 of
+    the remote axis (global stream 1) *is* the repository connection and
+    must match every server's ``repo_rate`` / ``repo_overhead`` — the
+    classic paper model is the degenerate single-column ``k = 2`` case.
+
+    Attributes
+    ----------
+    rates:
+        ``B(r, S_i)`` in bytes/second, shape ``(n_servers, k-1)``.
+    overheads:
+        ``Ovhd(r, S_i)`` in seconds, same shape.
+    """
+
+    rates: np.ndarray
+    overheads: np.ndarray
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=np.float64)
+        overheads = np.asarray(self.overheads, dtype=np.float64)
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "overheads", overheads)
+        if rates.ndim != 2 or overheads.shape != rates.shape:
+            raise ValueError(
+                "StreamTopology rates/overheads must be matching "
+                f"(n_servers, k-1) matrices, got {rates.shape} and "
+                f"{overheads.shape}"
+            )
+        if rates.shape[1] < 1:
+            raise ValueError(
+                "StreamTopology needs at least one remote stream (the "
+                "repository connection)"
+            )
+        if not (np.isfinite(rates).all() and (rates > 0).all()):
+            raise ValueError("StreamTopology rates must be finite and positive")
+        if not (np.isfinite(overheads).all() and (overheads >= 0).all()):
+            raise ValueError(
+                "StreamTopology overheads must be finite and non-negative"
+            )
+
+    @property
+    def n_streams(self) -> int:
+        """Total stream count ``k`` (local + remote columns)."""
+        return 1 + self.rates.shape[1]
+
+    @classmethod
+    def degenerate(cls, servers: Sequence[ServerSpec]) -> "StreamTopology":
+        """The classic ``k = 2`` topology: repository connection only."""
+        return cls(
+            rates=np.array([[sv.repo_rate] for sv in servers]),
+            overheads=np.array([[sv.repo_overhead] for sv in servers]),
+        )
+
+
+def resolve_streams(
+    streams: int | None = None, n_repositories: int | None = None
+) -> int:
+    """Resolve the stream count ``k``: explicit value, else ``REPRO_STREAMS``.
+
+    Mirrors ``repro.core.shard.resolve_shards``: explicit non-positive /
+    non-integer values and malformed environment values raise
+    :class:`ValueError` naming the offending source.  Unset values
+    default to the paper's ``k = 2`` (local + repository).  With
+    ``n_repositories`` known (the scenario's repository-grade remote
+    sources), any request exceeding ``1 + n_repositories`` is rejected —
+    every remote stream needs a source to serve it.
+    """
+    if streams is None:
+        streams = env_positive_int("REPRO_STREAMS", default=None)
+    elif isinstance(streams, bool) or not isinstance(streams, int):
+        raise ValueError(f"streams must be a positive integer, got {streams!r}")
+    elif streams <= 0:
+        raise ValueError(f"streams must be a positive integer, got {streams}")
+    if streams is None:
+        streams = 2
+    if streams < 2:
+        raise ValueError(
+            f"streams must be at least 2 (the local server plus the "
+            f"repository), got {streams}"
+        )
+    if n_repositories is not None and streams > 1 + n_repositories:
+        raise ValueError(
+            f"streams must not exceed 1 + the scenario's repository count "
+            f"({1 + n_repositories}), got {streams}"
+        )
+    return streams
+
+
 class SystemModel:
     """The full ``(servers, repository, pages, objects)`` universe.
 
@@ -256,6 +353,12 @@ class SystemModel:
         object id must exist and each ``server`` index must be valid.
     objects:
         Object specs, ordered by ``object_id`` (checked).
+    topology:
+        Optional :class:`StreamTopology` describing the remote streams of
+        a ``k > 2`` replica mesh.  ``None`` (the default) is the paper's
+        two-stream model; the repository columns are then synthesised
+        from each server's ``repo_rate`` / ``repo_overhead``, so every
+        existing call site sees a degenerate ``k = 2`` topology.
     """
 
     def __init__(
@@ -264,13 +367,35 @@ class SystemModel:
         repository: RepositorySpec,
         pages: Sequence[PageSpec],
         objects: Sequence[ObjectSpec],
+        topology: StreamTopology | None = None,
     ):
         self.servers: tuple[ServerSpec, ...] = tuple(servers)
         self.repository = repository
         self.pages: tuple[PageSpec, ...] = tuple(pages)
         self.objects: tuple[ObjectSpec, ...] = tuple(objects)
         self._validate_ids()
-        self._build_arrays()
+        self._validate_topology(topology)
+        self._build_arrays(topology)
+
+    def _validate_topology(self, topology: StreamTopology | None) -> None:
+        if topology is None:
+            return
+        if topology.rates.shape[0] != len(self.servers):
+            raise ValueError(
+                f"topology covers {topology.rates.shape[0]} servers but the "
+                f"model has {len(self.servers)}"
+            )
+        repo_rate = np.array([sv.repo_rate for sv in self.servers])
+        repo_ovhd = np.array([sv.repo_overhead for sv in self.servers])
+        if not (
+            np.array_equal(topology.rates[:, 0], repo_rate)
+            and np.array_equal(topology.overheads[:, 0], repo_ovhd)
+        ):
+            raise ValueError(
+                "topology stream 1 must be the repository connection: its "
+                "rates/overheads column 0 must equal every server's "
+                "repo_rate/repo_overhead"
+            )
 
     # ------------------------------------------------------------------
     # validation
@@ -311,7 +436,7 @@ class SystemModel:
     # ------------------------------------------------------------------
     # flat array views
     # ------------------------------------------------------------------
-    def _build_arrays(self) -> None:
+    def _build_arrays(self, topology: StreamTopology | None = None) -> None:
         n, m, s = len(self.pages), len(self.objects), len(self.servers)
         self.n_pages = n
         self.n_objects = m
@@ -364,6 +489,19 @@ class SystemModel:
         self.server_capacity = np.array(
             [sv.processing_capacity for sv in self.servers], dtype=np.float64
         )
+
+        # Remote-stream columns, shape (n_servers, k-1): column 0 is the
+        # repository connection (identical values to the server_repo_*
+        # arrays), further columns are replica-mesh sites.  Always built
+        # so every consumer — shm shipping, ColumnarModel, server-subset
+        # slicing — handles k uniformly; the classic model is k = 2.
+        if topology is None:
+            self.stream_rates = self.server_repo_rate.reshape(s, 1).copy()
+            self.stream_overheads = self.server_repo_overhead.reshape(s, 1).copy()
+        else:
+            self.stream_rates = topology.rates
+            self.stream_overheads = topology.overheads
+        self.n_streams = 1 + self.stream_rates.shape[1]
 
         pages_by_server: list[list[int]] = [[] for _ in range(s)]
         for j, p in enumerate(self.pages):
@@ -478,6 +616,8 @@ MODEL_COLUMN_FIELDS: tuple[str, ...] = (
     "server_capacity",
     "comp_entry_sizes",
     "comp_sorted",
+    "stream_rates",
+    "stream_overheads",
 )
 
 
@@ -527,6 +667,7 @@ class ColumnarModel(SystemModel):
         self.n_pages = len(self.html_sizes)
         self.n_objects = len(self.sizes)
         self.n_servers = len(self.server_rate)
+        self.n_streams = 1 + self.stream_rates.shape[1]
         return self
 
     # ------------------------------------------------------------------
@@ -697,6 +838,8 @@ def restrict_to_servers(
         "server_capacity": model.server_capacity[srvs],
         "comp_entry_sizes": model.comp_entry_sizes[comp_sel],
         "comp_sorted": comp_sorted,
+        "stream_rates": model.stream_rates[srvs],
+        "stream_overheads": model.stream_overheads[srvs],
     }
     sub = ColumnarModel.from_columns(columns, model.repository)
     maps = {

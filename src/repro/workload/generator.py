@@ -21,7 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.types import ObjectSpec, PageSpec, RepositorySpec, ServerSpec, SystemModel
+from repro.core.types import (
+    ObjectSpec,
+    PageSpec,
+    RepositorySpec,
+    ServerSpec,
+    StreamTopology,
+    SystemModel,
+)
 from repro.util.rng import RngFactory
 from repro.util.units import kbps_to_bps
 from repro.workload.params import WorkloadParams
@@ -158,5 +165,30 @@ def generate_workload(
             )
             page_id += 1
 
+    # 4. replica mesh (k > 2 only) ---------------------------------------
+    # The "mesh" RNG stream is only ever created when extra replica
+    # sites exist, so every k = 2 workload remains bit-identical to the
+    # pre-mesh generator at any seed.
+    topology = None
+    if p.n_streams > 2:
+        rng_mesh = factory.generator("mesh")
+        n_extra = p.n_streams - 2
+        extra_rates = np.empty((p.n_servers, n_extra))
+        extra_ovhd = np.empty((p.n_servers, n_extra))
+        for i in range(p.n_servers):
+            for r in range(n_extra):
+                extra_rates[i, r] = kbps_to_bps(
+                    _uniform_in(rng_mesh, p.repo_rate_range_kbps)
+                )
+                extra_ovhd[i, r] = _uniform_in(rng_mesh, p.repo_overhead_range)
+        topology = StreamTopology(
+            rates=np.column_stack(
+                [np.array([s.repo_rate for s in servers]), extra_rates]
+            ),
+            overheads=np.column_stack(
+                [np.array([s.repo_overhead for s in servers]), extra_ovhd]
+            ),
+        )
+
     repository = RepositorySpec(processing_capacity=p.repository_capacity)
-    return SystemModel(servers, repository, pages, objects)
+    return SystemModel(servers, repository, pages, objects, topology=topology)

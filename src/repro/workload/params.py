@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Any
 
+from repro.core.types import resolve_streams
 from repro.workload.sizes import DEFAULT_HTML_SIZES, DEFAULT_MO_SIZES, SizeMixture
 
 __all__ = ["WorkloadParams"]
@@ -113,6 +114,18 @@ class WorkloadParams:
     default keeps sharing implicit (overlapping per-server object pools)
     and this knob makes it explicit for sharing-sensitivity studies."""
 
+    n_streams: int = 2
+    """Download stream count ``k`` per page view: the local server plus
+    ``k-1`` remote sources.  ``2`` is the paper's model (local +
+    repository); ``k > 2`` builds a replica mesh whose extra sites draw
+    their network estimates from the repository's Table 1 ranges."""
+
+    n_repositories: int = 1
+    """Repository-grade remote sources the scenario provisions (the
+    repository itself plus mirrored replica sites).  ``n_streams`` may
+    not exceed ``1 + n_repositories`` — every remote stream needs a
+    source to serve it."""
+
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
         def _range_ok(name: str, rng: tuple[float, float], lo_min: float = 0) -> None:
@@ -162,6 +175,18 @@ class WorkloadParams:
             raise ValueError("page_rate_per_server must be positive")
         if self.requests_per_server <= 0:
             raise ValueError("requests_per_server must be positive")
+        if (
+            isinstance(self.n_repositories, bool)
+            or not isinstance(self.n_repositories, int)
+            or self.n_repositories < 1
+        ):
+            raise ValueError(
+                "n_repositories must be a positive integer, got "
+                f"{self.n_repositories!r}"
+            )
+        # same rejection surface as the engine entry points: non-positive,
+        # non-integer, or more streams than remote sources all raise here
+        resolve_streams(self.n_streams, self.n_repositories)
 
     # ------------------------------------------------------------------
     @property

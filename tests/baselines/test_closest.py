@@ -1,0 +1,111 @@
+"""Tests for the Closest baseline and the baseline scoreboard."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_baselines
+from repro.baselines.closest import ClosestStreamPolicy
+from repro.baselines.local import LocalPolicy
+from repro.core.types import (
+    ObjectSpec,
+    PageSpec,
+    RepositorySpec,
+    ServerSpec,
+    StreamTopology,
+    SystemModel,
+)
+from repro.workload.generator import generate_workload
+from repro.workload.params import WorkloadParams
+
+
+def _one_server_mesh(local_rate, stream_rates):
+    """One server, one page over two objects, remote streams as given."""
+    server = ServerSpec(
+        server_id=0,
+        storage_capacity=np.inf,
+        processing_capacity=np.inf,
+        rate=local_rate,
+        overhead=1.0,
+        repo_rate=stream_rates[0],
+        repo_overhead=2.0,
+    )
+    objects = [ObjectSpec(0, 100), ObjectSpec(1, 200)]
+    pages = [
+        PageSpec(
+            page_id=0,
+            server=0,
+            html_size=50,
+            frequency=1.0,
+            compulsory=(0,),
+            optional=(1,),
+            optional_prob=0.1,
+        )
+    ]
+    topology = StreamTopology(
+        rates=np.array([stream_rates], dtype=float),
+        overheads=np.full((1, len(stream_rates)), 2.0),
+    )
+    return SystemModel(
+        [server], RepositorySpec(), pages, objects, topology=topology
+    )
+
+
+class TestClosestStreamPolicy:
+    def test_k2_table1_rates_degenerate_to_local(self):
+        # Table 1 local links (3-10 KB/s) always beat the repository
+        # (0.3-2 KB/s), so at k=2 Closest is exactly Local
+        model = generate_workload(WorkloadParams.tiny(), seed=3)
+        closest = ClosestStreamPolicy().allocate(model)
+        local = LocalPolicy().allocate(model)
+        assert closest == local
+
+    def test_fast_mesh_site_wins_over_local(self):
+        model = _one_server_mesh(local_rate=10.0, stream_rates=(1.0, 100.0))
+        alloc = ClosestStreamPolicy().allocate(model)
+        assert not alloc.comp_local.any()
+        assert not alloc.opt_local.any()
+        assert (alloc.comp_stream == 2).all()
+
+    def test_local_wins_ties(self):
+        model = _one_server_mesh(local_rate=10.0, stream_rates=(1.0, 10.0))
+        alloc = ClosestStreamPolicy().allocate(model)
+        assert alloc.comp_local.all()
+        assert alloc.opt_local.all()
+
+    def test_lowest_stream_index_wins_remote_ties(self):
+        model = _one_server_mesh(local_rate=10.0, stream_rates=(50.0, 50.0))
+        alloc = ClosestStreamPolicy().allocate(model)
+        assert not alloc.comp_local.any()
+        assert (alloc.comp_stream == 1).all()
+
+
+class TestCompareBaselines:
+    def test_scoreboard_sorted_and_normalised(self):
+        model = generate_workload(WorkloadParams.tiny(), seed=3)
+        scores = compare_baselines(model)
+        names = [s.name for s in scores]
+        assert set(names) == {"remote", "local", "closest"}
+        assert scores[0].over_best_pct == 0.0
+        assert all(
+            scores[i].objective <= scores[i + 1].objective
+            for i in range(len(scores) - 1)
+        )
+        assert all(s.over_best_pct >= 0.0 for s in scores)
+
+    def test_extra_allocation_participates(self):
+        from repro.core.partition import partition_all
+
+        model = generate_workload(WorkloadParams.tiny(), seed=3)
+        alloc = partition_all(model)
+        scores = compare_baselines(model, extra={"proposed": alloc})
+        by_name = {s.name: s for s in scores}
+        assert "proposed" in by_name
+        # unconstrained PARTITION beats every naive baseline
+        assert by_name["proposed"].over_best_pct == 0.0
+        assert scores[0].name == "proposed"
+
+    def test_mesh_scoreboard_runs_at_k3(self):
+        params = WorkloadParams.tiny().with_(n_streams=3, n_repositories=2)
+        model = generate_workload(params, seed=3)
+        scores = compare_baselines(model)
+        assert {s.name for s in scores} == {"remote", "local", "closest"}

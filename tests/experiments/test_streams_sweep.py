@@ -1,0 +1,50 @@
+"""Tests for repro.experiments.extension_streams (E4)."""
+
+import pytest
+
+from repro.experiments.extension_streams import StreamsResult, run_streams
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.params import WorkloadParams
+
+
+class TestRunStreams:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = ExperimentConfig(
+            params=WorkloadParams.tiny().with_(requests_per_server=150),
+            n_runs=2,
+        )
+        return run_streams(cfg, streams=(2, 3, 4))
+
+    def test_series_lengths(self, result):
+        assert result.streams == [2, 3, 4]
+        for series in (
+            result.objective,
+            result.vs_two_streams,
+            result.remote_share,
+            result.mesh_share,
+        ):
+            assert len(series) == 3
+
+    def test_objective_monotone_non_increasing(self, result):
+        d = result.objective
+        assert d[0] >= d[1] >= d[2]
+        assert result.vs_two_streams[0] == pytest.approx(0.0)
+        assert all(v <= 0.0 for v in result.vs_two_streams)
+
+    def test_mesh_share_zero_at_k2_positive_after(self, result):
+        assert result.mesh_share[0] == 0.0
+        assert result.mesh_share[1] > 0.0
+        assert all(0.0 <= s <= 1.0 for s in result.mesh_share)
+        assert all(
+            m <= r + 1e-12
+            for m, r in zip(result.mesh_share, result.remote_share)
+        )
+
+    def test_remote_share_grows_with_streams(self, result):
+        s = result.remote_share
+        assert s[0] <= s[1] <= s[2]
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Extension E4" in out and "streams k" in out

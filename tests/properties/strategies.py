@@ -13,10 +13,11 @@ from repro.core.types import (
     PageSpec,
     RepositorySpec,
     ServerSpec,
+    StreamTopology,
     SystemModel,
 )
 
-__all__ = ["system_models", "models_with_allocations"]
+__all__ = ["system_models", "mesh_models", "models_with_allocations"]
 
 
 @st.composite
@@ -74,6 +75,56 @@ def system_models(
             )
         )
     return SystemModel(servers, RepositorySpec(), pages, objects)
+
+
+@st.composite
+def mesh_models(
+    draw,
+    min_streams: int = 2,
+    max_streams: int = 4,
+    max_servers: int = 3,
+    max_pages: int = 8,
+    max_objects: int = 12,
+) -> SystemModel:
+    """A random :class:`SystemModel` with a k-stream replica mesh.
+
+    Column 0 of the topology is pinned to the servers' repository
+    estimates (the :class:`SystemModel` invariant); further columns draw
+    fresh rates/overheads, so any stream can win the argmin.
+    """
+    base = draw(
+        system_models(
+            max_servers=max_servers,
+            max_pages=max_pages,
+            max_objects=max_objects,
+        )
+    )
+    k = draw(st.integers(min_streams, max_streams))
+    if k == 2:
+        return base
+    n_extra = k - 2
+    rate_cols = [[sv.repo_rate for sv in base.servers]]
+    ovhd_cols = [[sv.repo_overhead for sv in base.servers]]
+    for _ in range(n_extra):
+        rate_cols.append(
+            [
+                draw(st.floats(0.1, 50.0, allow_nan=False))
+                for _ in base.servers
+            ]
+        )
+        ovhd_cols.append(
+            [draw(st.floats(0.0, 5.0, allow_nan=False)) for _ in base.servers]
+        )
+    topology = StreamTopology(
+        rates=np.array(rate_cols).T, overheads=np.array(ovhd_cols).T
+    )
+    return SystemModel(
+        base.servers,
+        base.repository,
+        base.pages,
+        base.objects,
+        topology=topology,
+    )
 
 
 @st.composite

@@ -92,3 +92,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "Extension E2" in out
+
+    def test_ksweep(self, capsys):
+        rc = main(
+            [
+                "--scale",
+                "tiny",
+                "--runs",
+                "1",
+                "--requests",
+                "80",
+                "ksweep",
+                "--max-streams",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Extension E4" in out
+
+    def test_streams_flag_runs_mesh_analyze(self, capsys):
+        rc = main(["--scale", "tiny", "--streams", "3", "analyze"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Allocation summary" in out
+
+    def test_streams_flag_rejects_bad_values(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scale", "tiny", "--streams", "0", "analyze"])
+        assert "--streams" in capsys.readouterr().err
+
+    def test_streams_flag_rejects_sharded_kernel(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--scale",
+                    "tiny",
+                    "--streams",
+                    "3",
+                    "--kernel",
+                    "sharded",
+                    "analyze",
+                ]
+            )
+        assert "sharded" in capsys.readouterr().err
